@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per table/figure of the paper, plus per-package benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Text rendering of every experiment (same numbers as `make bench`).
+repro:
+	$(GO) run ./cmd/payg-repro -exp all
+
+# Short fuzz pass over every hand-written parser.
+fuzz:
+	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/schema
+	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/schema
+	$(GO) test -fuzz=FuzzTokenizeHTML -fuzztime=30s ./internal/extract
+	$(GO) test -fuzz=FuzzParseTriple -fuzztime=30s ./internal/extract
+	$(GO) test -fuzz=FuzzSpreadsheet -fuzztime=30s ./internal/extract
+	$(GO) test -fuzz=FuzzFromAttribute -fuzztime=30s ./internal/terms
+
+clean:
+	$(GO) clean ./...

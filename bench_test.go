@@ -1,0 +1,390 @@
+// Benchmark harness: one benchmark per table and figure of the thesis'
+// evaluation (Chapter 6), plus the DESIGN.md ablations. Each benchmark runs
+// the corresponding experiment end to end and reports its headline numbers
+// via b.ReportMetric, so `go test -bench=. -benchmem` regenerates the same
+// rows/series the thesis reports (see EXPERIMENTS.md for the paper-vs-
+// measured comparison).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one artifact, e.g. Figure 6.7:
+//
+//	go test -bench=BenchmarkFigure67 -v
+package schemaflow_test
+
+import (
+	"sync"
+	"testing"
+
+	"schemaflow/internal/classify"
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/experiments"
+)
+
+// corpora are generated once and shared across benchmarks; generation is
+// deterministic so this does not couple results.
+var (
+	corporaOnce sync.Once
+	corpora     experiments.Corpora
+)
+
+func loadCorpora() experiments.Corpora {
+	corporaOnce.Do(func() {
+		corpora = experiments.LoadCorpora(experiments.DefaultSeed)
+	})
+	return corpora
+}
+
+// BenchmarkTable61 regenerates Table 6.1 (statistics about schema sets).
+func BenchmarkTable61(b *testing.B) {
+	c := loadCorpora()
+	var rows []experiments.Table61Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table61(c)
+	}
+	b.ReportMetric(float64(rows[0].Stats.NumSchemas), "dw-schemas")
+	b.ReportMetric(float64(rows[1].Stats.NumSchemas), "ss-schemas")
+	b.ReportMetric(rows[2].Stats.AvgTermsPerSch, "both-avg-terms")
+	b.Logf("\n%s", experiments.RenderTable61(rows))
+}
+
+// sweepOnce runs the Figures 6.2–6.6 linkage sweep once (shared by the five
+// figure benchmarks; each figure projects a different metric).
+func sweepOnce(b *testing.B) []experiments.SweepSeries {
+	b.Helper()
+	series, err := experiments.LinkageSweep(loadCorpora().Both,
+		experiments.DefaultTaus(), cluster.Methods(), experiments.DefaultTheta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return series
+}
+
+// benchFigure runs the sweep per iteration and reports the Avg-Jaccard curve
+// endpoints of the figure's metric.
+func benchFigure(b *testing.B, fm experiments.FigureMetric) {
+	var series []experiments.SweepSeries
+	for i := 0; i < b.N; i++ {
+		series = sweepOnce(b)
+	}
+	for _, s := range series {
+		if s.Method == cluster.AvgJaccard {
+			b.ReportMetric(fm.Value(s.Points[1].Metrics), "avg-jaccard@tau0.2")
+			b.ReportMetric(fm.Value(s.Points[2].Metrics), "avg-jaccard@tau0.3")
+		}
+	}
+	b.Logf("\n%s", experiments.RenderFigure(series, fm))
+}
+
+// BenchmarkFigure62 regenerates Figure 6.2 (average precision vs τ_c_sim).
+func BenchmarkFigure62(b *testing.B) { benchFigure(b, experiments.MetricPrecision) }
+
+// BenchmarkFigure63 regenerates Figure 6.3 (average recall vs τ_c_sim).
+func BenchmarkFigure63(b *testing.B) { benchFigure(b, experiments.MetricRecall) }
+
+// BenchmarkFigure64 regenerates Figure 6.4 (average fragmentation).
+func BenchmarkFigure64(b *testing.B) { benchFigure(b, experiments.MetricFragmentation) }
+
+// BenchmarkFigure65 regenerates Figure 6.5 (fraction of schemas in
+// non-homogeneous domains).
+func BenchmarkFigure65(b *testing.B) { benchFigure(b, experiments.MetricNonHomogeneous) }
+
+// BenchmarkFigure66 regenerates Figure 6.6 (fraction of unclustered schemas).
+func BenchmarkFigure66(b *testing.B) { benchFigure(b, experiments.MetricUnclustered) }
+
+// BenchmarkTable62 regenerates Table 6.2 (clustering evaluation at
+// τ ∈ {0.2, 0.3} on DW, SS and their union).
+func BenchmarkTable62(b *testing.B) {
+	c := loadCorpora()
+	var cells []experiments.Table62Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Table62(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, cell := range cells {
+		if cell.Corpus == "Both" && cell.Tau == 0.2 {
+			b.ReportMetric(cell.Metrics.Precision, "both@0.2-precision")
+			b.ReportMetric(cell.Metrics.Recall, "both@0.2-recall")
+		}
+	}
+	b.Logf("\n%s", experiments.RenderTable62(cells))
+}
+
+// BenchmarkDDHClustering regenerates the Section 6.2 DDH paragraph:
+// precision and recall above 0.99 for τ ≥ 0.2 on the well-separated corpus,
+// with Max Jaccard's recall collapsing below τ = 0.5.
+func BenchmarkDDHClustering(b *testing.B) {
+	c := loadCorpora()
+	var results []experiments.DDHResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = experiments.DDHClustering(c.DDH, []float64{0.2, 0.5}, cluster.Methods())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range results {
+		if r.Method == cluster.AvgJaccard && r.Tau == 0.2 {
+			b.ReportMetric(r.Metrics.Precision, "avg@0.2-precision")
+			b.ReportMetric(r.Metrics.Recall, "avg@0.2-recall")
+		}
+		if r.Method == cluster.MaxJaccard && r.Tau == 0.2 {
+			b.ReportMetric(r.Metrics.Recall, "max@0.2-recall")
+		}
+	}
+	b.Logf("\n%s", experiments.RenderDDH(results))
+}
+
+// BenchmarkMediationCoherence regenerates the Section 6.3 homonym
+// experiment ('family name' in people vs biology).
+func BenchmarkMediationCoherence(b *testing.B) {
+	var res *experiments.CoherenceResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.MediationCoherence()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(boolMetric(res.FusedWithoutClustering), "fused-without-clustering")
+	b.ReportMetric(boolMetric(res.SeparatedWithClustering), "separated-with-clustering")
+	b.Logf("\n%s", res.Render())
+}
+
+// BenchmarkMediationThreshold regenerates the Section 6.3 frequency-
+// threshold experiment (mediating all of DDH as one domain at thresholds
+// 0.1 / 0.01 / 0, vs per-domain mediation after clustering).
+func BenchmarkMediationThreshold(b *testing.B) {
+	c := loadCorpora()
+	var rows []experiments.ThresholdRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.MediationThreshold(c.DDH, []float64{0.1, 0.01, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	clustered, attrs, err := experiments.ClusteredMediationTime(c.DDH)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(rows[0].AbsentDomains), "absent-domains@0.1")
+	b.ReportMetric(float64(rows[2].MediatedAttrs), "mediated-attrs@0")
+	b.Logf("\n%s", experiments.RenderThreshold(rows, clustered, attrs))
+}
+
+// BenchmarkFigure67 regenerates Figure 6.7 (top-1/top-3 query classification
+// quality vs query size on DW∪SS).
+func BenchmarkFigure67(b *testing.B) {
+	c := loadCorpora()
+	var res *experiments.ClassificationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.QueryClassification("DW∪SS", c.Both, experiments.ClassOptions{
+			Seed: experiments.DefaultSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].Top1, "top1@size1")
+	b.ReportMetric(res.Points[len(res.Points)-1].Top1, "top1@size10")
+	b.Logf("\n%s", res.Render())
+}
+
+// BenchmarkDDHQueries regenerates the Section 6.4 DDH paragraph (top-1 ≈ 1
+// for every query size, slightly lower for single-keyword queries).
+func BenchmarkDDHQueries(b *testing.B) {
+	c := loadCorpora()
+	var res *experiments.ClassificationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.QueryClassification("DDH", c.DDH, experiments.ClassOptions{
+			MinFrac: experiments.DDHQueryFrac,
+			Seed:    experiments.DefaultSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Points[0].Top1, "top1@size1")
+	b.ReportMetric(res.Points[4].Top1, "top1@size5")
+	b.Logf("\n%s", res.Render())
+}
+
+// BenchmarkClassifierSetupBoth measures exact-classifier construction on
+// DW∪SS (the Section 6.4 "less than a minute" measurement).
+func BenchmarkClassifierSetupBoth(b *testing.B) {
+	benchClassifierSetup(b, false)
+}
+
+// BenchmarkClassifierSetupDDH measures exact-classifier construction on DDH
+// (the Section 6.4 "about 5 minutes" measurement; the synthetic stand-in is
+// far smaller in vocabulary, so absolute time differs, but DDH remains the
+// costlier of the two).
+func BenchmarkClassifierSetupDDH(b *testing.B) {
+	benchClassifierSetup(b, true)
+}
+
+func benchClassifierSetup(b *testing.B, ddh bool) {
+	c := loadCorpora()
+	set := c.Both
+	if ddh {
+		set = c.DDH
+	}
+	cmp, err := experiments.CompareClassifierSetup("bench", set, 0.25,
+		experiments.DefaultTheta, chooseFrac(ddh), experiments.DefaultSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cmp.ExactTime.Microseconds()), "exact-setup-us")
+	b.ReportMetric(float64(cmp.ApproxTime.Microseconds()), "approx-setup-us")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareClassifierSetup("bench", set, 0.25,
+			experiments.DefaultTheta, chooseFrac(ddh), experiments.DefaultSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func chooseFrac(ddh bool) float64 {
+	if ddh {
+		return experiments.DDHQueryFrac
+	}
+	return experiments.DefaultQueryFrac
+}
+
+// BenchmarkClassifierExactVsApprox is the Section 5.3 / Chapter 7 ablation:
+// exact subset enumeration vs the linear-time approximation, with θ widened
+// so uncertain schemas actually exist.
+func BenchmarkClassifierExactVsApprox(b *testing.B) {
+	c := loadCorpora()
+	var cmp *experiments.SetupComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		cmp, err = experiments.CompareClassifierSetup("DW∪SS θ=0.15", c.Both, 0.25, 0.15,
+			experiments.DefaultQueryFrac, experiments.DefaultSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.Agreement, "top1-agreement")
+	b.ReportMetric(float64(cmp.Uncertain), "uncertain-schemas")
+	b.Logf("\n%s", cmp.Render())
+}
+
+// BenchmarkAblationTermSim compares the LCS t_sim against stem and exact
+// matching (the Section 4.1 alternative).
+func BenchmarkAblationTermSim(b *testing.B) {
+	c := loadCorpora()
+	var rows []experiments.TermSimAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.TermSimAblation(c.Both, 0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.SimName == "lcs" {
+			b.ReportMetric(r.Metrics.Precision, "lcs-precision")
+		}
+	}
+	b.Logf("\n%s", experiments.RenderTermSimAblation(rows, 0.25))
+}
+
+// BenchmarkAblationTheta varies the uncertainty width θ (Section 4.3) and
+// its effect on uncertain-schema counts and classifier setup.
+func BenchmarkAblationTheta(b *testing.B) {
+	c := loadCorpora()
+	var rows []experiments.ThetaAblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ThetaAblation(c.Both, 0.25, []float64{0, 0.02, 0.1, 0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rows[1].Uncertain), "uncertain@theta0.02")
+	b.ReportMetric(float64(rows[3].Uncertain), "uncertain@theta0.2")
+	b.Logf("\n%s", experiments.RenderThetaAblation(rows, 0.25))
+}
+
+// BenchmarkBaselineClusterers compares HAC against k-means, DBSCAN, and the
+// chi-square model-based baseline on DDH.
+func BenchmarkBaselineClusterers(b *testing.B) {
+	c := loadCorpora()
+	var rows []experiments.BaselineRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.BaselineComparison(c.DDH, 0.25, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Algorithm == "hac-avg-jaccard" {
+			b.ReportMetric(r.Metrics.Precision, "hac-precision")
+			b.ReportMetric(r.Metrics.Recall, "hac-recall")
+		}
+	}
+	b.Logf("\n%s", experiments.RenderBaselines(rows))
+}
+
+// BenchmarkQueryLatency measures per-query classification latency on the
+// built DW∪SS classifier — the O(|D| dim L) query-time bound of Section 5.3.
+func BenchmarkQueryLatency(b *testing.B) {
+	c := loadCorpora()
+	res, err := experiments.QueryClassification("warm", c.Both, experiments.ClassOptions{
+		PerSize: 1, MaxSize: 1, Seed: experiments.DefaultSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	// Build once, classify b.N times.
+	sys := buildBothSystem(b)
+	query := []string{"hotel", "check", "amenities"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := sys.Classify(query); len(got) == 0 {
+			b.Fatal("no scores")
+		}
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// buildBothSystem constructs the standard classifier over DW∪SS once.
+func buildBothSystem(b *testing.B) *classifierUnderTest {
+	b.Helper()
+	c := loadCorpora()
+	m, err := experiments.BuildStandardModel(c.Both, 0.25, experiments.DefaultTheta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls, err := classify.New(m, classify.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &classifierUnderTest{cls: cls}
+}
+
+type classifierUnderTest struct {
+	cls *classify.Classifier
+}
+
+func (c *classifierUnderTest) Classify(keywords []string) []classify.Score {
+	return c.cls.Classify(keywords)
+}

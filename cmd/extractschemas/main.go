@@ -1,0 +1,84 @@
+// Command extractschemas turns raw structured sources into schema files the
+// other tools consume — the Figure 6.1 pipeline stage. Each input file is
+// processed according to -format (or its extension) and all extracted
+// schemas are written to stdout in the line format (or JSON with -json).
+//
+// Usage:
+//
+//	extractschemas [-format auto|form|table|csv|nt] [-json] file...
+//	extractschemas -format form deepweb/*.html > dw.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"schemaflow/internal/extract"
+	"schemaflow/internal/schema"
+)
+
+func main() {
+	format := flag.String("format", "auto", "source format: auto, form, table, csv, nt")
+	asJSON := flag.Bool("json", false, "emit JSON instead of the line format")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "extractschemas: no input files")
+		os.Exit(1)
+	}
+	var all schema.Set
+	for _, path := range flag.Args() {
+		set, err := extractFile(path, *format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "extractschemas:", err)
+			os.Exit(1)
+		}
+		all = append(all, set...)
+	}
+	var err error
+	if *asJSON {
+		err = schema.WriteJSON(os.Stdout, all)
+	} else {
+		err = schema.WriteLines(os.Stdout, all)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extractschemas:", err)
+		os.Exit(1)
+	}
+}
+
+func extractFile(path, format string) (schema.Set, error) {
+	if format == "auto" {
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".html", ".htm":
+			format = "form"
+		case ".csv", ".tsv":
+			format = "csv"
+		case ".nt", ".ntriples":
+			format = "nt"
+		default:
+			return nil, fmt.Errorf("%s: cannot infer format; use -format", path)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch format {
+	case "form":
+		return extract.Forms(f, name)
+	case "table":
+		return extract.Tables(f, name)
+	case "csv":
+		return extract.Spreadsheet(f, name)
+	case "nt":
+		return extract.NTriples(f, name)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}

@@ -1,0 +1,105 @@
+// Command mediate builds a mediated schema with probabilistic mappings over
+// a file of schemas — either per clustered domain (the default, the thesis'
+// architecture) or over the whole file at once (-noclustering, the Section
+// 6.3 pathology demonstration).
+//
+// Usage:
+//
+//	mediate -in schemas.txt [-threshold 0.1] [-tau 0.25] [-noclustering] [-mappings]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"schemaflow/internal/cli"
+	"schemaflow/internal/mediate"
+	"schemaflow/internal/schema"
+	"schemaflow/payg"
+)
+
+func main() {
+	in := flag.String("in", "", "schema file (.json or line format); required")
+	threshold := flag.Float64("threshold", 0.1, "attribute frequency threshold (0 disables filtering)")
+	tau := flag.Float64("tau", 0.25, "clustering threshold tau_c_sim")
+	noClustering := flag.Bool("noclustering", false, "mediate the whole file as one domain")
+	showMappings := flag.Bool("mappings", false, "print each schema's probabilistic mappings")
+	flag.Parse()
+
+	if err := run(*in, *threshold, *tau, *noClustering, *showMappings); err != nil {
+		fmt.Fprintln(os.Stderr, "mediate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, threshold, tau float64, noClustering, showMappings bool) error {
+	set, err := cli.ReadSchemasFile(in)
+	if err != nil {
+		return err
+	}
+
+	opts := mediate.DefaultOptions()
+	if threshold == 0 {
+		opts.Negative = true
+	} else {
+		opts.FreqThreshold = threshold
+	}
+
+	if noClustering {
+		med, err := mediate.Build(set, opts)
+		if err != nil {
+			return err
+		}
+		printMediated("all schemas (no clustering)", med, showMappings)
+		return nil
+	}
+
+	sys, err := payg.Build(set, payg.Options{
+		TauCSim:                tau,
+		MediationFreqThreshold: threshold,
+	})
+	if err != nil {
+		return err
+	}
+	for _, d := range sys.Domains() {
+		var members schema.Set
+		for _, mem := range d.Schemas {
+			for _, s := range set {
+				if s.Name == mem.Name {
+					members = append(members, s)
+					break
+				}
+			}
+		}
+		med, err := mediate.Build(members, opts)
+		if err != nil {
+			return err
+		}
+		printMediated(fmt.Sprintf("domain %d", d.ID), med, showMappings)
+	}
+	return nil
+}
+
+func printMediated(title string, med *mediate.Mediated, showMappings bool) {
+	fmt.Printf("== %s ==\n%s", title, med.Describe())
+	if !showMappings {
+		fmt.Println()
+		return
+	}
+	for i, mappings := range med.Mappings {
+		fmt.Printf("  mappings of %s:\n", med.Schemas[i].Name)
+		for _, mp := range mappings {
+			var parts []string
+			for k, to := range mp.AttrTo {
+				if to < 0 {
+					continue
+				}
+				parts = append(parts, fmt.Sprintf("%s→%s", med.Schemas[i].Attributes[k], med.Attrs[to].Name))
+			}
+			fmt.Printf("    Pr=%.3f  %s\n", mp.Prob, strings.Join(parts, ", "))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSchemas(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "schemas.txt")
+	content := `f1 | first name, last name, email
+f2 | first name, family name, email, fax
+car1 | make, model, price
+car2 | car make, model, color
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPerDomain(t *testing.T) {
+	if err := run(writeSchemas(t), 0.1, 0.2, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoClustering(t *testing.T) {
+	if err := run(writeSchemas(t), 0, 0.2, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	if err := run("", 0.1, 0.2, false, false); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+}

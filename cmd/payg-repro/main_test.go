@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The heavy experiments have their own integration tests under
+// internal/experiments; these exercise the CLI glue — experiment routing,
+// the unknown-experiment error, and CSV emission.
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation in short mode")
+	}
+	for _, exp := range []string{"table6.1", "med-coherence", "consistency"} {
+		if err := run(exp, 1, 5, ""); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("bogus", 1, 5, ""); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFigureWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in short mode")
+	}
+	dir := t.TempDir()
+	if err := run("fig6.2", 1, 5, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig6.2.csv", "fig6.3.csv"} {
+		if _, err := filepath.Glob(filepath.Join(dir, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOutRequiresSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation in short mode")
+	}
+	if err := run("table6.1", 1, 5, t.TempDir()); err == nil {
+		t.Fatal("-out without a sweep accepted")
+	}
+}

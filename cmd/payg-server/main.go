@@ -1,0 +1,75 @@
+// Command payg-server serves a pay-as-you-go integration system over HTTP:
+// the Figure 3.1 search-engine workflow as a service. It builds the system
+// from a schema file, optionally attaches synthetic data so /query works,
+// and listens for JSON requests.
+//
+// Usage:
+//
+//	payg-server -in schemas.txt [-addr :8080] [-tau 0.25] [-tuples 20]
+//
+//	curl 'localhost:8080/classify?q=departure+toronto'
+//	curl 'localhost:8080/domains'
+//	curl -X POST localhost:8080/query -d '{"domain":0,"select":["departure"]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"schemaflow/internal/cli"
+	"schemaflow/internal/dataset"
+	"schemaflow/internal/server"
+	"schemaflow/payg"
+)
+
+func main() {
+	in := flag.String("in", "", "schema file (.json or line format); required")
+	addr := flag.String("addr", ":8080", "listen address")
+	tau := flag.Float64("tau", 0.25, "clustering threshold tau_c_sim")
+	tuples := flag.Int("tuples", 20, "synthetic tuples per source for /query (0 disables data)")
+	flag.Parse()
+
+	if err := run(*in, *addr, *tau, *tuples); err != nil {
+		fmt.Fprintln(os.Stderr, "payg-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, addr string, tau float64, tuples int) error {
+	set, err := cli.ReadSchemasFile(in)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sys, err := payg.Build(set, payg.Options{TauCSim: tau})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %d domains over %d schemas in %s\n",
+		sys.NumDomains(), sys.NumSchemas(), time.Since(start).Round(time.Millisecond))
+
+	var sources []payg.Source
+	if tuples > 0 {
+		sources = make([]payg.Source, len(set))
+		for i, s := range set {
+			rows := dataset.GenerateTuples(s, tuples, int64(i))
+			ts := make([]payg.Tuple, len(rows))
+			for k, r := range rows {
+				ts[k] = r
+			}
+			sources[i] = payg.Source{Schema: s, Tuples: ts}
+		}
+		fmt.Printf("attached %d synthetic tuples per source\n", tuples)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(sys, sources),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("listening on %s\n", addr)
+	return srv.ListenAndServe()
+}

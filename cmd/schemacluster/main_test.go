@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSchemas(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "schemas.txt")
+	content := `bib1 | title, authors, publication year | bibliography
+bib2 | paper title, author, year | bibliography
+car1 | make, model, price | cars
+car2 | car make, model, color | cars
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunLabeled(t *testing.T) {
+	if err := run(writeSchemas(t), 0.2, 0.02, "avg-jaccard", "lcs", true, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run("", 0.2, 0.02, "avg-jaccard", "lcs", false, 0); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(writeSchemas(t), 0.2, 0.02, "bogus", "lcs", false, 0); err == nil {
+		t.Fatal("bogus linkage accepted")
+	}
+	if err := run(writeSchemas(t), 0.2, 0.02, "avg-jaccard", "bogus", false, 0); err == nil {
+		t.Fatal("bogus t_sim accepted")
+	}
+}

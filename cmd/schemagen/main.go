@@ -1,0 +1,50 @@
+// Command schemagen writes one of the synthetic evaluation corpora (DW, SS,
+// their union, or DDH) to a file, in the line format the other CLI tools
+// read, or JSON with -json.
+//
+// Usage:
+//
+//	schemagen -set dw [-seed 1] [-json] > dw.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schemaflow/internal/dataset"
+	"schemaflow/internal/schema"
+)
+
+func main() {
+	which := flag.String("set", "dw", "corpus: dw, ss, both, ddh")
+	seed := flag.Int64("seed", 1, "generator seed")
+	asJSON := flag.Bool("json", false, "emit JSON instead of the line format")
+	flag.Parse()
+
+	var set schema.Set
+	switch *which {
+	case "dw":
+		set = dataset.DW(*seed)
+	case "ss":
+		set = dataset.SS(*seed + 1)
+	case "both":
+		set = dataset.Union(dataset.DW(*seed), dataset.SS(*seed+1))
+	case "ddh":
+		set = dataset.DDH(*seed + 2)
+	default:
+		fmt.Fprintf(os.Stderr, "schemagen: unknown set %q\n", *which)
+		os.Exit(1)
+	}
+
+	var err error
+	if *asJSON {
+		err = schema.WriteJSON(os.Stdout, set)
+	} else {
+		err = schema.WriteLines(os.Stdout, set)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemagen:", err)
+		os.Exit(1)
+	}
+}

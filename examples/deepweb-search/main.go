@@ -1,0 +1,96 @@
+// Deep-web search: the thesis' typical use case (Section 3.3) end to end.
+//
+// A user poses a keyword query over many deep-web sources. The system (1)
+// routes the query to the most relevant domains, (2) presents the winning
+// domain's mediated schema as a structured query interface, and (3) executes
+// a structured query, dispatching it to every source in the domain, mapping
+// raw tuples through probabilistic mappings, and merging them into a single
+// result set ranked by tuple probability.
+//
+//	go run ./examples/deepweb-search
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"schemaflow/payg"
+)
+
+func main() {
+	schemas := []payg.Schema{
+		{Name: "expedia", Attributes: []string{"departure airport", "destination airport", "airline", "class"}},
+		{Name: "flyaway", Attributes: []string{"departure", "destination", "airline", "fare"}},
+		{Name: "govtravel", Attributes: []string{"departure city", "destination city", "carrier", "ticket class"}},
+		{Name: "dblp", Attributes: []string{"title", "authors", "year of publish", "conference name"}},
+		{Name: "citeseer", Attributes: []string{"paper title", "author", "publication year", "venue"}},
+	}
+
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Data extensions behind the sources. In reality these sit behind web
+	// forms; here they are in-memory tables.
+	sources := []payg.Source{
+		{Schema: schemas[0], Tuples: []payg.Tuple{
+			{"YYZ", "CAI", "AirNorth", "economy"},
+			{"YYZ", "LIM", "SkyWays", "business"},
+		}},
+		{Schema: schemas[1], Tuples: []payg.Tuple{
+			{"YYZ", "CAI", "AirNorth", "780"},
+			{"OSL", "CAI", "BlueJet", "640"},
+		}},
+		{Schema: schemas[2], Tuples: []payg.Tuple{
+			{"Toronto", "Cairo", "TransPolar", "first"},
+		}},
+		{Schema: schemas[3]},
+		{Schema: schemas[4]},
+	}
+
+	// Step 1: the keyword query is classified into domains.
+	keyword := "departure Toronto destination Cairo"
+	scores := sys.Classify(keyword)
+	fmt.Printf("keyword query: %q\n\nrelevant domains (best first):\n", keyword)
+	for _, s := range scores {
+		fmt.Printf("  domain %d  posterior %.3f\n", s.Domain, s.Posterior)
+	}
+	best := scores[0].Domain
+
+	// Step 2: the winning domain's mediated schema is the structured query
+	// interface presented to the user.
+	attrs, err := sys.MediatedAttributes(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstructured query interface (mediated schema of domain %d):\n  %s\n",
+		best, strings.Join(attrs, ", "))
+
+	// Step 3: the user poses a structured query over the mediated schema.
+	pick := func(sub string) string {
+		for _, a := range attrs {
+			if strings.Contains(a, sub) {
+				return a
+			}
+		}
+		log.Fatalf("no mediated attribute matching %q", sub)
+		return ""
+	}
+	dep, dst, air := pick("departure"), pick("destination"), pick("airline")
+
+	q := payg.Query{
+		Select: []string{dep, dst, air},
+		Where:  map[string]string{dep: "YYZ"},
+	}
+	res, err := sys.Execute(best, q, sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSELECT %s, %s, %s WHERE %s = 'YYZ':\n", dep, dst, air, dep)
+	for _, r := range res {
+		fmt.Printf("  %-6s %-6s %-10s Pr=%.3f  (from %s)\n",
+			r.Values[0], r.Values[1], r.Values[2], r.Prob, strings.Join(r.Sources, "+"))
+	}
+}

@@ -1,0 +1,78 @@
+// Feedback loop: the "pay as you go" part of pay-as-you-go integration.
+// The system starts from a fully automatic (imperfect) clustering, then
+// improves through three feedback channels: an explicit user correction, a
+// new source arriving incrementally, and click-driven re-ranking.
+//
+//	go run ./examples/feedback-loop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schemaflow/internal/feedback"
+	"schemaflow/payg"
+)
+
+func main() {
+	// A corpus with a deliberately ambiguous schema: "stamps" lists
+	// catalog prices and years like a car listing would, so the automatic
+	// clustering may misplace it.
+	schemas := []payg.Schema{
+		{Name: "usedcars", Attributes: []string{"make", "model", "model year", "price", "mileage"}},
+		{Name: "autotrader", Attributes: []string{"car make", "car model", "price", "color"}},
+		{Name: "dblp", Attributes: []string{"title", "authors", "publication year", "conference"}},
+		{Name: "citeseer", Attributes: []string{"paper title", "author", "year", "venue"}},
+		{Name: "stamps", Attributes: []string{"catalog price", "year", "color", "condition"}},
+	}
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(label string, s *payg.System) {
+		fmt.Printf("%s: %d domains\n", label, s.NumDomains())
+		for _, d := range s.Domains() {
+			fmt.Printf("  domain %d:", d.ID)
+			for _, m := range d.Schemas {
+				fmt.Printf(" %s(%.2f)", m.Name, m.Prob)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	show("initial automatic clustering", sys)
+
+	// --- Explicit feedback: the user isolates the stamp catalog. ---
+	res, err := sys.ApplyFeedback(payg.Feedback{Splits: []int{4}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys = res.System
+	show("after user splits 'stamps' into its own domain", sys)
+
+	// --- Incremental growth: a new source arrives later. ---
+	sys, domain, err := sys.AddSchema(payg.Schema{
+		Name:       "carmax",
+		Attributes: []string{"make", "model", "price", "mileage", "transmission"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("new source 'carmax' joined domain %d incrementally\n\n", domain)
+	show("after incremental add", sys)
+
+	// --- Implicit feedback: clicks sharpen an ambiguous ranking. ---
+	clicks := feedback.NewClickLog(sys.NumDomains())
+	query := "price year color" // ambiguous between cars and stamps
+	before := sys.Classify(query)
+	fmt.Printf("query %q before clicks: domain %d (posterior %.2f)\n",
+		query, before[0].Domain, before[0].Posterior)
+	// Users who issue this query keep clicking into the stamps domain.
+	stampsDomain := before[1].Domain
+	for i := 0; i < 50; i++ {
+		clicks.Record(stampsDomain)
+	}
+	after := clicks.Rerank(before)
+	fmt.Printf("query %q after 50 clicks on domain %d: domain %d (posterior %.2f)\n",
+		query, stampsDomain, after[0].Domain, after[0].Posterior)
+}

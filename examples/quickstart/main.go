@@ -1,0 +1,63 @@
+// Quickstart: cluster a handful of web-source schemas into domains, ask the
+// classifier where a keyword query belongs, and inspect the mediated schema
+// of the winning domain.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"schemaflow/payg"
+)
+
+func main() {
+	// The only input the system needs: attribute names of each source.
+	schemas := []payg.Schema{
+		{Name: "expedia-form", Attributes: []string{
+			"departure airport", "destination airport", "departing (mm/dd/yy)",
+			"returning (mm/dd/yy)", "airline", "class"}},
+		{Name: "cheapflights-form", Attributes: []string{
+			"departure", "destination", "departing date", "return date", "travellers"}},
+		{Name: "orbitz-form", Attributes: []string{
+			"departure city", "destination city", "airline", "ticket class", "price"}},
+		{Name: "dblp-table", Attributes: []string{
+			"title", "authors", "year of publish", "conference name"}},
+		{Name: "citeseer-table", Attributes: []string{
+			"paper title", "author", "publication year", "venue", "pages"}},
+		{Name: "library-sheet", Attributes: []string{
+			"title", "author names", "publisher", "isbn"}},
+		{Name: "usedcars-form", Attributes: []string{
+			"make", "model", "model year", "mileage", "price", "color"}},
+		{Name: "autotrader-form", Attributes: []string{
+			"car make", "car model", "year of manufacture", "price", "transmission"}},
+	}
+
+	// Build with the thesis' default parameters (τ_t_sim=0.8, τ_c_sim=0.25,
+	// avg-Jaccard linkage, θ=0.02).
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered %d domains from %d schemas:\n\n", sys.NumDomains(), sys.NumSchemas())
+	for _, d := range sys.Domains() {
+		fmt.Printf("domain %d:\n", d.ID)
+		for _, m := range d.Schemas {
+			fmt.Printf("  %-22s Pr=%.2f\n", m.Name, m.Prob)
+		}
+		fmt.Printf("  mediated schema: %v\n\n", d.MediatedAttributes)
+	}
+
+	// Route keyword queries to domains (the Chapter 1 example).
+	for _, q := range []string{
+		"departure Toronto destination Cairo",
+		"books authored by Stephen King",
+		"red car low mileage",
+	} {
+		scores := sys.Classify(q)
+		best := scores[0]
+		fmt.Printf("query %q → domain %d (posterior %.3f)\n", q, best.Domain, best.Posterior)
+	}
+}

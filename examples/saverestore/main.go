@@ -1,0 +1,57 @@
+// Save/restore: the pay-as-you-go lifecycle across process restarts. All
+// expensive work (clustering, exact classifier construction) happens once at
+// Build; Save persists the model and Load restores it without redoing that
+// work — queries answer identically before and after.
+//
+//	go run ./examples/saverestore
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"schemaflow/internal/dataset"
+	"schemaflow/payg"
+)
+
+func main() {
+	corpus := dataset.Union(dataset.DW(1), dataset.SS(2))
+
+	start := time.Now()
+	sys, err := payg.Build(corpus, payg.Options{SkipMediation: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built system over %d schemas in %s; snapshot is %d bytes\n",
+		sys.NumSchemas(), buildTime.Round(time.Millisecond), buf.Len())
+
+	start = time.Now()
+	restored, err := payg.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored in %s (no re-clustering, no classifier setup)\n\n",
+		time.Since(start).Round(time.Millisecond))
+
+	for _, q := range []string{
+		"hotel check in amenities",
+		"cve severity patch",
+		"grade school district",
+	} {
+		a := sys.Classify(q)[0]
+		b := restored.Classify(q)[0]
+		match := "==" // identical scores expected
+		if a.Domain != b.Domain || a.LogPosterior != b.LogPosterior {
+			match = "MISMATCH"
+		}
+		fmt.Printf("%-30q original → %3d, restored → %3d  %s\n", q, a.Domain, b.Domain, match)
+	}
+}

@@ -1,0 +1,3 @@
+module schemaflow
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package bitvec provides dense, fixed-length bit vectors with fast set
+// algebra (intersection/union cardinalities via popcount). Feature vectors in
+// this system are binary and high-dimensional (one bit per vocabulary term),
+// and clustering spends almost all of its time computing Jaccard
+// coefficients between such vectors, so a compact word-packed representation
+// matters.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length bit vector. The zero value is an empty vector of
+// length 0; use New to create a vector of a given length.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns a zeroed vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a vector of n bits with the given bit positions set.
+func FromIndices(n int, indices ...int) *Vector {
+	v := New(n)
+	for _, i := range indices {
+		v.Set(i)
+	}
+	return v
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1. It panics if i is out of range.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear sets bit i to 0. It panics if i is out of range.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{n: v.n, words: make([]uint64, len(v.words))}
+	copy(c.words, v.words)
+	return c
+}
+
+// Equal reports whether v and u have the same length and the same bits.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AndCount returns |v ∩ u|, the number of positions set in both vectors.
+// It panics if the lengths differ.
+func (v *Vector) AndCount(u *Vector) int {
+	v.checkLen(u)
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w & u.words[i])
+	}
+	return c
+}
+
+// OrCount returns |v ∪ u|, the number of positions set in either vector.
+// It panics if the lengths differ.
+func (v *Vector) OrCount(u *Vector) int {
+	v.checkLen(u)
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w | u.words[i])
+	}
+	return c
+}
+
+// Jaccard returns the Jaccard coefficient |v∩u| / |v∪u|. Two empty vectors
+// have Jaccard similarity 0 by convention (the thesis never compares two
+// schemas that both lack every vocabulary term, but synthetic corner cases
+// can produce them). It panics if the lengths differ.
+func (v *Vector) Jaccard(u *Vector) float64 {
+	v.checkLen(u)
+	inter, union := 0, 0
+	for i, w := range v.words {
+		inter += bits.OnesCount64(w & u.words[i])
+		union += bits.OnesCount64(w | u.words[i])
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// InPlaceAnd sets v to v ∩ u. It panics if the lengths differ.
+func (v *Vector) InPlaceAnd(u *Vector) {
+	v.checkLen(u)
+	for i := range v.words {
+		v.words[i] &= u.words[i]
+	}
+}
+
+// InPlaceOr sets v to v ∪ u. It panics if the lengths differ.
+func (v *Vector) InPlaceOr(u *Vector) {
+	v.checkLen(u)
+	for i := range v.words {
+		v.words[i] |= u.words[i]
+	}
+}
+
+// CopyFrom overwrites v's bits with u's. It panics if the lengths differ.
+func (v *Vector) CopyFrom(u *Vector) {
+	v.checkLen(u)
+	copy(v.words, u.words)
+}
+
+func (v *Vector) checkLen(u *Vector) {
+	if v.n != u.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, u.n))
+	}
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (v *Vector) Indices() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// String renders the vector as a 0/1 string, bit 0 first. Intended for tests
+// and debugging of small vectors.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}

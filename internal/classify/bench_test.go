@@ -1,0 +1,90 @@
+package classify
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+// benchModel builds a model with a controllable number of uncertain schemas
+// per domain, which is the exponent of exact setup (Section 5.3).
+func benchModel(b *testing.B, nPerDomain, uncertainPerDomain int) *core.Model {
+	b.Helper()
+	words := [][]string{
+		{"title", "authors", "publication year", "venue", "pages", "publisher"},
+		{"make", "model", "mileage", "price", "color", "transmission"},
+	}
+	rng := rand.New(rand.NewSource(5))
+	var set schema.Set
+	for d := 0; d < 2; d++ {
+		for i := 0; i < nPerDomain; i++ {
+			attrs := make([]string, 4)
+			perm := rng.Perm(len(words[d]))
+			for j := range attrs {
+				attrs[j] = words[d][perm[j]]
+			}
+			set = append(set, schema.Schema{Name: "s", Attributes: attrs})
+		}
+	}
+	sp := feature.Build(set, feature.DefaultConfig())
+	assign := make([]int, len(set))
+	memberships := make([][]core.Membership, len(set))
+	for i := range set {
+		d := 0
+		if i >= nPerDomain {
+			d = 1
+		}
+		assign[i] = d
+		if i%nPerDomain < uncertainPerDomain {
+			memberships[i] = []core.Membership{
+				{Schema: 0, Prob: 0.6},
+				{Schema: 1, Prob: 0.4},
+			}
+		} else {
+			memberships[i] = []core.Membership{{Schema: d, Prob: 1}}
+		}
+	}
+	cl := cluster.FromAssignment(assign)
+	m, err := core.RestoreModel(set, sp, cl, memberships, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchSetup(b *testing.B, uncertain int, mode Mode) {
+	m := benchModel(b, 50, uncertain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(m, Config{Mode: mode}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Exact setup cost grows with 2^k where k is the per-domain uncertain
+// count; every uncertain schema here belongs to both domains, so k is twice
+// the per-block parameter. Past the k = 20 cap the exact mode transparently
+// falls back to the approximate rule — the last benchmark shows that cliff.
+func BenchmarkSetupExactK0(b *testing.B)          { benchSetup(b, 0, Exact) }
+func BenchmarkSetupExactK8(b *testing.B)          { benchSetup(b, 4, Exact) }
+func BenchmarkSetupExactK16(b *testing.B)         { benchSetup(b, 8, Exact) }
+func BenchmarkSetupExactK32Fallback(b *testing.B) { benchSetup(b, 16, Exact) }
+func BenchmarkSetupApproxK16(b *testing.B)        { benchSetup(b, 8, Approximate) }
+
+func BenchmarkClassifyQuery(b *testing.B) {
+	m := benchModel(b, 50, 4)
+	c, err := New(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []string{"title", "authors", "price"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Classify(q)
+	}
+}

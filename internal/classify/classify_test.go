@@ -1,0 +1,409 @@
+package classify
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+func travelBibSet() schema.Set {
+	return schema.Set{
+		{Name: "travel1", Attributes: []string{"departure airport", "destination airport", "airline", "class"}},
+		{Name: "travel2", Attributes: []string{"departure", "destination", "departing date", "returning date"}},
+		{Name: "travel3", Attributes: []string{"departure city", "destination city", "airline", "price"}},
+		{Name: "bib1", Attributes: []string{"title", "authors", "publication year", "conference"}},
+		{Name: "bib2", Attributes: []string{"paper title", "author", "year", "venue"}},
+	}
+}
+
+func buildModel(t *testing.T, set schema.Set, tau float64) *core.Model {
+	t.Helper()
+	sp := feature.Build(set, feature.DefaultConfig())
+	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// modelWithMemberships builds a model with explicitly controlled
+// probabilistic memberships, for exercising the uncertain-schema math.
+func modelWithMemberships(t *testing.T, set schema.Set, assign []int, memberships [][]core.Membership) *core.Model {
+	t.Helper()
+	sp := feature.Build(set, feature.DefaultConfig())
+	cl := cluster.FromAssignment(assign)
+	m, err := core.RestoreModel(set, sp, cl, memberships, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func domainOf(m *core.Model, schemaIdx int) int {
+	return m.Clustering.Assign[schemaIdx]
+}
+
+func TestClassifyRoutesToRightDomain(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := c.Classify([]string{"departure", "toronto", "destination", "cairo"})
+	if scores[0].Domain != domainOf(m, 0) {
+		t.Fatalf("travel query routed to domain %d (travel is %d)", scores[0].Domain, domainOf(m, 0))
+	}
+	scores = c.Classify([]string{"books", "authored", "title"})
+	if scores[0].Domain != domainOf(m, 3) {
+		t.Fatalf("bibliography query routed to domain %d (bib is %d)", scores[0].Domain, domainOf(m, 3))
+	}
+}
+
+func TestExtraTermDoesNotZeroPosterior(t *testing.T) {
+	// Section 5.2's first robustness issue: an extra term (present in the
+	// vocabulary but absent from the target domain) must not annihilate the
+	// posterior. "mileage" exists only in a third, unrelated schema.
+	set := append(travelBibSet(), schema.Schema{
+		Name: "car1", Attributes: []string{"make", "model", "mileage"}})
+	m := buildModel(t, set, 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := c.Classify([]string{"departure", "destination", "airline", "mileage"})
+	if scores[0].Domain != domainOf(m, 0) {
+		t.Fatalf("extra term flipped the ranking: top = %d", scores[0].Domain)
+	}
+	if math.IsInf(scores[0].LogPosterior, -1) {
+		t.Fatal("posterior collapsed to zero")
+	}
+}
+
+func TestMissingTermsTolerated(t *testing.T) {
+	// Second robustness issue: a query mentioning only one of a domain's
+	// many terms still ranks that domain first.
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := c.Classify([]string{"airline"})
+	if scores[0].Domain != domainOf(m, 0) {
+		t.Fatalf("single-keyword query misrouted: top = %d", scores[0].Domain)
+	}
+}
+
+func TestPosteriorsNormalized(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := c.Classify([]string{"departure", "airline"})
+	sum := 0.0
+	for _, s := range scores {
+		if s.Posterior < 0 || s.Posterior > 1 {
+			t.Fatalf("posterior %v out of range", s.Posterior)
+		}
+		sum += s.Posterior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posteriors sum to %v", sum)
+	}
+	for i := 1; i < len(scores); i++ {
+		if scores[i-1].LogPosterior < scores[i].LogPosterior {
+			t.Fatal("scores not sorted descending")
+		}
+	}
+}
+
+func TestTopTruncates(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Top([]string{"airline"}, 1); len(got) != 1 {
+		t.Fatalf("Top(1) returned %d", len(got))
+	}
+	if got := c.Top([]string{"airline"}, 100); len(got) != m.NumDomains() {
+		t.Fatalf("Top(100) returned %d", len(got))
+	}
+}
+
+func TestApproximateMatchesExactWhenAllCertain(t *testing.T) {
+	// With no uncertain schemas the subset enumeration has a single term,
+	// and the approximate expectations coincide with it exactly.
+	m := buildModel(t, travelBibSet(), 0.2)
+	if m.UncertainCount() != 0 {
+		t.Fatalf("test premise broken: %d uncertain schemas", m.UncertainCount())
+	}
+	exact, err := New(m, Config{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := New(m, Config{Mode: Approximate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := [][]string{{"departure"}, {"title", "authors"}, {"airline", "class", "price"}}
+	for _, q := range queries {
+		se, sa := exact.Classify(q), approx.Classify(q)
+		for k := range se {
+			if se[k].Domain != sa[k].Domain || math.Abs(se[k].LogPosterior-sa[k].LogPosterior) > 1e-9 {
+				t.Fatalf("query %v: exact %+v vs approx %+v", q, se[k], sa[k])
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Exact.String() != "exact" || Approximate.String() != "approximate" {
+		t.Fatal("Mode.String broken")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	if _, err := New(m, Config{P: 1.5}); err == nil {
+		t.Fatal("invalid P accepted")
+	}
+}
+
+func TestForbiddenFallbackErrors(t *testing.T) {
+	// Build a model with one domain holding 2 uncertain schemas, then set
+	// MaxExactUncertain negative with a width the enumeration can't avoid.
+	set := travelBibSet()
+	memberships := [][]core.Membership{
+		{{Schema: 0, Prob: 1}},
+		{{Schema: 0, Prob: 0.6}, {Schema: 1, Prob: 0.4}},
+		{{Schema: 0, Prob: 0.7}, {Schema: 1, Prob: 0.3}},
+		{{Schema: 1, Prob: 1}},
+		{{Schema: 1, Prob: 1}},
+	}
+	m := modelWithMemberships(t, set, []int{0, 0, 0, 1, 1}, memberships)
+	// MaxExactUncertain: -1 forbids the approximate fallback but 2 ≤ any
+	// positive cap, so force failure with a cap of... -1 only fails when
+	// k > cap; with cap -1 any k > -1 triggers it? No: the check is
+	// k > maxExact, so k=2 > -1 → error. Exactly what we want.
+	if _, err := New(m, Config{MaxExactUncertain: -1}); err == nil {
+		t.Fatal("forbidden fallback did not error")
+	}
+	// Default config handles it fine.
+	if _, err := New(m, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// referenceDomainScore evaluates Equations 5.2–5.9 literally: enumerate
+// subsets S' of the domain's members that contain all certain schemas,
+// compute Pr(D_r), Pr(F_j|D_r) per feature by direct summation, and combine
+// with the query vector. O(2^k · dim), no algebraic factoring — an
+// independent oracle for the optimized implementation.
+func referenceDomainScore(m *core.Model, d *core.Domain, fq []bool, pAdd float64) float64 {
+	certain := d.Certain()
+	uncertain := d.Uncertain()
+	dim := m.Space.Dim()
+	total := len(m.Schemas)
+
+	prior := 0.0
+	p1 := make([]float64, dim)
+	for mask := 0; mask < 1<<len(uncertain); mask++ {
+		pS := 1.0
+		for u, mem := range uncertain {
+			if mask&(1<<u) != 0 {
+				pS *= mem.Prob
+			} else {
+				pS *= 1 - mem.Prob
+			}
+		}
+		size := len(certain) + bits.OnesCount(uint(mask))
+		w := float64(size) / float64(total) * pS
+		prior += w
+		mEst := float64(1 + size)
+		for j := 0; j < dim; j++ {
+			cnt := 0.0
+			for _, mem := range certain {
+				if m.Space.Vectors[mem.Schema].Get(j) {
+					cnt++
+				}
+			}
+			for u, mem := range uncertain {
+				if mask&(1<<u) != 0 && m.Space.Vectors[mem.Schema].Get(j) {
+					cnt++
+				}
+			}
+			p1[j] += w * (cnt + pAdd*mEst) / (float64(size) + mEst)
+		}
+	}
+	if prior == 0 {
+		return math.Inf(-1)
+	}
+	score := math.Log(prior)
+	for j := 0; j < dim; j++ {
+		pj := p1[j] / prior
+		if fq[j] {
+			score += math.Log(pj)
+		} else {
+			score += math.Log(1 - pj)
+		}
+	}
+	return score
+}
+
+func TestExactMatchesReference(t *testing.T) {
+	set := travelBibSet()
+	memberships := [][]core.Membership{
+		{{Schema: 0, Prob: 1}},
+		{{Schema: 0, Prob: 0.6}, {Schema: 1, Prob: 0.4}},
+		{{Schema: 0, Prob: 0.7}, {Schema: 1, Prob: 0.3}},
+		{{Schema: 1, Prob: 1}},
+		{{Schema: 0, Prob: 0.1}, {Schema: 1, Prob: 0.9}},
+	}
+	m := modelWithMemberships(t, set, []int{0, 0, 0, 1, 1}, memberships)
+	c, err := New(m, Config{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAdd := 1 / float64(m.Space.Dim())
+
+	queries := [][]string{
+		{"departure", "destination"},
+		{"title"},
+		{"airline", "authors", "price"},
+		{"zzzz"},
+	}
+	for _, q := range queries {
+		fqv := m.Space.QueryVector(q)
+		fq := make([]bool, m.Space.Dim())
+		for _, j := range fqv.Indices() {
+			fq[j] = true
+		}
+		scores := c.Classify(q)
+		for _, s := range scores {
+			want := referenceDomainScore(m, &m.Domains[s.Domain], fq, pAdd)
+			if math.Abs(s.LogPosterior-want) > 1e-9 {
+				t.Fatalf("query %v domain %d: got %v, reference %v", q, s.Domain, s.LogPosterior, want)
+			}
+		}
+	}
+}
+
+// TestPropertyExactMatchesReference fuzzes corpora, memberships and queries
+// against the reference oracle.
+func TestPropertyExactMatchesReference(t *testing.T) {
+	words := []string{
+		"title", "author", "year", "venue", "make", "model", "price",
+		"color", "name", "phone", "genre", "rating",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		set := make(schema.Set, n)
+		for i := range set {
+			k := 2 + rng.Intn(3)
+			attrs := make([]string, k)
+			for j := range attrs {
+				attrs[j] = words[rng.Intn(len(words))]
+			}
+			set[i] = schema.Schema{Name: "s", Attributes: attrs}
+		}
+		// Random 2-cluster assignment with random fractional memberships.
+		assign := make([]int, n)
+		memberships := make([][]core.Membership, n)
+		for i := range set {
+			assign[i] = rng.Intn(2)
+			if rng.Float64() < 0.5 {
+				memberships[i] = []core.Membership{{Schema: assign[i], Prob: 1}}
+			} else {
+				p := 0.1 + 0.8*rng.Float64()
+				memberships[i] = []core.Membership{
+					{Schema: 0, Prob: p},
+					{Schema: 1, Prob: 1 - p},
+				}
+			}
+		}
+		// Ensure both clusters are non-empty for FromAssignment stability.
+		assign[0], assign[n-1] = 0, 1
+		sp := feature.Build(set, feature.DefaultConfig())
+		cl := cluster.FromAssignment(assign)
+		if cl.NumClusters() != 2 {
+			return true // degenerate; skip
+		}
+		m, err := core.RestoreModel(set, sp, cl, memberships, core.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		c, err := New(m, Config{Mode: Exact})
+		if err != nil {
+			return false
+		}
+		pAdd := 1 / float64(sp.Dim())
+		q := []string{words[rng.Intn(len(words))], words[rng.Intn(len(words))]}
+		fqv := sp.QueryVector(q)
+		fq := make([]bool, sp.Dim())
+		for _, j := range fqv.Indices() {
+			fq[j] = true
+		}
+		scores := c.Classify(q)
+		for _, s := range scores {
+			want := referenceDomainScore(m, &m.Domains[s.Domain], fq, pAdd)
+			if math.IsInf(want, -1) != math.IsInf(s.LogPosterior, -1) {
+				return false
+			}
+			if !math.IsInf(want, -1) && math.Abs(s.LogPosterior-want) > 1e-8 {
+				return false
+			}
+		}
+		// Output must be sorted descending.
+		return sort.SliceIsSorted(scores, func(a, b int) bool {
+			return scores[a].LogPosterior > scores[b].LogPosterior
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(m, c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"departure", "airline"}
+	a, b := c.Classify(q), restored.Classify(q)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("restored classifier differs at %d: %+v vs %+v", k, a[k], b[k])
+		}
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, _ := New(m, Config{})
+	snap := c.Snapshot()
+	snap.Dim++
+	if _, err := Restore(m, snap); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	snap.Dim--
+	snap.LogPrior = snap.LogPrior[:1]
+	if _, err := Restore(m, snap); err == nil {
+		t.Fatal("domain-count mismatch accepted")
+	}
+}

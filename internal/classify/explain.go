@@ -1,0 +1,79 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explanation breaks a classification down per matched vocabulary term —
+// the kind of transparency a pay-as-you-go system needs when asking users
+// for feedback ("why did you route my query here?").
+type Explanation struct {
+	// Domain is the explained domain (normally the top-ranked one).
+	Domain int
+	// LogPrior is the domain's log Pr(D_r).
+	LogPrior float64
+	// Baseline is Σ_j log Pr(F_j=0 | D_r): the score of a query matching
+	// nothing.
+	Baseline float64
+	// Terms lists each matched vocabulary term's additive contribution,
+	// strongest first. Contributions are log-odds relative to the term
+	// being absent; with the missing-term-biased m-estimate they are
+	// usually negative in absolute value, so compare a term's Delta
+	// *across domains* — the domain where it is least negative (or
+	// positive) is the one the term argues for.
+	Terms []TermContribution
+}
+
+// TermContribution is one matched vocabulary term's effect on the score.
+type TermContribution struct {
+	Term  string
+	Delta float64
+}
+
+// Explain scores the query against one domain and itemizes which matched
+// vocabulary terms drove the result. The sum LogPrior + Baseline +
+// Σ Terms[i].Delta equals the domain's LogPosterior from Classify.
+func (c *Classifier) Explain(keywords []string, domain int) (*Explanation, error) {
+	if domain < 0 || domain >= c.model.NumDomains() {
+		return nil, fmt.Errorf("classify: no domain %d", domain)
+	}
+	ex := &Explanation{
+		Domain:   domain,
+		LogPrior: c.logPrior[domain],
+	}
+	if c.delta[domain] == nil {
+		return ex, nil // skipped (possibly-empty) domain: -Inf prior, no terms
+	}
+	ex.Baseline = c.sumLog0[domain]
+	fq := c.model.Space.QueryVector(keywords)
+	for _, j := range fq.Indices() {
+		ex.Terms = append(ex.Terms, TermContribution{
+			Term:  c.model.Space.Vocab[j],
+			Delta: c.delta[domain][j],
+		})
+	}
+	sort.Slice(ex.Terms, func(a, b int) bool { return ex.Terms[a].Delta > ex.Terms[b].Delta })
+	return ex, nil
+}
+
+// Score returns the explanation's total log posterior.
+func (e *Explanation) Score() float64 {
+	s := e.LogPrior + e.Baseline
+	for _, t := range e.Terms {
+		s += t.Delta
+	}
+	return s
+}
+
+// String renders the explanation for logs and CLIs.
+func (e *Explanation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "domain %d: logPrior=%.3f baseline=%.3f\n", e.Domain, e.LogPrior, e.Baseline)
+	for _, t := range e.Terms {
+		fmt.Fprintf(&sb, "  %-20s %+.3f\n", t.Term, t.Delta)
+	}
+	fmt.Fprintf(&sb, "  total %.3f\n", e.Score())
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package classify
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainMatchesClassify(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []string{"departure", "destination", "title"}
+	scores := c.Classify(q)
+	for _, s := range scores {
+		ex, err := c.Explain(q, s.Domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(s.LogPosterior, -1) {
+			continue
+		}
+		if math.Abs(ex.Score()-s.LogPosterior) > 1e-9 {
+			t.Fatalf("domain %d: explanation total %v, classify %v",
+				s.Domain, ex.Score(), s.LogPosterior)
+		}
+	}
+}
+
+func TestExplainRanksIndicativeTermsFirst(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	travel := domainOf(m, 0)
+	bib := domainOf(m, 3)
+	exTravel, err := c.Explain([]string{"departure", "title"}, travel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exBib, err := c.Explain([]string{"departure", "title"}, bib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exTravel.Terms) < 2 {
+		t.Fatalf("terms = %v", exTravel.Terms)
+	}
+	// Within the travel domain, "departure" argues harder than "title".
+	if exTravel.Terms[0].Term != "departure" {
+		t.Fatalf("strongest travel term = %q, want departure (%v)", exTravel.Terms[0].Term, exTravel.Terms)
+	}
+	// Across domains, "departure" favors travel and "title" favors bib.
+	deltaOf := func(ex *Explanation, term string) float64 {
+		for _, tc := range ex.Terms {
+			if tc.Term == term {
+				return tc.Delta
+			}
+		}
+		t.Fatalf("term %q missing from explanation", term)
+		return 0
+	}
+	if deltaOf(exTravel, "departure") <= deltaOf(exBib, "departure") {
+		t.Fatal("'departure' does not favor the travel domain")
+	}
+	if deltaOf(exBib, "title") <= deltaOf(exTravel, "title") {
+		t.Fatal("'title' does not favor the bibliography domain")
+	}
+	if !strings.Contains(exTravel.String(), "departure") {
+		t.Fatal("String render missing terms")
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.2)
+	c, _ := New(m, Config{})
+	if _, err := c.Explain([]string{"x"}, 999); err == nil {
+		t.Fatal("bad domain accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"schemaflow/internal/core"
+)
+
+// Snapshot is the serializable form of a classifier: the precomputed tables
+// whose construction is the expensive setup phase of Section 5.3. The
+// feature-space vocabulary the tables are indexed by is persisted alongside
+// (by the caller) so that Restore can verify dimensional compatibility.
+type Snapshot struct {
+	Mode     Mode
+	Dim      int
+	LogPrior []float64
+	SumLog0  []float64
+	// Delta is the dense per-domain score-adjustment table (sparse storage
+	// would not pay off: most entries are non-zero); rows are nil for
+	// skipped domains.
+	Delta   [][]float64
+	Skipped []int
+}
+
+// Snapshot extracts the persistable state of the classifier.
+func (c *Classifier) Snapshot() *Snapshot {
+	dim := c.model.Space.Dim()
+	return &Snapshot{
+		Mode:     c.mode,
+		Dim:      dim,
+		LogPrior: c.logPrior,
+		SumLog0:  c.sumLog0,
+		Delta:    c.delta,
+		Skipped:  c.skipped,
+	}
+}
+
+// Restore reattaches a snapshot to a (possibly freshly rebuilt) model. The
+// model's feature space must have the same dimensionality the snapshot was
+// built against.
+func Restore(m *core.Model, s *Snapshot) (*Classifier, error) {
+	if m.Space.Dim() != s.Dim {
+		return nil, fmt.Errorf("classify: snapshot dim %d, model dim %d", s.Dim, m.Space.Dim())
+	}
+	if len(s.LogPrior) != m.NumDomains() || len(s.Delta) != m.NumDomains() {
+		return nil, fmt.Errorf("classify: snapshot covers %d domains, model has %d", len(s.LogPrior), m.NumDomains())
+	}
+	for r, row := range s.Delta {
+		if row != nil && len(row) != s.Dim {
+			return nil, fmt.Errorf("classify: snapshot domain %d has %d features, want %d", r, len(row), s.Dim)
+		}
+		if row == nil && !math.IsInf(s.LogPrior[r], -1) {
+			return nil, fmt.Errorf("classify: snapshot domain %d missing table", r)
+		}
+	}
+	return &Classifier{
+		model:    m,
+		mode:     s.Mode,
+		logPrior: s.LogPrior,
+		sumLog0:  s.SumLog0,
+		delta:    s.Delta,
+		skipped:  s.Skipped,
+	}, nil
+}

@@ -1,0 +1,28 @@
+// Package cli holds the small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"schemaflow/internal/schema"
+)
+
+// ReadSchemasFile loads a schema set from path, choosing the format by
+// extension: .json reads a JSON array of schema objects; anything else reads
+// the line format ("name | attr1, attr2 [| label1, label2]").
+func ReadSchemasFile(path string) (schema.Set, error) {
+	if path == "" {
+		return nil, fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		return schema.ReadJSON(f)
+	}
+	return schema.ReadLines(f)
+}

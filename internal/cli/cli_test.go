@@ -1,0 +1,51 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadSchemasFileLineFormat(t *testing.T) {
+	path := write(t, "schemas.txt", "s1 | a, b | l1\ns2 | c\n")
+	set, err := ReadSchemasFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0].Name != "s1" || len(set[0].Attributes) != 2 {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestReadSchemasFileJSON(t *testing.T) {
+	path := write(t, "schemas.JSON", `[{"name":"s1","attributes":["a"]}]`)
+	set, err := ReadSchemasFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 || set[0].Name != "s1" {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestReadSchemasFileErrors(t *testing.T) {
+	if _, err := ReadSchemasFile(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := ReadSchemasFile(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := write(t, "bad.txt", "no pipes here\n")
+	if _, err := ReadSchemasFile(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}

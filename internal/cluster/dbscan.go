@@ -1,0 +1,82 @@
+package cluster
+
+import "schemaflow/internal/feature"
+
+// DBSCANOptions configures the density-based baseline (Ester et al., KDD
+// 1996), run over the Jaccard distance 1 - s_sim.
+type DBSCANOptions struct {
+	// Eps is the neighborhood radius in distance terms: schemas i, j are
+	// neighbors when 1 - s_sim(i,j) <= Eps.
+	Eps float64
+	// MinPts is the minimum neighborhood size (including the point itself)
+	// for a core point.
+	MinPts int
+}
+
+// DBSCAN clusters the schemas of sp. Noise points are returned as singleton
+// clusters, matching how the rest of the pipeline treats unclustered
+// schemas.
+func DBSCAN(sp *feature.Space, opts DBSCANOptions) *Result {
+	n := sp.NumSchemas()
+	minPts := opts.MinPts
+	if minPts <= 0 {
+		minPts = 2
+	}
+
+	neighbors := func(i int) []int {
+		var out []int
+		for j := 0; j < n; j++ {
+			if 1-sp.Similarity(i, j) <= opts.Eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	const (
+		unvisited = -2
+		noise     = -1
+	)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = unvisited
+	}
+	next := 0
+	for i := 0; i < n; i++ {
+		if assign[i] != unvisited {
+			continue
+		}
+		nb := neighbors(i)
+		if len(nb) < minPts {
+			assign[i] = noise
+			continue
+		}
+		c := next
+		next++
+		assign[i] = c
+		queue := append([]int(nil), nb...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if assign[j] == noise {
+				assign[j] = c // border point reached from a core point
+			}
+			if assign[j] != unvisited {
+				continue
+			}
+			assign[j] = c
+			nbj := neighbors(j)
+			if len(nbj) >= minPts {
+				queue = append(queue, nbj...)
+			}
+		}
+	}
+	// Convert noise to singleton clusters.
+	for i := range assign {
+		if assign[i] == noise {
+			assign[i] = next
+			next++
+		}
+	}
+	return FromAssignment(assign)
+}

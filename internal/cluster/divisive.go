@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"math"
+
+	"schemaflow/internal/feature"
+)
+
+// DivisiveOptions configures the divisive (top-down) hierarchical baseline
+// discussed in Section 2.1.1: start from one all-encompassing cluster,
+// repeatedly pick the cluster with the largest diameter (the Kaufman &
+// Rousseeuw criterion the thesis cites) and split it with 2-means, stopping
+// once every cluster's diameter is below the threshold.
+type DivisiveOptions struct {
+	// MaxDiameter stops splitting once every cluster's diameter — the
+	// maximum pairwise *distance* (1 - s_sim) within it — is at most this.
+	// Zero means 0.8 (i.e. minimum intra-cluster similarity 0.2).
+	MaxDiameter float64
+	// Seed seeds the 2-means splits.
+	Seed int64
+	// MaxClusters caps the number of clusters. Zero means no cap.
+	MaxClusters int
+}
+
+// Divisive runs top-down bisecting clustering over the feature space. As the
+// thesis notes, divisive clustering "inherits the limitations of the
+// algorithm that it uses to partition clusters" — the k-means splits depend
+// on seeding and on a meaningful centroid — which is exactly why the thesis
+// prefers agglomeration; this implementation exists for head-to-head
+// comparison.
+func Divisive(sp *feature.Space, opts DivisiveOptions) *Result {
+	n := sp.NumSchemas()
+	if n == 0 {
+		return &Result{}
+	}
+	maxDiam := opts.MaxDiameter
+	if maxDiam == 0 {
+		maxDiam = 0.8
+	}
+
+	clusters := [][]int{allIndices(n)}
+	for {
+		if opts.MaxClusters > 0 && len(clusters) >= opts.MaxClusters {
+			break
+		}
+		// Pick the cluster with the largest diameter above the threshold.
+		worst, worstDiam := -1, maxDiam
+		for ci, members := range clusters {
+			if len(members) < 2 {
+				continue
+			}
+			if d := diameter(sp, members); d > worstDiam {
+				worst, worstDiam = ci, d
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		a, b := bisect(sp, clusters[worst], opts.Seed+int64(len(clusters)))
+		if len(a) == 0 || len(b) == 0 {
+			// Degenerate split (identical points): stop splitting this one
+			// by treating it as done.
+			break
+		}
+		clusters[worst] = a
+		clusters = append(clusters, b)
+	}
+
+	assign := make([]int, n)
+	for ci, members := range clusters {
+		for _, i := range members {
+			assign[i] = ci
+		}
+	}
+	return FromAssignment(assign)
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// diameter is the maximum pairwise distance within the cluster.
+func diameter(sp *feature.Space, members []int) float64 {
+	d := 0.0
+	for x := 0; x < len(members); x++ {
+		for y := x + 1; y < len(members); y++ {
+			if v := 1 - sp.Similarity(members[x], members[y]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// bisect splits members into two groups with a similarity-space 2-means:
+// seeds are the most distant pair, and points join the nearer seed's group
+// by average similarity, iterated to a fixpoint.
+func bisect(sp *feature.Space, members []int, seed int64) ([]int, []int) {
+	// Most distant pair as initial seeds (deterministic, no RNG needed
+	// beyond tie order; seed kept for future variants).
+	_ = seed
+	var sa, sb int
+	worst := math.Inf(1)
+	for x := 0; x < len(members); x++ {
+		for y := x + 1; y < len(members); y++ {
+			if s := sp.Similarity(members[x], members[y]); s < worst {
+				worst = s
+				sa, sb = members[x], members[y]
+			}
+		}
+	}
+	groupOf := make(map[int]int, len(members))
+	for _, i := range members {
+		groupOf[i] = 0
+	}
+	groupOf[sa], groupOf[sb] = 0, 1
+
+	for iter := 0; iter < 20; iter++ {
+		var ga, gb []int
+		for _, i := range members {
+			if groupOf[i] == 0 {
+				ga = append(ga, i)
+			} else {
+				gb = append(gb, i)
+			}
+		}
+		if len(ga) == 0 || len(gb) == 0 {
+			return ga, gb
+		}
+		changed := false
+		for _, i := range members {
+			if i == sa || i == sb {
+				continue
+			}
+			simA := SchemaClusterSim(sp, i, ga)
+			simB := SchemaClusterSim(sp, i, gb)
+			want := 0
+			if simB > simA {
+				want = 1
+			}
+			if groupOf[i] != want {
+				groupOf[i] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var ga, gb []int
+	for _, i := range members {
+		if groupOf[i] == 0 {
+			ga = append(ga, i)
+		} else {
+			gb = append(gb, i)
+		}
+	}
+	return ga, gb
+}

@@ -1,0 +1,250 @@
+// Package cluster implements the schema clustering stage (Chapter 4 of the
+// thesis): hierarchical agglomerative clustering over binary feature vectors
+// with Jaccard-based linkage and a similarity stop threshold τ_c_sim
+// (Algorithm 2), plus the baseline clusterers the background chapter
+// discusses (k-means, DBSCAN) and a He–Tao–Chang-style model-based HAC
+// baseline (CIKM 2004) for comparison experiments.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"schemaflow/internal/feature"
+)
+
+// Merge records one agglomeration step: clusters rooted at schema indices A
+// and B (their current representatives) merged at similarity Sim.
+type Merge struct {
+	A, B int
+	Sim  float64
+}
+
+// Result is a hard partition of the input schemas.
+type Result struct {
+	// Assign[i] is the cluster id of schema i; ids are dense in
+	// [0, NumClusters).
+	Assign []int
+	// Members[c] lists the schema indices of cluster c in increasing order.
+	Members [][]int
+	// Merges is the agglomeration trace, in merge order. Empty for
+	// non-hierarchical algorithms.
+	Merges []Merge
+}
+
+// NumClusters returns the number of clusters in the partition.
+func (r *Result) NumClusters() int { return len(r.Members) }
+
+// Singletons returns the ids of clusters containing exactly one schema —
+// the "unclustered schemas" of Section 6.1.2.
+func (r *Result) Singletons() []int {
+	var out []int
+	for c, m := range r.Members {
+		if len(m) == 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Agglomerative runs Algorithm 2: start from singleton clusters, repeatedly
+// merge the globally most similar pair of clusters under the linkage, and
+// stop when the best pair's similarity falls below tau (τ_c_sim).
+func Agglomerative(sp *feature.Space, link Linkage, tau float64) *Result {
+	n := sp.NumSchemas()
+	if n == 0 {
+		return &Result{}
+	}
+	st := newHACState(sp, link)
+
+	var merges []Merge
+	for st.numActive > 1 {
+		a, b, s := st.bestPair()
+		if s < tau {
+			break
+		}
+		merges = append(merges, Merge{A: a, B: b, Sim: s})
+		st.merge(a, b)
+	}
+	return st.result(merges)
+}
+
+// hacState holds the active-cluster similarity matrix and per-row best
+// caches. Cluster ids are the index of one member schema (the smaller index
+// of the two merged ids survives a merge).
+type hacState struct {
+	n         int
+	link      Linkage
+	active    []bool
+	size      []int
+	sim       [][]float64 // sim[i][j] valid for active i, j; symmetric
+	best      []int       // best[i]: active j maximizing sim[i][j], or -1
+	bestSim   []float64
+	numActive int
+	parent    []int // union-find style final assignment aid
+}
+
+func newHACState(sp *feature.Space, link Linkage) *hacState {
+	n := sp.NumSchemas()
+	st := &hacState{
+		n:         n,
+		link:      link,
+		active:    make([]bool, n),
+		size:      make([]int, n),
+		sim:       make([][]float64, n),
+		best:      make([]int, n),
+		bestSim:   make([]float64, n),
+		numActive: n,
+		parent:    make([]int, n),
+	}
+	link.init(sp)
+	for i := 0; i < n; i++ {
+		st.active[i] = true
+		st.size[i] = 1
+		st.sim[i] = make([]float64, n)
+		st.parent[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := sp.Similarity(i, j)
+			st.sim[i][j] = s
+			st.sim[j][i] = s
+		}
+	}
+	for i := 0; i < n; i++ {
+		st.recomputeBest(i)
+	}
+	return st
+}
+
+func (st *hacState) recomputeBest(i int) {
+	st.best[i] = -1
+	st.bestSim[i] = -1
+	for j := 0; j < st.n; j++ {
+		if j == i || !st.active[j] {
+			continue
+		}
+		if st.sim[i][j] > st.bestSim[i] {
+			st.bestSim[i] = st.sim[i][j]
+			st.best[i] = j
+		}
+	}
+}
+
+// bestPair returns the most similar active pair (a < b) and its similarity.
+func (st *hacState) bestPair() (int, int, float64) {
+	bi, bs := -1, -1.0
+	for i := 0; i < st.n; i++ {
+		if st.active[i] && st.best[i] >= 0 && st.bestSim[i] > bs {
+			bs = st.bestSim[i]
+			bi = i
+		}
+	}
+	if bi < 0 {
+		return -1, -1, -1
+	}
+	a, b := bi, st.best[bi]
+	if a > b {
+		a, b = b, a
+	}
+	return a, b, bs
+}
+
+// merge folds cluster b into cluster a, updating similarities via the
+// linkage's O(1)-per-neighbor rule and repairing best caches.
+func (st *hacState) merge(a, b int) {
+	for c := 0; c < st.n; c++ {
+		if c == a || c == b || !st.active[c] {
+			continue
+		}
+		s := st.link.merged(st.sim[c][a], st.sim[c][b], st.size[a], st.size[b], c, a, b)
+		st.sim[c][a] = s
+		st.sim[a][c] = s
+	}
+	st.link.onMerge(a, b)
+	st.active[b] = false
+	st.numActive--
+	st.size[a] += st.size[b]
+	st.parent[b] = a
+
+	st.recomputeBest(a)
+	for c := 0; c < st.n; c++ {
+		if !st.active[c] || c == a {
+			continue
+		}
+		// A row's best is stale if it pointed into the merged pair or if
+		// the updated sim to a beats it.
+		if st.best[c] == a || st.best[c] == b {
+			st.recomputeBest(c)
+		} else if st.sim[c][a] > st.bestSim[c] {
+			st.best[c] = a
+			st.bestSim[c] = st.sim[c][a]
+		}
+	}
+}
+
+func (st *hacState) result(merges []Merge) *Result {
+	root := func(i int) int {
+		for st.parent[i] != i {
+			st.parent[i] = st.parent[st.parent[i]]
+			i = st.parent[i]
+		}
+		return i
+	}
+	idOf := make(map[int]int)
+	res := &Result{Assign: make([]int, st.n), Merges: merges}
+	for i := 0; i < st.n; i++ {
+		r := root(i)
+		id, ok := idOf[r]
+		if !ok {
+			id = len(res.Members)
+			idOf[r] = id
+			res.Members = append(res.Members, nil)
+		}
+		res.Assign[i] = id
+		res.Members[id] = append(res.Members[id], i)
+	}
+	for _, m := range res.Members {
+		sort.Ints(m)
+	}
+	return res
+}
+
+// FromAssignment builds a Result from a raw assignment vector (cluster ids
+// need not be dense). Used by the non-hierarchical baselines.
+func FromAssignment(assign []int) *Result {
+	idOf := make(map[int]int)
+	res := &Result{Assign: make([]int, len(assign))}
+	for i, raw := range assign {
+		id, ok := idOf[raw]
+		if !ok {
+			id = len(res.Members)
+			idOf[raw] = id
+			res.Members = append(res.Members, nil)
+		}
+		res.Assign[i] = id
+		res.Members[id] = append(res.Members[id], i)
+	}
+	return res
+}
+
+// SchemaClusterSim computes s_c_sim(S_i, C_r): the average similarity
+// between schema i and every member of cluster r (Section 4.3). Membership
+// of i in r is handled like any other member (self-similarity contributes 1).
+func SchemaClusterSim(sp *feature.Space, i int, members []int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, j := range members {
+		sum += sp.Similarity(i, j)
+	}
+	return sum / float64(len(members))
+}
+
+func validateTau(tau float64) error {
+	if tau < 0 || tau > 1 {
+		return fmt.Errorf("cluster: tau %v outside [0,1]", tau)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package core implements the thesis' primary contribution: the
+// probabilistic domain model built on top of schema clustering
+// (Algorithm 3, Section 4.3).
+//
+// Clusters partition the schema set; domains are probabilistic: a schema
+// whose similarity to several clusters is both above τ_c_sim and within a
+// relative margin θ of its best cluster belongs to each such domain with a
+// probability proportional to its schema-to-cluster similarity. Most schemas
+// end up in exactly one domain with probability 1; the few boundary schemas
+// carry the clustering uncertainty forward into mediation, query answering,
+// and query classification.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+// Membership is one (schema, probability) entry of a domain: Pr(S_i ∈ D_r).
+type Membership struct {
+	Schema int
+	Prob   float64
+}
+
+// Domain D_r corresponds to cluster C_r and holds every schema with non-zero
+// membership probability.
+type Domain struct {
+	// ID is the domain's dense identifier, equal to the cluster id.
+	ID int
+	// Cluster lists the schema indices of the underlying hard cluster C_r.
+	Cluster []int
+	// Members lists S(D_r): schemas with Pr(S_i ∈ D_r) > 0, ascending by
+	// schema index. Probabilities for a given schema across all domains
+	// sum to 1.
+	Members []Membership
+}
+
+// Certain returns the schemas that belong to the domain with probability
+// exactly 1, and Uncertain the rest (the Ŝ(D_r) of Section 5.3).
+func (d *Domain) Certain() []Membership   { return d.split(true) }
+func (d *Domain) Uncertain() []Membership { return d.split(false) }
+
+func (d *Domain) split(certain bool) []Membership {
+	var out []Membership
+	for _, m := range d.Members {
+		if (m.Prob >= 1) == certain {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Prob returns Pr(schema ∈ domain), zero when the schema is not a member.
+func (d *Domain) Prob(schemaIdx int) float64 {
+	for _, m := range d.Members {
+		if m.Schema == schemaIdx {
+			return m.Prob
+		}
+	}
+	return 0
+}
+
+// Options configures domain construction.
+type Options struct {
+	// TauCSim is τ_c_sim: the minimum schema-to-cluster similarity for
+	// membership, normally the same threshold used to stop clustering.
+	TauCSim float64
+	// Theta is θ: the relative uncertainty width. A schema joins every
+	// cluster whose similarity is within a factor (1-θ) of its best
+	// cluster's. The thesis uses 0.02.
+	Theta float64
+}
+
+// DefaultOptions returns τ_c_sim = 0.25 and θ = 0.02 (Sections 6.2, 4.3).
+func DefaultOptions() Options { return Options{TauCSim: 0.25, Theta: 0.02} }
+
+// Model is the complete probabilistic domain model: the feature space, the
+// hard clustering, the probabilistic domains, and the input schemas.
+type Model struct {
+	Schemas    schema.Set
+	Space      *feature.Space
+	Clustering *cluster.Result
+	Domains    []Domain
+	Opts       Options
+
+	// bySchema[i] lists the (domain id, prob) assignments of schema i.
+	bySchema [][]Membership
+}
+
+// AssignDomains runs Algorithm 3 over a clustering result and returns the
+// probabilistic model.
+//
+// Deviation from the thesis text, for robustness: if a schema fails the
+// τ_c_sim gate against every cluster (possible when its own cluster grew
+// large and diffuse after the schema joined), D(S_i) would be empty and the
+// probabilities undefined; such a schema is assigned to its own cluster's
+// domain with probability 1.
+func AssignDomains(set schema.Set, sp *feature.Space, cl *cluster.Result, opts Options) (*Model, error) {
+	if sp.NumSchemas() != len(set) {
+		return nil, fmt.Errorf("core: feature space has %d schemas, set has %d", sp.NumSchemas(), len(set))
+	}
+	if len(cl.Assign) != len(set) {
+		return nil, fmt.Errorf("core: clustering covers %d schemas, set has %d", len(cl.Assign), len(set))
+	}
+	if opts.Theta < 0 || opts.Theta > 1 {
+		return nil, fmt.Errorf("core: theta %v outside [0,1]", opts.Theta)
+	}
+
+	m := &Model{
+		Schemas:    set,
+		Space:      sp,
+		Clustering: cl,
+		Opts:       opts,
+		bySchema:   make([][]Membership, len(set)),
+	}
+	m.Domains = make([]Domain, cl.NumClusters())
+	for r := range m.Domains {
+		m.Domains[r] = Domain{ID: r, Cluster: cl.Members[r]}
+	}
+
+	nC := cl.NumClusters()
+	sims := make([]float64, nC)
+	for i := range set {
+		maxSim := 0.0
+		for r := 0; r < nC; r++ {
+			sims[r] = cluster.SchemaClusterSim(sp, i, cl.Members[r])
+			if sims[r] > maxSim {
+				maxSim = sims[r]
+			}
+		}
+		// D(S_i): clusters passing both the absolute and relative gates.
+		var ds []int
+		total := 0.0
+		for r := 0; r < nC; r++ {
+			if sims[r] >= opts.TauCSim && maxSim > 0 && sims[r]/maxSim >= 1-opts.Theta {
+				ds = append(ds, r)
+				total += sims[r]
+			}
+		}
+		if len(ds) == 0 {
+			// Robustness fallback described in the function comment.
+			own := cl.Assign[i]
+			m.addMembership(i, own, 1)
+			continue
+		}
+		for _, r := range ds {
+			m.addMembership(i, r, sims[r]/total)
+		}
+	}
+
+	for r := range m.Domains {
+		sort.Slice(m.Domains[r].Members, func(a, b int) bool {
+			return m.Domains[r].Members[a].Schema < m.Domains[r].Members[b].Schema
+		})
+	}
+	return m, nil
+}
+
+func (m *Model) addMembership(schemaIdx, domainID int, p float64) {
+	m.Domains[domainID].Members = append(m.Domains[domainID].Members, Membership{Schema: schemaIdx, Prob: p})
+	m.bySchema[schemaIdx] = append(m.bySchema[schemaIdx], Membership{Schema: domainID, Prob: p})
+}
+
+// RestoreModel rebuilds a Model from persisted per-schema membership lists
+// (each inner slice holds {domain id, prob} entries, as returned by
+// DomainsOf). It is the inverse of persisting a model's assignments: no
+// similarities are recomputed.
+func RestoreModel(set schema.Set, sp *feature.Space, cl *cluster.Result, memberships [][]Membership, opts Options) (*Model, error) {
+	if len(memberships) != len(set) {
+		return nil, fmt.Errorf("core: %d membership lists for %d schemas", len(memberships), len(set))
+	}
+	m := &Model{
+		Schemas:    set,
+		Space:      sp,
+		Clustering: cl,
+		Opts:       opts,
+		bySchema:   make([][]Membership, len(set)),
+	}
+	m.Domains = make([]Domain, cl.NumClusters())
+	for r := range m.Domains {
+		m.Domains[r] = Domain{ID: r, Cluster: cl.Members[r]}
+	}
+	for i, ms := range memberships {
+		for _, mem := range ms {
+			if mem.Schema < 0 || mem.Schema >= len(m.Domains) {
+				return nil, fmt.Errorf("core: schema %d references domain %d of %d", i, mem.Schema, len(m.Domains))
+			}
+			m.addMembership(i, mem.Schema, mem.Prob)
+		}
+	}
+	for r := range m.Domains {
+		sort.Slice(m.Domains[r].Members, func(a, b int) bool {
+			return m.Domains[r].Members[a].Schema < m.Domains[r].Members[b].Schema
+		})
+	}
+	return m, nil
+}
+
+// NumDomains returns |D|.
+func (m *Model) NumDomains() int { return len(m.Domains) }
+
+// DomainsOf returns the (domain id, probability) assignments of schema i —
+// the non-zero triples of Algorithm 3's output. The Schema field of the
+// returned memberships holds the domain id.
+func (m *Model) DomainsOf(i int) []Membership { return m.bySchema[i] }
+
+// Prob returns Pr(S_i ∈ D_r).
+func (m *Model) Prob(schemaIdx, domainID int) float64 {
+	for _, a := range m.bySchema[schemaIdx] {
+		if a.Schema == domainID {
+			return a.Prob
+		}
+	}
+	return 0
+}
+
+// Pin overrides a schema's probabilistic assignment with certain membership
+// in the given domain (probability 1 there, 0 everywhere else). It is the
+// mutation primitive behind explicit user feedback: a human's correction
+// outranks the similarity heuristics.
+func (m *Model) Pin(schemaIdx, domainID int) error {
+	if schemaIdx < 0 || schemaIdx >= len(m.Schemas) {
+		return fmt.Errorf("core: no schema %d", schemaIdx)
+	}
+	if domainID < 0 || domainID >= len(m.Domains) {
+		return fmt.Errorf("core: no domain %d", domainID)
+	}
+	// Remove the schema from every domain's member list.
+	for _, a := range m.bySchema[schemaIdx] {
+		d := &m.Domains[a.Schema]
+		for k, mem := range d.Members {
+			if mem.Schema == schemaIdx {
+				d.Members = append(d.Members[:k], d.Members[k+1:]...)
+				break
+			}
+		}
+	}
+	m.bySchema[schemaIdx] = nil
+	m.addMembership(schemaIdx, domainID, 1)
+	// Restore the target domain's member ordering.
+	d := &m.Domains[domainID]
+	sort.Slice(d.Members, func(a, b int) bool { return d.Members[a].Schema < d.Members[b].Schema })
+	return nil
+}
+
+// UncertainCount returns the number of schemas with fractional membership in
+// at least one domain — the drivers of classifier setup cost (Section 5.3).
+func (m *Model) UncertainCount() int {
+	n := 0
+	for _, as := range m.bySchema {
+		if len(as) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// SingletonDomains returns the ids of domains whose underlying cluster has
+// exactly one schema (the "unclustered" schemas of the evaluation).
+func (m *Model) SingletonDomains() []int {
+	var out []int
+	for r := range m.Domains {
+		if len(m.Domains[r].Cluster) == 1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}

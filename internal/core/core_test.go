@@ -1,0 +1,354 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+func pipeline(t *testing.T, set schema.Set, tau, theta float64) *Model {
+	t.Helper()
+	sp := feature.Build(set, feature.DefaultConfig())
+	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	m, err := AssignDomains(set, sp, cl, Options{TauCSim: tau, Theta: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func clusteredSet() schema.Set {
+	return schema.Set{
+		{Name: "bib1", Attributes: []string{"title", "authors", "publication year", "conference"}},
+		{Name: "bib2", Attributes: []string{"paper title", "author", "year", "venue name"}},
+		{Name: "bib3", Attributes: []string{"title", "author names", "publication year", "pages"}},
+		{Name: "car1", Attributes: []string{"make", "model", "mileage", "price"}},
+		{Name: "car2", Attributes: []string{"car make", "model", "color", "price"}},
+		{Name: "odd1", Attributes: []string{"telescope aperture", "seismograph reading"}},
+	}
+}
+
+func TestDomainsMirrorClusters(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	if m.NumDomains() != m.Clustering.NumClusters() {
+		t.Fatalf("domains=%d clusters=%d", m.NumDomains(), m.Clustering.NumClusters())
+	}
+	for r := range m.Domains {
+		if m.Domains[r].ID != r {
+			t.Fatalf("domain %d has ID %d", r, m.Domains[r].ID)
+		}
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	for i := range m.Schemas {
+		total := 0.0
+		for _, a := range m.DomainsOf(i) {
+			if a.Prob <= 0 || a.Prob > 1 {
+				t.Fatalf("schema %d: probability %v out of range", i, a.Prob)
+			}
+			total += a.Prob
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("schema %d: probabilities sum to %v", i, total)
+		}
+	}
+}
+
+func TestMostSchemasCertain(t *testing.T) {
+	// Thesis: "In practice, most schemas will belong to one domain with
+	// probability 1." On a cleanly separable set all should be certain.
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	if got := m.UncertainCount(); got != 0 {
+		t.Fatalf("uncertain schemas = %d, want 0 on separable data", got)
+	}
+	for i := range m.Schemas {
+		as := m.DomainsOf(i)
+		if len(as) != 1 || as[0].Prob != 1 {
+			t.Fatalf("schema %d assignments: %+v", i, as)
+		}
+	}
+}
+
+func TestSchemaStaysInOwnClusterDomain(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	for i := range m.Schemas {
+		own := m.Clustering.Assign[i]
+		if m.Prob(i, own) == 0 {
+			t.Fatalf("schema %d has zero probability in its own cluster's domain", i)
+		}
+	}
+}
+
+func TestUncertainAssignmentWithHighTheta(t *testing.T) {
+	// A schema genuinely between two clusters: with a wide θ it must be
+	// assigned to both domains with fractional probabilities.
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"alpha one", "alpha two", "alpha three"}},
+		{Name: "a2", Attributes: []string{"alpha one", "alpha two", "alpha four"}},
+		{Name: "b1", Attributes: []string{"beta one", "beta two", "beta three"}},
+		{Name: "b2", Attributes: []string{"beta one", "beta two", "beta four"}},
+		{Name: "mid", Attributes: []string{"alpha one", "beta one", "alpha two", "beta two"}},
+	}
+	sp := feature.Build(set, feature.DefaultConfig())
+	// Fix the hard clustering explicitly (running HAC here would let the
+	// boundary schema chain the two clusters together, which is a different
+	// phenomenon): mid sits in the alpha cluster but is nearly as close to
+	// the beta cluster.
+	cl := cluster.FromAssignment([]int{0, 0, 1, 1, 0})
+	m, err := AssignDomains(set, sp, cl, Options{TauCSim: 0.25, Theta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := m.DomainsOf(4) // "mid"
+	if len(as) != 2 {
+		t.Fatalf("mid schema assigned to %d domains, want 2: %+v", len(as), as)
+	}
+	for _, a := range as {
+		if a.Prob <= 0 || a.Prob >= 1 {
+			t.Fatalf("mid membership probability %v not fractional", a.Prob)
+		}
+	}
+	if m.UncertainCount() == 0 {
+		t.Fatal("UncertainCount = 0")
+	}
+}
+
+func TestThetaZeroStillAllowsExactTies(t *testing.T) {
+	// θ=0 keeps only clusters at the exact maximum similarity; a perfectly
+	// symmetric boundary schema still splits.
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"alpha one", "alpha two"}},
+		{Name: "b1", Attributes: []string{"beta one", "beta two"}},
+		{Name: "mid", Attributes: []string{"alpha one", "beta one"}},
+	}
+	sp := feature.Build(set, feature.DefaultConfig())
+	// Force a clustering where mid is its own cluster.
+	cl := cluster.FromAssignment([]int{0, 1, 2})
+	m, err := AssignDomains(set, sp, cl, Options{TauCSim: 0.1, Theta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mid's own singleton cluster has similarity 1 — strictly the max — so
+	// θ=0 assigns it only there.
+	as := m.DomainsOf(2)
+	if len(as) != 1 || as[0].Schema != 2 {
+		t.Fatalf("mid assignments: %+v", as)
+	}
+}
+
+func TestFallbackWhenNothingPassesGate(t *testing.T) {
+	// τ_c_sim = 1.0 means no cluster (other than a singleton's own, whose
+	// self-average is 1) passes; multi-schema clusters with sim < 1 trigger
+	// the documented fallback.
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"alpha one", "alpha two", "gamma"}},
+		{Name: "a2", Attributes: []string{"alpha one", "alpha two", "delta"}},
+	}
+	sp := feature.Build(set, feature.DefaultConfig())
+	cl := cluster.FromAssignment([]int{0, 0})
+	m, err := AssignDomains(set, sp, cl, Options{TauCSim: 1.0, Theta: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set {
+		if m.Prob(i, 0) != 1 {
+			t.Fatalf("schema %d: fallback probability = %v, want 1", i, m.Prob(i, 0))
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	set := clusteredSet()
+	sp := feature.Build(set, feature.DefaultConfig())
+	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.2)
+	if _, err := AssignDomains(set[:2], sp, cl, DefaultOptions()); err == nil {
+		t.Fatal("mismatched set size accepted")
+	}
+	if _, err := AssignDomains(set, sp, cl, Options{TauCSim: 0.2, Theta: 2}); err == nil {
+		t.Fatal("theta > 1 accepted")
+	}
+}
+
+func TestSingletonDomains(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	singles := m.SingletonDomains()
+	if len(singles) != 1 {
+		t.Fatalf("singleton domains = %v, want exactly one (odd1)", singles)
+	}
+	if got := m.Domains[singles[0]].Cluster; len(got) != 1 || got[0] != 5 {
+		t.Fatalf("singleton cluster = %v", got)
+	}
+}
+
+func TestCertainUncertainSplit(t *testing.T) {
+	d := Domain{Members: []Membership{
+		{Schema: 0, Prob: 1},
+		{Schema: 1, Prob: 0.6},
+		{Schema: 2, Prob: 1},
+	}}
+	if c := d.Certain(); len(c) != 2 {
+		t.Fatalf("Certain = %v", c)
+	}
+	if u := d.Uncertain(); len(u) != 1 || u[0].Schema != 1 {
+		t.Fatalf("Uncertain = %v", u)
+	}
+	if d.Prob(1) != 0.6 || d.Prob(9) != 0 {
+		t.Fatal("Domain.Prob broken")
+	}
+}
+
+func TestRestoreModelRoundTrip(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	memberships := make([][]Membership, len(m.Schemas))
+	for i := range m.Schemas {
+		memberships[i] = m.DomainsOf(i)
+	}
+	m2, err := RestoreModel(m.Schemas, m.Space, m.Clustering, memberships, m.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumDomains() != m.NumDomains() {
+		t.Fatalf("restored %d domains, want %d", m2.NumDomains(), m.NumDomains())
+	}
+	for r := range m.Domains {
+		if len(m2.Domains[r].Members) != len(m.Domains[r].Members) {
+			t.Fatalf("domain %d: %d members, want %d", r, len(m2.Domains[r].Members), len(m.Domains[r].Members))
+		}
+		for k, mem := range m.Domains[r].Members {
+			if m2.Domains[r].Members[k] != mem {
+				t.Fatalf("domain %d member %d differs", r, k)
+			}
+		}
+	}
+}
+
+func TestRestoreModelValidation(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	if _, err := RestoreModel(m.Schemas, m.Space, m.Clustering, nil, m.Opts); err == nil {
+		t.Fatal("wrong membership count accepted")
+	}
+	bad := make([][]Membership, len(m.Schemas))
+	bad[0] = []Membership{{Schema: 999, Prob: 1}}
+	if _, err := RestoreModel(m.Schemas, m.Space, m.Clustering, bad, m.Opts); err == nil {
+		t.Fatal("out-of-range domain id accepted")
+	}
+}
+
+func TestPin(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	carDomain := m.Clustering.Assign[3]
+	bibDomain := m.Clustering.Assign[0]
+	if carDomain == bibDomain {
+		t.Fatal("premise broken")
+	}
+	// Pin a bibliography schema into the cars domain.
+	if err := m.Pin(0, carDomain); err != nil {
+		t.Fatal(err)
+	}
+	as := m.DomainsOf(0)
+	if len(as) != 1 || as[0].Schema != carDomain || as[0].Prob != 1 {
+		t.Fatalf("pinned assignments: %+v", as)
+	}
+	if m.Prob(0, bibDomain) != 0 {
+		t.Fatal("old membership survived the pin")
+	}
+	// Target domain's member list stays sorted and contains the schema.
+	d := &m.Domains[carDomain]
+	found := false
+	for k, mem := range d.Members {
+		if k > 0 && d.Members[k-1].Schema >= mem.Schema {
+			t.Fatal("members unsorted after pin")
+		}
+		if mem.Schema == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pinned schema missing from target domain")
+	}
+	// Old domain no longer lists it.
+	for _, mem := range m.Domains[bibDomain].Members {
+		if mem.Schema == 0 {
+			t.Fatal("pinned schema still in old domain")
+		}
+	}
+	// Pinning is idempotent.
+	if err := m.Pin(0, carDomain); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.DomainsOf(0); len(got) != 1 || got[0].Prob != 1 {
+		t.Fatalf("re-pin broke assignments: %+v", got)
+	}
+}
+
+func TestPinValidation(t *testing.T) {
+	m := pipeline(t, clusteredSet(), 0.2, 0.02)
+	if err := m.Pin(-1, 0); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if err := m.Pin(0, 999); err == nil {
+		t.Fatal("bad domain accepted")
+	}
+}
+
+// TestPropertyInvariants checks, over random corpora and parameters:
+// per-schema probabilities sum to 1, every probability is in (0,1], every
+// member of D(S_i) passed the τ gate or is the fallback, and domain members
+// are sorted.
+func TestPropertyInvariants(t *testing.T) {
+	words := []string{
+		"title", "author", "year", "venue", "pages", "make", "model",
+		"price", "color", "name", "phone", "email", "city", "genre",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		set := make(schema.Set, n)
+		for i := range set {
+			k := 2 + rng.Intn(4)
+			attrs := make([]string, k)
+			for j := range attrs {
+				attrs[j] = words[rng.Intn(len(words))]
+			}
+			set[i] = schema.Schema{Name: "s", Attributes: attrs}
+		}
+		tau := 0.1 + rng.Float64()*0.5
+		theta := rng.Float64() * 0.5
+		sp := feature.Build(set, feature.DefaultConfig())
+		cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		m, err := AssignDomains(set, sp, cl, Options{TauCSim: tau, Theta: theta})
+		if err != nil {
+			return false
+		}
+		for i := range set {
+			total := 0.0
+			for _, a := range m.DomainsOf(i) {
+				if a.Prob <= 0 || a.Prob > 1+1e-12 {
+					return false
+				}
+				total += a.Prob
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return false
+			}
+		}
+		for r := range m.Domains {
+			for k := 1; k < len(m.Domains[r].Members); k++ {
+				if m.Domains[r].Members[k-1].Schema >= m.Domains[r].Members[k].Schema {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

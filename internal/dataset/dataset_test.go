@@ -1,0 +1,208 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"schemaflow/internal/schema"
+	"schemaflow/internal/terms"
+)
+
+func termCount(s schema.Schema) int {
+	return len(terms.Extract(s.Attributes, terms.DefaultOptions()))
+}
+
+func TestDDHShape(t *testing.T) {
+	set := DDH(1)
+	if len(set) != 2323 {
+		t.Fatalf("DDH size = %d, want 2323", len(set))
+	}
+	labels := set.Labels()
+	want := []string{"bibliography", "cars", "courses", "movies", "people"}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("DDH labels = %v", labels)
+	}
+	byLabel := set.ByLabel()
+	// 'people' is the smallest domain (the under-represented one of §6.3).
+	for _, l := range want {
+		if l != "people" && len(byLabel[l]) <= len(byLabel["people"]) {
+			t.Fatalf("people (%d) not smallest vs %s (%d)", len(byLabel["people"]), l, len(byLabel[l]))
+		}
+	}
+	for i, s := range set {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schema %d invalid: %v", i, err)
+		}
+		if len(s.Labels) != 1 {
+			t.Fatalf("DDH schema %d has %d labels", i, len(s.Labels))
+		}
+	}
+}
+
+func TestDWShape(t *testing.T) {
+	set := DW(1)
+	if len(set) != 63 {
+		t.Fatalf("DW size = %d, want 63", len(set))
+	}
+	st := schema.ComputeStats(set, termCount)
+	if st.NumLabels < 20 || st.NumLabels > 28 {
+		t.Fatalf("DW labels = %d, want ≈24", st.NumLabels)
+	}
+	if st.MaxLabelsPerSch > 2 {
+		t.Fatalf("DW max labels/schema = %d, want ≤ 2", st.MaxLabelsPerSch)
+	}
+	if st.MaxSchemasPerLb < 10 || st.MaxSchemasPerLb > 16 {
+		t.Fatalf("DW max schemas/label = %d, want ≈13", st.MaxSchemasPerLb)
+	}
+	// Table 6.1: avg 14 terms/schema, max 72. The stand-in should be in the
+	// same regime (wide tolerance; it is synthetic).
+	if st.AvgTermsPerSch < 7 || st.AvgTermsPerSch > 22 {
+		t.Fatalf("DW avg terms/schema = %v", st.AvgTermsPerSch)
+	}
+	if st.MaxTermsPerSch < 90*0+30 {
+		t.Fatalf("DW max terms/schema = %v, want a wide outlier", st.MaxTermsPerSch)
+	}
+	for i, s := range set {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schema %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestSSShape(t *testing.T) {
+	set := SS(2)
+	if len(set) != 252 {
+		t.Fatalf("SS size = %d, want 252", len(set))
+	}
+	st := schema.ComputeStats(set, termCount)
+	if st.NumLabels < 75 || st.NumLabels > 90 {
+		t.Fatalf("SS labels = %d, want ≈85", st.NumLabels)
+	}
+	if st.MaxLabelsPerSch > 4 {
+		t.Fatalf("SS max labels/schema = %d, want ≤ 4", st.MaxLabelsPerSch)
+	}
+	if st.AvgLabelsPerSch < 1.2 || st.AvgLabelsPerSch > 1.8 {
+		t.Fatalf("SS avg labels/schema = %v, want ≈1.5", st.AvgLabelsPerSch)
+	}
+	if st.MaxSchemasPerLb < 55 {
+		t.Fatalf("SS max schemas/label = %d, want ≈67", st.MaxSchemasPerLb)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a, b := DW(7), DW(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("DW not deterministic per seed")
+	}
+	c := DW(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical DW sets")
+	}
+}
+
+func TestMiscConceptsUsedAtMostOnceAcrossUnion(t *testing.T) {
+	// Each curated misc attribute marks a unique schema; if one appeared in
+	// two schemas of the union corpus, those "unique" schemas could cluster
+	// together.
+	both := Union(DW(1), SS(2))
+	count := make(map[string]int)
+	for _, c := range MiscConcepts {
+		for _, s := range both {
+			for _, a := range s.Attributes {
+				if a == c[0] {
+					count[c[0]]++
+				}
+			}
+		}
+	}
+	for name, n := range count {
+		if n > 1 {
+			t.Errorf("misc attribute %q appears in %d schemas", name, n)
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	dw, ss := DW(1), SS(2)
+	both := Union(dw, ss)
+	if len(both) != len(dw)+len(ss) {
+		t.Fatalf("Union size = %d", len(both))
+	}
+	if !reflect.DeepEqual(both[0], dw[0]) || !reflect.DeepEqual(both[len(dw)], ss[0]) {
+		t.Fatal("Union order broken")
+	}
+}
+
+func TestLabelVocabCoversAppendixA(t *testing.T) {
+	// Appendix A lists 97 labels; the vocabulary must define every one the
+	// generators reference, each with at least 5 concepts.
+	if len(LabelVocab) != 97 {
+		t.Fatalf("LabelVocab has %d labels, want 97", len(LabelVocab))
+	}
+	for label, pool := range LabelVocab {
+		if len(pool) < 5 {
+			t.Errorf("label %q has only %d concepts", label, len(pool))
+		}
+		for _, c := range pool {
+			if len(c) == 0 {
+				t.Errorf("label %q has an empty concept", label)
+			}
+			for _, v := range c {
+				if v == "" {
+					t.Errorf("label %q has an empty variant", label)
+				}
+			}
+		}
+	}
+	for _, lc := range dwLabels {
+		if _, ok := LabelVocab[lc.label]; !ok {
+			t.Errorf("DW references unknown label %q", lc.label)
+		}
+	}
+	for _, l := range ssLabelList() {
+		if _, ok := LabelVocab[l]; !ok {
+			t.Errorf("SS references unknown label %q", l)
+		}
+	}
+}
+
+func TestHomonymPair(t *testing.T) {
+	pair := HomonymPair()
+	if len(pair) != 2 {
+		t.Fatalf("HomonymPair size = %d", len(pair))
+	}
+	if pair[0].Attributes[0] != "family name" || pair[1].Attributes[0] != "family name" {
+		t.Fatal("homonym attribute missing")
+	}
+	if pair[0].Labels[0] == pair[1].Labels[0] {
+		t.Fatal("homonym schemas share a label")
+	}
+}
+
+func TestGenerateTuples(t *testing.T) {
+	s := schema.Schema{Name: "x", Attributes: []string{"first name", "city", "price", "weird thing"}}
+	rows := GenerateTuples(s, 5, 42)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 4 {
+			t.Fatalf("row width = %d", len(r))
+		}
+		for _, v := range r {
+			if v == "" {
+				t.Fatal("empty value generated")
+			}
+		}
+	}
+	again := GenerateTuples(s, 5, 42)
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatal("GenerateTuples not deterministic per seed")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if Describe(DW(1)) == "" {
+		t.Fatal("empty description")
+	}
+}

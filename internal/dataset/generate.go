@@ -1,0 +1,459 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"schemaflow/internal/schema"
+)
+
+// Noise controls how dirty generated attribute names are. DW (deep web
+// forms) is cleaner than SS (spreadsheet headers), per Section 6.1.1: "The
+// attribute names in DW schemas tend to be phrased in a better way and are
+// more accurately indicative of the domain than the ones in SS schemas."
+type Noise struct {
+	// GenericProb is the probability that a schema receives each of up to
+	// three generic attributes (name, date, type, ...).
+	GenericProb float64
+	// TypoProb is the per-attribute probability of a small spelling
+	// mutation (dropped or doubled letter).
+	TypoProb float64
+	// VariantBias is the probability of picking the canonical phrasing of
+	// a concept instead of a random variant; lower means more rephrasing.
+	VariantBias float64
+}
+
+// gen wraps the PRNG with the sampling helpers shared by all three
+// generators.
+type gen struct {
+	rng      *rand.Rand
+	noise    Noise
+	miscIdx  int
+	miscSeen map[string]bool
+}
+
+// nextMisc returns a rare attribute name for a unique schema: first the
+// curated MiscConcepts, then synthesized adjective+noun pairs. Synthesized
+// names may share a word with another unique schema's attributes, which
+// keeps their pairwise similarity small but non-zero — matching how real
+// one-of-a-kind sources still overlap slightly in vocabulary.
+func (g *gen) nextMisc() string {
+	if g.miscIdx < len(MiscConcepts) {
+		name := MiscConcepts[g.miscIdx][0]
+		g.miscIdx++
+		return name
+	}
+	if g.miscSeen == nil {
+		g.miscSeen = make(map[string]bool)
+	}
+	for {
+		name := miscAdjectives[g.rng.Intn(len(miscAdjectives))] + " " +
+			miscNouns[g.rng.Intn(len(miscNouns))]
+		if !g.miscSeen[name] {
+			g.miscSeen[name] = true
+			return name
+		}
+	}
+}
+
+var miscAdjectives = []string{
+	"estimated", "verified", "projected", "regional", "seasonal",
+	"calibrated", "residual", "ambient", "nominal", "archived",
+	"composite", "marginal", "adjusted", "baseline", "cumulative",
+	"interim", "normalized", "observed", "preliminary", "recorded",
+	"sampled", "smoothed", "threshold", "weighted", "aggregate",
+	"anomalous", "derived", "filtered", "historic", "instantaneous",
+}
+
+var miscNouns = []string{
+	"torque", "salinity", "viscosity", "curvature", "luminosity",
+	"porosity", "amplitude", "turbidity", "buoyancy", "conductance",
+	"impedance", "albedo", "vorticity", "permeability", "reflectance",
+	"emissivity", "attenuation", "dispersion", "resonance", "flux",
+	"gradient", "inertia", "momentum", "wavelength", "cadence",
+	"azimuth", "declination", "parallax", "perihelion", "apogee",
+}
+
+// pickVariant samples an attribute name for a concept.
+func (g *gen) pickVariant(c Concept) string {
+	if len(c) == 1 || g.rng.Float64() < g.noise.VariantBias {
+		return c[0]
+	}
+	return c[1+g.rng.Intn(len(c)-1)]
+}
+
+// typo applies a small mutation to an attribute name with TypoProb.
+func (g *gen) typo(name string) string {
+	if g.rng.Float64() >= g.noise.TypoProb || len(name) < 5 {
+		return name
+	}
+	i := 1 + g.rng.Intn(len(name)-2)
+	if name[i] == ' ' {
+		return name
+	}
+	if g.rng.Intn(2) == 0 {
+		return name[:i] + name[i+1:] // drop a letter
+	}
+	return name[:i] + string(name[i]) + name[i:] // double a letter
+}
+
+// sampleByRank picks concepts with rank-decaying inclusion probability:
+// concept k is included with probability head·decay^k + floor. Real web
+// sources share their domain's head attributes heavily (every bibliography
+// form has title/author/year; long-tail attributes vary), which is what
+// makes whole domains cohesive under average-linkage clustering.
+func (g *gen) sampleByRank(pool []Concept, head, decay, floor float64) []Concept {
+	var out []Concept
+	p := head
+	for _, c := range pool {
+		if g.rng.Float64() < p+floor {
+			out = append(out, c)
+		}
+		p *= decay
+	}
+	return out
+}
+
+// sampleConcepts picks n distinct concepts from pool.
+func (g *gen) sampleConcepts(pool []Concept, n int) []Concept {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	idx := g.rng.Perm(len(pool))[:n]
+	out := make([]Concept, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// buildSchema assembles a schema from concept pools: core concepts from the
+// primary label, optional concepts from secondary labels, plus generics.
+func (g *gen) buildSchema(name string, labels []string, pools [][]Concept, coreCounts []int) schema.Schema {
+	var attrs []string
+	seen := make(map[string]bool)
+	add := func(a string) {
+		a = g.typo(a)
+		if !seen[a] {
+			seen[a] = true
+			attrs = append(attrs, a)
+		}
+	}
+	for pi, pool := range pools {
+		for _, c := range g.sampleConcepts(pool, coreCounts[pi]) {
+			add(g.pickVariant(c))
+		}
+	}
+	for t := 0; t < 3; t++ {
+		if g.rng.Float64() < g.noise.GenericProb {
+			add(g.pickVariant(GenericConcepts[g.rng.Intn(len(GenericConcepts))]))
+		}
+	}
+	return schema.Schema{Name: name, Attributes: attrs, Labels: labels}
+}
+
+// DDH generates the stand-in for the 2,323-schema, 5-domain Google corpus.
+// Domains are sharply separated: schemas draw almost entirely from their own
+// domain vocabulary, and domain sizes are skewed ('people' smallest, as the
+// thesis notes it is the under-represented one in Section 6.3).
+func DDH(seed int64) schema.Set {
+	// Sizes are strongly skewed, as the Section 6.3 threshold experiment
+	// requires: with an attribute-frequency threshold of 0.1 the two
+	// smallest domains (≈5% and ≈2% of the corpus) fall entirely below the
+	// cutoff, and at 0.01 the smallest ('people') surfaces only a handful
+	// of attributes — the paper's "absent"/"under-represented" pathology.
+	sizes := map[string]int{
+		"bibliography": 1100,
+		"movies":       690,
+		"courses":      370,
+		"cars":         117,
+		"people":       46,
+	}
+	// No generic attributes: the real DDH domains are "few and sharply
+	// separated" (Section 6.1.1); shared generics would also let small
+	// domains ride into the unclustered mediated schema on the frequency of
+	// big-domain lookalikes, hiding the Section 6.3 absence effect.
+	g := &gen{
+		rng:   rand.New(rand.NewSource(seed)),
+		noise: Noise{GenericProb: 0, TypoProb: 0.01, VariantBias: 0.55},
+	}
+	domains := make([]string, 0, len(sizes))
+	for d := range sizes {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+
+	var set schema.Set
+	for _, d := range domains {
+		pool := DDHDomains[d]
+		for i := 0; i < sizes[d]; i++ {
+			concepts := g.sampleByRank(pool, 0.95, 0.86, 0.05)
+			for len(concepts) < 3 { // every real source has a few attributes
+				concepts = g.sampleConcepts(pool, 3)
+			}
+			var attrs []string
+			seen := make(map[string]bool)
+			for _, c := range concepts {
+				a := g.typo(g.pickVariant(c))
+				if !seen[a] {
+					seen[a] = true
+					attrs = append(attrs, a)
+				}
+			}
+			set = append(set, schema.Schema{
+				Name:       fmt.Sprintf("ddh-%s-%03d", d, i),
+				Attributes: attrs,
+				Labels:     []string{d},
+			})
+		}
+	}
+	return set
+}
+
+// dwLabels are the 24 labels of the DW set with their schema counts,
+// matching Table 6.1's skew (max 13 schemas per label, many singleton
+// labels). Singleton labels host the "unique" schemas (~25% of the set).
+var dwLabels = []struct {
+	label string
+	count int
+}{
+	{"hotels", 13}, {"people", 9}, {"movies", 7}, {"jobs", 5},
+	{"courses", 4}, {"bibliography", 4}, {"housing", 3}, {"medications", 2},
+	// Singleton labels: one unique schema each.
+	{"airdisasters", 1}, {"chess", 1}, {"genes", 1}, {"interments", 1},
+	{"robots", 1}, {"vulnerabilities", 1}, {"chemistry", 1}, {"plants", 1},
+	{"boardgames", 1}, {"inflation", 1}, {"windows", 1}, {"theatres", 1},
+	{"nurseries", 1}, {"licensing", 1}, {"exposures", 1}, {"math", 1},
+}
+
+// DW generates the stand-in for the 63-schema deep-web set: cleanly phrased
+// attribute names, single labels (with a couple of dual-label schemas), and
+// one wide outlier form (the real set's widest schema had 72 terms).
+func DW(seed int64) schema.Set {
+	g := &gen{
+		rng:   rand.New(rand.NewSource(seed)),
+		noise: Noise{GenericProb: 0.10, TypoProb: 0.01, VariantBias: 0.5},
+	}
+	var set schema.Set
+	for _, lc := range dwLabels {
+		pool := LabelVocab[lc.label]
+		for i := 0; i < lc.count; i++ {
+			labels := []string{lc.label}
+			pools := [][]Concept{pool}
+			n := 4 + g.rng.Intn(5) // 4–8 core attributes
+			counts := []int{n}
+			// A couple of dual-label schemas among the populous labels
+			// (Table 6.1: max 2 labels per DW schema).
+			if lc.count >= 5 && i == lc.count-1 {
+				second := dwLabels[(indexOfDW(lc.label)+1)%8].label
+				labels = append(labels, second)
+				pools = append(pools, LabelVocab[second])
+				counts = append(counts, 2+g.rng.Intn(2))
+			}
+			s := g.buildSchema(fmt.Sprintf("dw-%s-%02d", lc.label, i), labels, pools, counts)
+			set = append(set, s)
+		}
+	}
+	// The wide outlier: a hotel mega-form drawing from several pools (the
+	// real DW set's widest schema had 72 terms).
+	wide := g.buildSchema("dw-hotels-wide", []string{"hotels"},
+		[][]Concept{
+			LabelVocab["hotels"], LabelVocab["locations"], LabelVocab["tourism"],
+			LabelVocab["events"], LabelVocab["food"], GenericConcepts,
+		},
+		[]int{8, 8, 7, 7, 8, 16})
+	wide.Labels = []string{"hotels", "tourism"}
+	set[0] = wide // replace the first hotels schema to keep the count at 63
+	// Unique schemas: rebuild each singleton-label schema mostly from misc
+	// concepts so no other schema shares its vocabulary.
+	for i := range set {
+		if isSingletonDWLabel(set[i].Labels[0]) {
+			var attrs []string
+			pool := LabelVocab[set[i].Labels[0]]
+			for _, c := range g.sampleConcepts(pool, 2) {
+				attrs = append(attrs, g.pickVariant(c))
+			}
+			for k := 0; k < 4; k++ {
+				attrs = append(attrs, g.nextMisc())
+			}
+			set[i].Attributes = attrs
+		}
+	}
+	return set
+}
+
+func indexOfDW(label string) int {
+	for i, lc := range dwLabels {
+		if lc.label == label {
+			return i
+		}
+	}
+	return 0
+}
+
+func isSingletonDWLabel(label string) bool {
+	for _, lc := range dwLabels {
+		if lc.label == label {
+			return lc.count == 1
+		}
+	}
+	return false
+}
+
+// SS generates the stand-in for the 252-schema spreadsheet set: 85 labels
+// with a strongly skewed distribution (the real set's top label covered 67
+// schemas), multi-label schemas up to 4 labels, noisier attribute phrasing,
+// and ~25% unique schemas.
+func SS(seed int64) schema.Set {
+	g := &gen{
+		rng:   rand.New(rand.NewSource(seed)),
+		noise: Noise{GenericProb: 0.35, TypoProb: 0.04, VariantBias: 0.4},
+		// DW consumes the first 64 curated misc concepts; starting past
+		// them keeps DW and SS unique schemas disjoint in the union corpus.
+		miscIdx: 64,
+	}
+	labels := ssLabelList()
+	counts := ssPrimaryCounts(len(labels))
+
+	var set schema.Set
+	for li, label := range labels {
+		pool := LabelVocab[label]
+		for i := 0; i < counts[li]; i++ {
+			name := fmt.Sprintf("ss-%s-%02d", label, i)
+			if counts[li] == 1 {
+				// Unique schema: mostly misc concepts.
+				var attrs []string
+				for _, c := range g.sampleConcepts(pool, 1+g.rng.Intn(2)) {
+					attrs = append(attrs, g.pickVariant(c))
+				}
+				for k := 0; k < 3+g.rng.Intn(3); k++ {
+					attrs = append(attrs, g.nextMisc())
+				}
+				set = append(set, schema.Schema{Name: name, Attributes: attrs, Labels: []string{label}})
+				continue
+			}
+			lbls := []string{label}
+			pools := [][]Concept{pool}
+			coreCounts := []int{3 + g.rng.Intn(4)}
+			// Secondary labels: 35% chance of a second, then 25% of a
+			// third, then 20% of a fourth (Table 6.1: avg 1.5, max 4).
+			p := 0.35
+			for len(lbls) < 4 && g.rng.Float64() < p {
+				sec := labels[g.rng.Intn(12)] // bias toward the populous labels
+				if !contains(lbls, sec) {
+					lbls = append(lbls, sec)
+					pools = append(pools, LabelVocab[sec])
+					coreCounts = append(coreCounts, 1+g.rng.Intn(3))
+				}
+				p -= 0.1
+			}
+			set = append(set, g.buildSchema(name, lbls, pools, coreCounts))
+		}
+	}
+	// One very wide spreadsheet (the real set's widest had 119 terms).
+	wide := g.buildSchema("ss-projects-wide", []string{"projects", "people", "schools", "awards"},
+		[][]Concept{
+			LabelVocab["projects"], LabelVocab["people"], LabelVocab["schools"],
+			LabelVocab["awards"], LabelVocab["grants"], LabelVocab["fellowships"],
+			LabelVocab["exams"], LabelVocab["degrees"], LabelVocab["teachers"],
+			GenericConcepts,
+		},
+		[]int{8, 12, 8, 7, 7, 7, 8, 7, 8, 16})
+	set[0] = wide
+	return set
+}
+
+// ssLabelList returns 85 labels ordered from most to least populous.
+func ssLabelList() []string {
+	all := make([]string, 0, len(LabelVocab))
+	for l := range LabelVocab {
+		all = append(all, l)
+	}
+	sort.Strings(all)
+	// Put the designated head labels first; the real head label covered 67
+	// schemas (plausibly a catch-all like 'people' or 'items').
+	head := []string{
+		"people", "items", "projects", "schools", "sports", "music",
+		"events", "jobs", "food", "business", "locations", "contacts",
+	}
+	var rest []string
+	for _, l := range all {
+		if !contains(head, l) {
+			rest = append(rest, l)
+		}
+	}
+	out := append(append([]string{}, head...), rest...)
+	if len(out) > 85 {
+		out = out[:85]
+	}
+	return out
+}
+
+// ssPrimaryCounts produces a skewed primary-label distribution summing to
+// 252 over n labels: one head label with 67 schemas, a fat middle, and a
+// long singleton tail.
+func ssPrimaryCounts(n int) []int {
+	counts := make([]int, n)
+	fixed := []int{67, 14, 12, 10, 9, 8, 7, 6, 6, 5, 5, 4, 4, 4, 3, 3, 3, 3, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2}
+	total := 0
+	for i := range counts {
+		if i < len(fixed) {
+			counts[i] = fixed[i]
+		} else {
+			counts[i] = 1
+		}
+		total += counts[i]
+	}
+	// Adjust the second label so the total is exactly 252.
+	counts[1] += 252 - total
+	return counts
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Union concatenates schema sets into a fresh set (the "Both" corpus of the
+// experiments).
+func Union(sets ...schema.Set) schema.Set {
+	var out schema.Set
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// HomonymPair returns two small schemas exhibiting the Section 6.3 homonym:
+// 'family name' means a person's surname in a 'people' schema and a
+// taxonomic rank in a 'biology' schema. Mediating them together without
+// clustering fuses the two meanings into one mediated attribute.
+func HomonymPair() schema.Set {
+	return schema.Set{
+		{
+			Name:       "dw-people-faculty",
+			Attributes: []string{"family name", "first name", "email", "office phone", "affiliation"},
+			Labels:     []string{"people"},
+		},
+		{
+			Name:       "dw-biology-taxa",
+			Attributes: []string{"family name", "genus", "species", "habitat", "conservation status"},
+			Labels:     []string{"animals"},
+		},
+	}
+}
+
+// Describe renders every schema on its own line, for tests and the CLI.
+func Describe(set schema.Set) string {
+	var sb strings.Builder
+	for _, s := range set {
+		fmt.Fprintf(&sb, "%s\n", s)
+	}
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+// Package dataset synthesizes the three schema corpora of the thesis'
+// evaluation (Section 6.1.1). The real corpora are unavailable — DDH was
+// obtained privately from the SIGMOD 2008 authors, and DW/SS were collected
+// by hand and never released — so this package generates statistical
+// stand-ins calibrated to the published descriptions and Table 6.1:
+//
+//   - DDH: 2,323 schemas from 5 sharply separated domains (bibliography,
+//     cars, courses, movies, people);
+//   - DW: 63 deep-web schemas over 24 labels, cleanly phrased attribute
+//     names, ~25% unique schemas;
+//   - SS: 252 spreadsheet schemas over 85 labels, noisier names, more
+//     multi-label schemas, ~25% unique.
+//
+// Attribute names come from per-label vocabularies of *concepts*, each with
+// several naming variants ("Professor Name" vs "Instructor" vs "Name of the
+// Professor"), which is exactly the rephrasing phenomenon the term-splitting
+// and fuzzy term matching of Algorithm 1 are designed to survive.
+package dataset
+
+// Concept is one semantic attribute with its naming variants. The first
+// variant is the canonical phrasing; generators sample among all of them.
+type Concept []string
+
+// DDHDomains are the five domains of the DDH set as described in Section
+// 6.1.1 ("bibliography, cars, courses, movies, and people"), with attribute
+// vocabularies modeled on the examples the thesis quotes
+// ({title, authors, year of publish, conference name},
+// {year, type, make, model}) and on typical web sources in each domain.
+var DDHDomains = map[string][]Concept{
+	"bibliography": {
+		{"title", "paper title", "article title"},
+		{"authors", "author", "author names", "written by"},
+		{"year of publish", "publication year", "year published", "pub year"},
+		{"conference name", "conference", "venue", "journal name"},
+		{"abstract", "summary"},
+		{"pages", "page numbers", "num pages"},
+		{"publisher", "published by"},
+		{"volume", "volume number"},
+		{"issue", "issue number"},
+		{"keywords", "subject keywords", "index terms"},
+		{"citation count", "citations", "cited by"},
+		{"isbn", "isbn number"},
+		{"editor", "editors"},
+		{"series title", "book series"},
+		{"doi", "digital object identifier"},
+	},
+	"cars": {
+		{"make", "car make", "manufacturer"},
+		{"model", "car model", "model name"},
+		{"model year", "year of manufacture"},
+		{"type", "body type", "body style", "vehicle type"},
+		{"price", "asking price", "list price"},
+		{"mileage", "odometer", "miles driven", "kilometers"},
+		{"color", "exterior color", "paint color"},
+		{"transmission", "transmission type", "gearbox"},
+		{"engine", "engine size", "engine type", "displacement"},
+		{"fuel type", "fuel", "gas type"},
+		{"doors", "number of doors", "door count"},
+		{"condition", "vehicle condition"},
+		{"vin", "vin number", "vehicle identification number"},
+		{"drivetrain", "drive type", "wheel drive"},
+		{"seller", "dealer name", "dealership"},
+	},
+	"courses": {
+		{"course title", "course name", "class title"},
+		{"course number", "course code", "class id", "course id"},
+		{"instructor", "professor name", "teacher", "lecturer", "name of the professor"},
+		{"credits", "credit hours", "units"},
+		{"department", "dept", "offering department"},
+		{"semester", "term", "quarter"},
+		{"day/time", "meeting time", "schedule", "class hours"},
+		{"room", "classroom", "bldg location", "building and room"},
+		{"prerequisites", "prereqs", "required courses"},
+		{"enrollment", "enrolled students", "class size", "max number of students"},
+		{"section", "section number"},
+		{"subject", "subject area", "discipline"},
+		{"syllabus", "course description", "course outline"},
+		{"level", "course level", "grade level"},
+	},
+	"movies": {
+		{"movie title", "film title", "title of the movie"},
+		{"director", "directed by", "film director"},
+		{"genre", "category", "film genre"},
+		{"release year", "year released", "release date"},
+		{"rating", "mpaa rating", "audience rating"},
+		{"runtime", "running time", "duration", "length in minutes"},
+		{"cast", "starring", "actors", "lead actors"},
+		{"studio", "production company", "distributor"},
+		{"plot", "synopsis", "plot summary"},
+		{"language", "original language", "spoken language"},
+		{"country", "country of origin"},
+		{"box office", "gross revenue", "total gross"},
+		{"awards", "awards won", "oscar nominations"},
+		{"screenwriter", "written by", "screenplay"},
+	},
+	"people": {
+		{"first name", "given name", "forename"},
+		{"last name", "family name", "surname"},
+		{"email", "email address", "e-mail"},
+		{"phone", "phone number", "telephone", "office phone"},
+		{"address", "home address", "street address", "mailing address"},
+		{"city", "town"},
+		{"state", "province", "region"},
+		{"zip", "zip code", "postal code"},
+		{"date of birth", "birth date", "birthday", "born"},
+		{"gender", "sex"},
+		{"occupation", "profession"},
+		{"nationality", "citizenship"},
+		{"fax", "fax number"},
+		{"website", "homepage"},
+		{"marital status", "married"},
+	},
+}
+
+// GenericConcepts appear across many domains; they inject the vocabulary
+// overlap that makes real web schemas hard to cluster. The DW/SS generators
+// sprinkle them into schemas of every label; DDH uses them sparingly so its
+// domains stay sharply separated, as the thesis observes of the real set.
+var GenericConcepts = []Concept{
+	{"name", "full name"},
+	{"description", "details", "info"},
+	{"date", "date added", "entry date"},
+	{"type", "kind"},
+	{"location", "place"},
+	{"status", "current status"},
+	{"comments", "notes", "remarks"},
+	{"category", "group"},
+	{"url", "link", "web site"},
+	{"count", "total", "quantity"},
+	{"start date", "begin date", "from date"},
+	{"end date", "finish date", "until"},
+	{"contact", "contact person"},
+	{"keyword search", "search terms"},
+	{"source", "origin"},
+	{"identifier", "reference number", "record number"},
+}
+
+// MiscConcepts feed the "unique" schemas of DW and SS: roughly a quarter of
+// the real sets were one-of-a-kind sources a human would not cluster with
+// anything else. These rare concepts appear in at most one schema each, so
+// the schemas built from them stay unclustered, as the thesis expects.
+var MiscConcepts = []Concept{
+	{"telescope aperture"}, {"seismograph reading"}, {"reactor output"},
+	{"glacier thickness"}, {"beekeeping yield"}, {"violin maker"},
+	{"lighthouse height"}, {"meteorite mass"}, {"shipwreck depth"},
+	{"crossword clue"}, {"sausage casing"}, {"kite wingspan"},
+	{"volcano elevation"}, {"quilt pattern"}, {"cheese ripeness"},
+	{"fossil stratum"}, {"origami folds"}, {"windmill rotation"},
+	{"tide gauge"}, {"chili scoville"}, {"marathon split"},
+	{"yarn gauge"}, {"bonsai species"}, {"falconry permit"},
+	{"soap fragrance"}, {"ferry tonnage"}, {"cave passage length"},
+	{"accordion register"}, {"totem carving"}, {"gondola route"},
+	{"beacon frequency"}, {"harvest moisture"}, {"pottery kiln temperature"},
+	{"stained glass panel"}, {"dragonfly wingspan"}, {"submarine displacement"},
+	{"juggling pattern"}, {"chimney sweep interval"}, {"mushroom spore print"},
+	{"carousel horse"}, {"hourglass duration"}, {"tapestry thread count"},
+	{"anvil weight"}, {"periscope depth"}, {"hot spring temperature"},
+	{"banjo tuning"}, {"ice core depth"}, {"parade float theme"},
+	{"scarecrow material"}, {"ziggurat level"}, {"barometer drift"},
+	{"sundial offset"}, {"catapult range"}, {"firefly density"},
+	{"hammock capacity"}, {"trellis height"}, {"moat width"},
+	{"snowshoe size"}, {"kaleidoscope mirrors"}, {"weathervane direction"},
+	{"drawbridge span"}, {"compost ratio"}, {"gargoyle count"},
+	{"labyrinth turns"}, {"aqueduct flow"}, {"obelisk height"},
+	{"harpoon length"}, {"candle burn time"}, {"turret diameter"},
+	{"mosaic tile size"}, {"pendulum period"}, {"gazebo diameter"},
+	{"rickshaw fare"}, {"yo-yo string length"}, {"bellows volume"},
+	{"sphinx orientation"}, {"geyser interval"}, {"butter churn speed"},
+	{"palisade height"}, {"sitar frets"}, {"dovecote nests"},
+}

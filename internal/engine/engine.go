@@ -1,0 +1,250 @@
+// Package engine executes structured queries over a domain's mediated
+// schema, implementing the probability arithmetic of Section 4.4:
+//
+//   - a query posed over mediated schema M_r is dispatched to every data
+//     source in S(D_r);
+//   - each raw tuple is mapped to M_r by each possible mapping φ_j with
+//     probability Pr(φ_j); identical mapped tuples from the same raw tuple
+//     consolidate by summing probabilities;
+//   - every mapped tuple's probability is multiplied by Pr(S_i ∈ D_r);
+//   - identical tuples from different sources consolidate by noisy-or:
+//     1 − Π(1 − p).
+//
+// The result set is returned sorted by descending tuple probability, which
+// is what the user of the typical use case (Section 3.3) sees.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaflow/internal/core"
+	"schemaflow/internal/mediate"
+	"schemaflow/internal/schema"
+)
+
+// Tuple is a raw tuple of a data source: attribute-index-aligned values.
+type Tuple []string
+
+// Source is a queryable data source: a schema plus its extension. The
+// system never requires data (it clusters from attribute names alone), but
+// the end-to-end use case retrieves tuples.
+type Source struct {
+	Schema schema.Schema
+	Tuples []Tuple
+}
+
+// Validate checks that every tuple has exactly one value per attribute.
+func (s *Source) Validate() error {
+	for i, t := range s.Tuples {
+		if len(t) != len(s.Schema.Attributes) {
+			return fmt.Errorf("source %q: tuple %d has %d values, schema has %d attributes",
+				s.Schema.Name, i, len(t), len(s.Schema.Attributes))
+		}
+	}
+	return nil
+}
+
+// Query is a structured query over a mediated schema: project the Select
+// attributes of every tuple satisfying all Where equality predicates
+// (case-insensitive value comparison). Attribute references are mediated
+// attribute display names.
+type Query struct {
+	Select []string
+	Where  map[string]string
+	// Limit truncates the result set to the top-k tuples by probability
+	// after consolidation (0 = no limit). Tuple probabilities are computed
+	// over the full match set first, so Limit changes only what is
+	// returned, never the probabilities.
+	Limit int
+}
+
+// ResultTuple is one mediated tuple in the merged result set R_all.
+type ResultTuple struct {
+	// Values are aligned with the query's Select list; unmapped attributes
+	// surface as empty strings.
+	Values []string
+	// Prob is the combined probability of the tuple per Section 4.4.
+	Prob float64
+	// Sources names the data sources that contributed the tuple.
+	Sources []string
+}
+
+// DomainExecutor answers structured queries over one domain: the mediated
+// schema, its probabilistic mappings, the domain membership probabilities,
+// and the data sources.
+type DomainExecutor struct {
+	med     *mediate.Mediated
+	sources []Source
+	// memberProb[i] is Pr(S_i ∈ D_r) for sources[i].
+	memberProb []float64
+}
+
+// NewDomainExecutor wires a mediated domain to its data sources. The sources
+// must be aligned 1:1 with med.Schemas; memberProb supplies Pr(S_i ∈ D_r)
+// (nil means certainty for all sources).
+func NewDomainExecutor(med *mediate.Mediated, sources []Source, memberProb []float64) (*DomainExecutor, error) {
+	if len(sources) != len(med.Schemas) {
+		return nil, fmt.Errorf("engine: %d sources for %d mediated schemas", len(sources), len(med.Schemas))
+	}
+	if memberProb == nil {
+		memberProb = make([]float64, len(sources))
+		for i := range memberProb {
+			memberProb[i] = 1
+		}
+	}
+	if len(memberProb) != len(sources) {
+		return nil, fmt.Errorf("engine: %d membership probabilities for %d sources", len(memberProb), len(sources))
+	}
+	for i := range sources {
+		if err := sources[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &DomainExecutor{med: med, sources: sources, memberProb: memberProb}, nil
+}
+
+// FromModel builds one executor per domain of a probabilistic model, given a
+// data source per schema (aligned with model.Schemas).
+func FromModel(m *core.Model, mediated []*mediate.Mediated, allSources []Source) ([]*DomainExecutor, error) {
+	if len(mediated) != m.NumDomains() {
+		return nil, fmt.Errorf("engine: %d mediated schemas for %d domains", len(mediated), m.NumDomains())
+	}
+	if len(allSources) != len(m.Schemas) {
+		return nil, fmt.Errorf("engine: %d sources for %d schemas", len(allSources), len(m.Schemas))
+	}
+	out := make([]*DomainExecutor, m.NumDomains())
+	for r := range m.Domains {
+		d := &m.Domains[r]
+		var srcs []Source
+		var probs []float64
+		for _, mem := range d.Members {
+			srcs = append(srcs, allSources[mem.Schema])
+			probs = append(probs, mem.Prob)
+		}
+		ex, err := NewDomainExecutor(mediated[r], srcs, probs)
+		if err != nil {
+			return nil, fmt.Errorf("domain %d: %w", r, err)
+		}
+		out[r] = ex
+	}
+	return out, nil
+}
+
+// Execute runs the query and returns the merged result set R_all sorted by
+// descending probability (ties broken by value for determinism).
+func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
+	selIdx := make([]int, len(q.Select))
+	for i, name := range q.Select {
+		selIdx[i] = ex.med.AttrIndex(name)
+		if selIdx[i] < 0 {
+			return nil, fmt.Errorf("engine: no mediated attribute %q", name)
+		}
+	}
+	whereIdx := make(map[int]string, len(q.Where))
+	for name, val := range q.Where {
+		mi := ex.med.AttrIndex(name)
+		if mi < 0 {
+			return nil, fmt.Errorf("engine: no mediated attribute %q", name)
+		}
+		whereIdx[mi] = strings.ToLower(val)
+	}
+
+	type agg struct {
+		values   []string
+		oneMinus float64 // Π(1−p) across sources
+		sources  map[string]bool
+	}
+	results := make(map[string]*agg)
+
+	for si := range ex.sources {
+		src := &ex.sources[si]
+		memberP := ex.memberProb[si]
+		if memberP == 0 {
+			continue
+		}
+		// perTuple[t][key] accumulates the summed mapping probability of
+		// each distinct mapped tuple derived from raw tuple t
+		// (the same-raw-tuple consolidation rule).
+		for _, raw := range src.Tuples {
+			mappedProb := make(map[string]float64)
+			mappedVals := make(map[string][]string)
+			for _, mp := range ex.med.Mappings[si] {
+				vals, ok := applyMapping(raw, mp, selIdx, whereIdx)
+				if !ok {
+					continue
+				}
+				key := strings.Join(vals, "\x1f")
+				mappedProb[key] += mp.Prob
+				mappedVals[key] = vals
+			}
+			for key, p := range mappedProb {
+				tp := p * memberP
+				a := results[key]
+				if a == nil {
+					a = &agg{values: mappedVals[key], oneMinus: 1, sources: map[string]bool{}}
+					results[key] = a
+				}
+				a.oneMinus *= 1 - tp
+				a.sources[src.Schema.Name] = true
+			}
+		}
+	}
+
+	out := make([]ResultTuple, 0, len(results))
+	for _, a := range results {
+		var names []string
+		for n := range a.sources {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		out = append(out, ResultTuple{Values: a.values, Prob: 1 - a.oneMinus, Sources: names})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return strings.Join(out[i].Values, "\x1f") < strings.Join(out[j].Values, "\x1f")
+	})
+	if q.Limit > 0 && q.Limit < len(out) {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// applyMapping maps a raw tuple through one attribute mapping, evaluates the
+// Where predicates, and projects the Select attributes. ok is false when a
+// predicate fails or references a mediated attribute this mapping does not
+// populate.
+func applyMapping(raw Tuple, mp mediate.Mapping, selIdx []int, whereIdx map[int]string) ([]string, bool) {
+	// Invert: mediated attribute → source attribute value.
+	val := func(mi int) (string, bool) {
+		for k, to := range mp.AttrTo {
+			if to == mi {
+				return raw[k], true
+			}
+		}
+		return "", false
+	}
+	for mi, want := range whereIdx {
+		got, ok := val(mi)
+		if !ok || strings.ToLower(got) != want {
+			return nil, false
+		}
+	}
+	out := make([]string, len(selIdx))
+	populated := false
+	for i, mi := range selIdx {
+		if v, ok := val(mi); ok {
+			out[i] = v
+			populated = true
+		}
+	}
+	// A mapping that populates none of the selected attributes contributes
+	// nothing for this tuple: an all-empty projection is not a result.
+	if !populated && len(selIdx) > 0 {
+		return nil, false
+	}
+	return out, true
+}

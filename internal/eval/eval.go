@@ -1,0 +1,227 @@
+// Package eval implements the evaluation methodology of Section 6.1.2:
+// probability-weighted precision and recall against human domain labels,
+// plus the fragmentation, non-homogeneous-domain, and unclustered-schema
+// measures. Summed probabilities are "a weighted counting of the schemas ...
+// not intended to have a probabilistic meaning", exactly as the thesis
+// specifies.
+package eval
+
+import (
+	"sort"
+
+	"schemaflow/internal/core"
+	"schemaflow/internal/schema"
+)
+
+// DomainLabeling holds, for each domain, its dominant ground-truth labels
+// B(D_r) (empty for non-homogeneous domains) and supporting mass.
+type DomainLabeling struct {
+	// Labels[r] is B(D_r): the dominant label(s) of domain r; nil when the
+	// domain is non-homogeneous (no label holds an absolute majority).
+	Labels [][]string
+	// NonHomogeneous[r] reports whether domain r lacked a majority label.
+	NonHomogeneous []bool
+	// Singleton[r] reports whether domain r's cluster has exactly one
+	// schema (an "unclustered" schema).
+	Singleton []bool
+}
+
+// LabelDomains computes B(D_r) for every domain: the label(s) maximizing
+// Σ_{S_i ∈ S(B_j)} Pr(S_i ∈ D_r), with ties included, and the
+// absolute-majority homogeneity test. Singleton domains are labeled too
+// (their schema's labels dominate trivially) but flagged, since several
+// measures exclude them.
+func LabelDomains(m *core.Model, set schema.Set) *DomainLabeling {
+	dl := &DomainLabeling{
+		Labels:         make([][]string, m.NumDomains()),
+		NonHomogeneous: make([]bool, m.NumDomains()),
+		Singleton:      make([]bool, m.NumDomains()),
+	}
+	for r := range m.Domains {
+		d := &m.Domains[r]
+		dl.Singleton[r] = len(d.Cluster) == 1
+
+		mass := make(map[string]float64)
+		total := 0.0
+		for _, mem := range d.Members {
+			total += mem.Prob
+			for _, l := range set[mem.Schema].Labels {
+				mass[l] += mem.Prob
+			}
+		}
+		best := 0.0
+		for _, v := range mass {
+			if v > best {
+				best = v
+			}
+		}
+		if best == 0 {
+			dl.NonHomogeneous[r] = true
+			continue
+		}
+		// Non-homogeneous: the dominant label lacks an absolute majority of
+		// the domain's (weighted) schemas.
+		if best < total/2 {
+			dl.NonHomogeneous[r] = true
+			continue
+		}
+		const eps = 1e-12
+		var labels []string
+		for l, v := range mass {
+			if v >= best-eps {
+				labels = append(labels, l)
+			}
+		}
+		sort.Strings(labels)
+		dl.Labels[r] = labels
+	}
+	return dl
+}
+
+// Metrics bundles the clustering-quality measures of Figures 6.2–6.6 and
+// Table 6.2.
+type Metrics struct {
+	// Precision is the average over (non-singleton) domains of
+	// TP_Dr / (TP_Dr + FP_Dr), probability-weighted.
+	Precision float64
+	// Recall is the average over labels of TP_Bj / (TP_Bj + FN_Bj).
+	Recall float64
+	// Fragmentation is the average number of (non-singleton, homogeneous)
+	// domains dominated by each label.
+	Fragmentation float64
+	// FracNonHomogeneous is the fraction of schemas whose cluster landed in
+	// a non-homogeneous domain.
+	FracNonHomogeneous float64
+	// FracUnclustered is the fraction of schemas left in singleton
+	// clusters.
+	FracUnclustered float64
+	// NumDomains counts all domains; NumRealDomains excludes singletons.
+	NumDomains     int
+	NumRealDomains int
+}
+
+// Evaluate computes every clustering-quality measure for a model against the
+// ground-truth labels carried by the schema set. Labels must be present on
+// every schema; unlabeled schemas contribute nothing to precision/recall but
+// still count toward the unclustered fraction.
+func Evaluate(m *core.Model, set schema.Set) Metrics {
+	dl := LabelDomains(m, set)
+	return EvaluateWithLabels(m, set, dl)
+}
+
+// EvaluateWithLabels is Evaluate with a precomputed domain labeling.
+func EvaluateWithLabels(m *core.Model, set schema.Set, dl *DomainLabeling) Metrics {
+	var mt Metrics
+	mt.NumDomains = m.NumDomains()
+
+	// Unclustered fraction: schemas in singleton clusters.
+	unclustered := 0
+	for _, members := range m.Clustering.Members {
+		if len(members) == 1 {
+			unclustered++
+		}
+	}
+	if len(set) > 0 {
+		mt.FracUnclustered = float64(unclustered) / float64(len(set))
+	}
+
+	hasLabel := func(r int, l string) bool {
+		for _, dlbl := range dl.Labels[r] {
+			if dlbl == l {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Precision: averaged over non-singleton domains. Schemas in
+	// non-homogeneous domains are all false positives there (B(D_r)=∅).
+	var precSum float64
+	var precN int
+	nonHomogMass := 0.0
+	for r := range m.Domains {
+		if dl.Singleton[r] {
+			continue
+		}
+		mt.NumRealDomains++
+		var tp, fp float64
+		for _, mem := range m.Domains[r].Members {
+			match := false
+			for _, l := range set[mem.Schema].Labels {
+				if hasLabel(r, l) {
+					match = true
+					break
+				}
+			}
+			if match {
+				tp += mem.Prob
+			} else {
+				fp += mem.Prob
+			}
+		}
+		if dl.NonHomogeneous[r] {
+			nonHomogMass += tp + fp
+		}
+		if tp+fp > 0 {
+			precSum += tp / (tp + fp)
+			precN++
+		}
+	}
+	if precN > 0 {
+		mt.Precision = precSum / float64(precN)
+	}
+	if len(set) > 0 {
+		mt.FracNonHomogeneous = nonHomogMass / float64(len(set))
+	}
+
+	// Recall and fragmentation: per label over non-singleton domains.
+	labels := set.Labels()
+	byLabel := set.ByLabel()
+	var recSum float64
+	var recN int
+	var fragSum float64
+	var fragN int
+	for _, bj := range labels {
+		var tp, fn float64
+		dominated := 0
+		for r := range m.Domains {
+			if dl.Singleton[r] {
+				continue
+			}
+			dom := hasLabel(r, bj)
+			if dom {
+				dominated++
+			}
+			for _, si := range byLabel[bj] {
+				p := m.Domains[r].Prob(si)
+				if p == 0 {
+					continue
+				}
+				if dom {
+					tp += p
+				} else {
+					fn += p
+				}
+			}
+		}
+		if tp+fn > 0 {
+			recSum += tp / (tp + fn)
+			recN++
+		}
+		// Fragmentation averages over labels that dominate at least one
+		// domain; labels whose schemas are all unclustered or absorbed
+		// elsewhere don't count (Table 6.2 reports exactly 1.0 for DW at
+		// τ=0.2, which is only reachable under this reading).
+		if dominated > 0 {
+			fragSum += float64(dominated)
+			fragN++
+		}
+	}
+	if recN > 0 {
+		mt.Recall = recSum / float64(recN)
+	}
+	if fragN > 0 {
+		mt.Fragmentation = fragSum / float64(fragN)
+	}
+	return mt
+}

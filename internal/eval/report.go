@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaflow/internal/core"
+	"schemaflow/internal/schema"
+)
+
+// LabelReport is the per-label diagnostic breakdown behind the aggregate
+// metrics: which ground-truth labels the clustering serves well and which it
+// fragments, absorbs, or loses. Aggregate precision/recall say *how much*
+// went wrong; this says *where*.
+type LabelReport struct {
+	Label string
+	// Schemas is |S(B_j)|.
+	Schemas int
+	// Recall is TP/(TP+FN) for this label (probability-weighted, singleton
+	// domains excluded — the same accounting as Metrics).
+	Recall float64
+	// Dominated counts non-singleton domains this label dominates
+	// (fragmentation when > 1).
+	Dominated int
+	// Unclustered counts this label's schemas stuck in singleton clusters.
+	Unclustered int
+}
+
+// ReportByLabel computes the per-label breakdown, worst recall first.
+func ReportByLabel(m *core.Model, set schema.Set) []LabelReport {
+	dl := LabelDomains(m, set)
+	byLabel := set.ByLabel()
+	labels := set.Labels()
+
+	out := make([]LabelReport, 0, len(labels))
+	for _, bj := range labels {
+		rep := LabelReport{Label: bj, Schemas: len(byLabel[bj])}
+		var tp, fn float64
+		for r := range m.Domains {
+			if dl.Singleton[r] {
+				continue
+			}
+			dom := false
+			for _, l := range dl.Labels[r] {
+				if l == bj {
+					dom = true
+					break
+				}
+			}
+			if dom {
+				rep.Dominated++
+			}
+			for _, si := range byLabel[bj] {
+				p := m.Domains[r].Prob(si)
+				if p == 0 {
+					continue
+				}
+				if dom {
+					tp += p
+				} else {
+					fn += p
+				}
+			}
+		}
+		for _, si := range byLabel[bj] {
+			if len(m.Clustering.Members[m.Clustering.Assign[si]]) == 1 {
+				rep.Unclustered++
+			}
+		}
+		if tp+fn > 0 {
+			rep.Recall = tp / (tp + fn)
+		} else {
+			rep.Recall = -1 // no clustered mass: undefined
+		}
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ra, rb := out[a].Recall, out[b].Recall
+		if ra != rb {
+			// Undefined (-1) sorts last; otherwise worst first.
+			if ra < 0 {
+				return false
+			}
+			if rb < 0 {
+				return true
+			}
+			return ra < rb
+		}
+		return out[a].Label < out[b].Label
+	})
+	return out
+}
+
+// RenderLabelReport prints the breakdown, optionally truncated to the n
+// worst labels (n <= 0 prints all).
+func RenderLabelReport(reports []LabelReport, n int) string {
+	var sb strings.Builder
+	sb.WriteString("per-label diagnostics (worst recall first):\n")
+	fmt.Fprintf(&sb, "%-16s %8s %8s %10s %12s\n", "label", "schemas", "recall", "dominated", "unclustered")
+	if n <= 0 || n > len(reports) {
+		n = len(reports)
+	}
+	for _, r := range reports[:n] {
+		recall := fmt.Sprintf("%8.2f", r.Recall)
+		if r.Recall < 0 {
+			recall = "       -"
+		}
+		fmt.Fprintf(&sb, "%-16s %8d %s %10d %12d\n", r.Label, r.Schemas, recall, r.Dominated, r.Unclustered)
+	}
+	return sb.String()
+}

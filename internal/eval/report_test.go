@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"schemaflow/internal/core"
+	"schemaflow/internal/schema"
+)
+
+func TestReportByLabel(t *testing.T) {
+	// Label A: 2 schemas perfectly clustered. Label B: split over two
+	// domains it dominates (fragmentation 2). Label C: one unclustered
+	// schema (undefined recall).
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"x"}, Labels: []string{"A"}},
+		{Name: "a2", Attributes: []string{"x"}, Labels: []string{"A"}},
+		{Name: "b1", Attributes: []string{"y"}, Labels: []string{"B"}},
+		{Name: "b2", Attributes: []string{"y"}, Labels: []string{"B"}},
+		{Name: "b3", Attributes: []string{"y"}, Labels: []string{"B"}},
+		{Name: "b4", Attributes: []string{"y"}, Labels: []string{"B"}},
+		{Name: "c1", Attributes: []string{"z"}, Labels: []string{"C"}},
+	}
+	m := fixedModel(t, set, []int{0, 0, 1, 1, 2, 2, 3}, [][]core.Membership{
+		certain(0), certain(0), certain(1), certain(1), certain(2), certain(2), certain(3),
+	})
+	reports := ReportByLabel(m, set)
+	if len(reports) != 3 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	byLabel := map[string]LabelReport{}
+	for _, r := range reports {
+		byLabel[r.Label] = r
+	}
+	if r := byLabel["A"]; r.Recall != 1 || r.Dominated != 1 || r.Unclustered != 0 {
+		t.Fatalf("A report: %+v", r)
+	}
+	if r := byLabel["B"]; r.Recall != 1 || r.Dominated != 2 {
+		t.Fatalf("B report (fragmented): %+v", r)
+	}
+	if r := byLabel["C"]; r.Recall != -1 || r.Unclustered != 1 {
+		t.Fatalf("C report (unclustered): %+v", r)
+	}
+	// Undefined recall sorts last.
+	if reports[len(reports)-1].Label != "C" {
+		t.Fatalf("order: %+v", reports)
+	}
+	out := RenderLabelReport(reports, 2)
+	if !strings.Contains(out, "label") || strings.Count(out, "\n") != 4 {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestReportWorstFirst(t *testing.T) {
+	// Label A clustered perfectly; label B's schema absorbed into A's
+	// domain (recall 0). B must be reported first.
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"x"}, Labels: []string{"A"}},
+		{Name: "a2", Attributes: []string{"x"}, Labels: []string{"A"}},
+		{Name: "b1", Attributes: []string{"y"}, Labels: []string{"B"}},
+	}
+	m := fixedModel(t, set, []int{0, 0, 0}, [][]core.Membership{
+		certain(0), certain(0), certain(0),
+	})
+	reports := ReportByLabel(m, set)
+	if reports[0].Label != "B" || reports[0].Recall != 0 {
+		t.Fatalf("reports: %+v", reports)
+	}
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"schemaflow/internal/engine"
+	"schemaflow/internal/feedback"
+	"schemaflow/internal/mediate"
+	"schemaflow/internal/schema"
+)
+
+// The automatic-feedback extension experiment (Chapter 7, third proposal):
+// cluster a corpus whose attribute names are ambiguous enough that an
+// unrelated source lands in a domain, then show that the *data* — value
+// overlap across sources per mediated attribute — exposes the intruder,
+// which attribute-name clustering alone cannot.
+
+// ConsistencyResult summarizes the experiment.
+type ConsistencyResult struct {
+	// MergedByNames reports whether name-based clustering put the intruder
+	// with the people sources (the premise of the experiment).
+	MergedByNames bool
+	// Flagged reports whether the consistency check identified the
+	// intruder as the least consistent source.
+	Flagged bool
+	// IntruderOverlap is the intruder's value-overlap score (low = caught).
+	IntruderOverlap float64
+	// FalseFlags counts genuine members wrongly flagged (should be 0).
+	FalseFlags int
+}
+
+// ConsistencyExperiment builds a faculty-directory domain plus a homonym
+// intruder (a taxonomy source whose schema reads like a person directory),
+// attaches value data to each source, and runs the consistency check.
+func ConsistencyExperiment() (*ConsistencyResult, error) {
+	// Four people directories and one biology source with people-like
+	// attribute names ('family name', 'first appeared' → 'first', etc.).
+	corpus := schema.Set{
+		{Name: "faculty-a", Attributes: []string{"family name", "first name", "email", "office"}, Labels: []string{"people"}},
+		{Name: "faculty-b", Attributes: []string{"family name", "first name", "email", "phone"}, Labels: []string{"people"}},
+		{Name: "faculty-c", Attributes: []string{"family name", "first name", "office", "phone"}, Labels: []string{"people"}},
+		{Name: "staff-d", Attributes: []string{"family name", "first name", "email", "department"}, Labels: []string{"people"}},
+		{Name: "taxa-x", Attributes: []string{"family name", "first name", "email", "office"}, Labels: []string{"animals"}},
+	}
+
+	m, err := BuildStandardModel(corpus, 0.25, DefaultTheta)
+	if err != nil {
+		return nil, err
+	}
+	res := &ConsistencyResult{}
+	// The intruder's schema is attribute-for-attribute identical to
+	// faculty-a, so clustering must merge them.
+	res.MergedByNames = m.Clustering.Assign[4] == m.Clustering.Assign[0]
+
+	// Mediate the domain containing the intruder and attach data.
+	domain := m.Clustering.Assign[4]
+	var members schema.Set
+	for _, si := range m.Clustering.Members[domain] {
+		members = append(members, corpus[si])
+	}
+	opts := mediate.DefaultOptions()
+	opts.Negative = true
+	med, err := mediate.Build(members, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	surnames := []string{"Okafor", "Silva", "Tanaka", "Weiss", "Xu"}
+	firsts := []string{"Alice", "Bruno", "Chen", "Dalia", "Emil"}
+	taxaFamilies := []string{"Felidae", "Canidae", "Ursidae", "Mustelidae", "Otariidae"}
+	taxaGenera := []string{"Panthera", "Canis", "Ursus", "Lutra", "Zalophus"}
+
+	sources := make([]engine.Source, len(members))
+	for k, s := range members {
+		rows := make([]engine.Tuple, 5)
+		intruder := strings.HasPrefix(s.Name, "taxa")
+		for r := range rows {
+			row := make(engine.Tuple, len(s.Attributes))
+			for c, attr := range s.Attributes {
+				switch {
+				case strings.Contains(attr, "family") && intruder:
+					row[c] = taxaFamilies[r]
+				case strings.Contains(attr, "family"):
+					row[c] = surnames[r]
+				case strings.Contains(attr, "first") && intruder:
+					row[c] = taxaGenera[r]
+				case strings.Contains(attr, "first"):
+					row[c] = firsts[r]
+				case strings.Contains(attr, "email"):
+					if intruder {
+						row[c] = fmt.Sprintf("curator%d@zoo.example", r)
+					} else {
+						row[c] = fmt.Sprintf("%s@uni.example", strings.ToLower(firsts[r]))
+					}
+				default:
+					row[c] = fmt.Sprintf("v%d", r)
+				}
+			}
+			rows[r] = row
+		}
+		sources[k] = engine.Source{Schema: s, Tuples: rows}
+	}
+
+	suggestions, err := feedback.CheckConsistency(med, sources, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	for _, sg := range suggestions {
+		if strings.HasPrefix(members[sg.Schema].Name, "taxa") {
+			res.IntruderOverlap = sg.Overlap
+		} else {
+			res.FalseFlags++
+		}
+	}
+	res.Flagged = len(suggestions) > 0 && strings.HasPrefix(members[suggestions[0].Schema].Name, "taxa")
+	return res, nil
+}
+
+// Render prints the consistency experiment outcome.
+func (r *ConsistencyResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Extension (Ch. 7): automatic feedback from retrieved data\n")
+	fmt.Fprintf(&sb, "  name-based clustering merged the taxonomy source with people: %v\n", r.MergedByNames)
+	fmt.Fprintf(&sb, "  consistency check flagged it as the least consistent source:  %v (overlap %.2f)\n",
+		r.Flagged, r.IntruderOverlap)
+	return sb.String()
+}

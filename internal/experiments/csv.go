@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV export of the experiment series, for plotting the figures with
+// external tools. Layout mirrors the thesis' axes: one row per τ (or query
+// size), one column per series.
+
+// WriteFigureCSV writes one of Figures 6.2–6.6 as CSV: a tau column
+// followed by one column per linkage.
+func WriteFigureCSV(w io.Writer, series []SweepSeries, fm FigureMetric) error {
+	cw := csv.NewWriter(w)
+	header := []string{"tau_c_sim"}
+	for _, s := range series {
+		header = append(header, s.Method.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if len(series) > 0 {
+		for pi, p := range series[0].Points {
+			row := []string{formatFloat(p.Tau)}
+			for _, s := range series {
+				row = append(row, formatFloat(fm.Value(s.Points[pi].Metrics)))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteClassificationCSV writes a Figure 6.7-style curve as CSV.
+func WriteClassificationCSV(w io.Writer, res *ClassificationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"keywords", "top1", "top3"}); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		err := cw.Write([]string{
+			strconv.Itoa(p.Size), formatFloat(p.Top1), formatFloat(p.Top3),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable62CSV writes Table 6.2 as CSV with one row per (corpus, tau).
+func WriteTable62CSV(w io.Writer, cells []Table62Cell) error {
+	cw := csv.NewWriter(w)
+	header := []string{"corpus", "tau", "precision", "recall", "unclustered", "nonhomogeneous", "fragmentation"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		err := cw.Write([]string{
+			c.Corpus, formatFloat(c.Tau),
+			formatFloat(c.Metrics.Precision), formatFloat(c.Metrics.Recall),
+			formatFloat(c.Metrics.FracUnclustered), formatFloat(c.Metrics.FracNonHomogeneous),
+			formatFloat(c.Metrics.Fragmentation),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

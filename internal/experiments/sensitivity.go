@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"schemaflow/internal/eval"
+)
+
+// Seed sensitivity: the thesis claims its results are robust ("clustering is
+// robust since it is not very sensitive to minor changes in τ_c_sim"); on
+// synthetic corpora the corresponding question is whether the reproduced
+// numbers depend on the generator seed. This experiment re-runs the Table
+// 6.2 operating point over several independently generated corpora and
+// reports mean and standard deviation of every measure.
+
+// SensitivityRow aggregates one measure across seeds.
+type SensitivityRow struct {
+	Measure string
+	Mean    float64
+	StdDev  float64
+	Min     float64
+	Max     float64
+}
+
+// SeedSensitivity evaluates the DW∪SS corpus at τ (Avg Jaccard, default θ)
+// across n different generator seeds.
+func SeedSensitivity(baseSeed int64, n int, tau float64) ([]SensitivityRow, error) {
+	type sample struct{ p, r, f, nh, uc float64 }
+	samples := make([]sample, 0, n)
+	for k := 0; k < n; k++ {
+		c := LoadCorpora(baseSeed + int64(k)*101)
+		m, err := BuildStandardModel(c.Both, tau, DefaultTheta)
+		if err != nil {
+			return nil, err
+		}
+		mt := eval.Evaluate(m, c.Both)
+		samples = append(samples, sample{
+			p: mt.Precision, r: mt.Recall, f: mt.Fragmentation,
+			nh: mt.FracNonHomogeneous, uc: mt.FracUnclustered,
+		})
+	}
+	rows := []SensitivityRow{
+		aggregate("precision", samples, func(s sample) float64 { return s.p }),
+		aggregate("recall", samples, func(s sample) float64 { return s.r }),
+		aggregate("fragmentation", samples, func(s sample) float64 { return s.f }),
+		aggregate("non-homogeneous", samples, func(s sample) float64 { return s.nh }),
+		aggregate("unclustered", samples, func(s sample) float64 { return s.uc }),
+	}
+	return rows, nil
+}
+
+func aggregate[T any](name string, samples []T, get func(T) float64) SensitivityRow {
+	row := SensitivityRow{Measure: name, Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, s := range samples {
+		v := get(s)
+		row.Mean += v
+		if v < row.Min {
+			row.Min = v
+		}
+		if v > row.Max {
+			row.Max = v
+		}
+	}
+	n := float64(len(samples))
+	row.Mean /= n
+	for _, s := range samples {
+		d := get(s) - row.Mean
+		row.StdDev += d * d
+	}
+	if len(samples) > 1 {
+		row.StdDev = math.Sqrt(row.StdDev / (n - 1))
+	}
+	return row
+}
+
+// RenderSensitivity prints the aggregate table.
+func RenderSensitivity(rows []SensitivityRow, n int, tau float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Seed sensitivity: DW∪SS at tau=%.2f across %d generated corpora\n", tau, n)
+	fmt.Fprintf(&sb, "%-18s %8s %8s %8s %8s\n", "measure", "mean", "stddev", "min", "max")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %8.3f %8.3f %8.3f %8.3f\n", r.Measure, r.Mean, r.StdDev, r.Min, r.Max)
+	}
+	return sb.String()
+}

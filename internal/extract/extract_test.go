@@ -1,0 +1,315 @@
+package extract
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// expediaForm mimics the Figure 6.1 deep-web example: the extracted schema
+// should be {departure airport, destination airport, departing (mm/dd/yy),
+// returning (mm/dd/yy), airline, class}.
+const expediaForm = `
+<!DOCTYPE html>
+<html><head><title>Flight search</title>
+<script>var x = "<form>not a real form</form>";</script>
+<style>.form { color: red; }</style>
+</head><body>
+<form id="flightsearch" action="/search">
+  <label for="dep">Departure airport:</label>
+  <input type="text" id="dep" name="dep_airport">
+  <label for="dst">Destination airport:</label>
+  <input type="text" id="dst" name="dst_airport">
+  <label>Departing (mm/dd/yy) <input type="text" name="depart_date"></label>
+  <label>Returning (mm/dd/yy) <input type="text" name="return_date"></label>
+  <select name="airline"><option>Any</option></select>
+  <select aria-label="Class"><option>Economy</option></select>
+  <input type="hidden" name="csrf" value="xyz">
+  <input type="submit" value="Search">
+</form>
+</body></html>`
+
+func TestFormsExpediaExample(t *testing.T) {
+	set, err := Forms(strings.NewReader(expediaForm), "expedia.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("extracted %d schemas, want 1", len(set))
+	}
+	got := set[0]
+	if got.Name != "expedia.com#flightsearch" {
+		t.Errorf("schema name = %q", got.Name)
+	}
+	want := []string{
+		"Departure airport", "Destination airport",
+		"Departing (mm/dd/yy)", "Returning (mm/dd/yy)",
+		"airline", "Class",
+	}
+	if !reflect.DeepEqual(got.Attributes, want) {
+		t.Fatalf("attributes = %v\nwant %v", got.Attributes, want)
+	}
+}
+
+func TestFormsMultipleForms(t *testing.T) {
+	html := `
+<form name="login"><input name="username"><input type="password" name="password"></form>
+<form name="search"><input name="query_terms" placeholder="Search books"></form>`
+	set, err := Forms(strings.NewReader(html), "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("extracted %d schemas, want 2", len(set))
+	}
+	if set[0].Name != "site#login" || set[1].Name != "site#search" {
+		t.Errorf("names: %q, %q", set[0].Name, set[1].Name)
+	}
+	if !reflect.DeepEqual(set[0].Attributes, []string{"username", "password"}) {
+		t.Errorf("login attrs = %v", set[0].Attributes)
+	}
+	// Placeholder wins over humanized name.
+	if !reflect.DeepEqual(set[1].Attributes, []string{"Search books"}) {
+		t.Errorf("search attrs = %v", set[1].Attributes)
+	}
+}
+
+func TestFormsNoFormTag(t *testing.T) {
+	html := `<div><input name="first_name"><input name="lastName"></div>`
+	set, err := Forms(strings.NewReader(html), "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("extracted %d schemas", len(set))
+	}
+	want := []string{"first name", "last name"}
+	if !reflect.DeepEqual(set[0].Attributes, want) {
+		t.Errorf("attributes = %v, want %v", set[0].Attributes, want)
+	}
+}
+
+func TestFormsEmptyAndMalformed(t *testing.T) {
+	for _, html := range []string{
+		"",
+		"<p>no fields here</p>",
+		"<form></form>",
+		"< broken <<< markup > <input name=",
+	} {
+		set, err := Forms(strings.NewReader(html), "x")
+		if err != nil {
+			t.Fatalf("%q: %v", html, err)
+		}
+		if len(set) != 0 {
+			t.Errorf("%q: extracted %v", html, set)
+		}
+	}
+}
+
+func TestFormsDeduplicates(t *testing.T) {
+	html := `<form><input name="city"><input name="city"></form>`
+	set, _ := Forms(strings.NewReader(html), "x")
+	if len(set) != 1 || len(set[0].Attributes) != 1 {
+		t.Fatalf("set = %v", set)
+	}
+}
+
+func TestTables(t *testing.T) {
+	html := `
+<table id="courses">
+  <tr><th>Course Title</th><th>Instructor</th><th>Credits</th></tr>
+  <tr><td>Databases</td><td>Smith</td><td>3</td></tr>
+</table>
+<table><tr><td>no headers</td></tr></table>
+<table><thead><tr><th>Song</th><th>Artist/Composer</th><th>Genre</th></tr></thead></table>`
+	set, err := Tables(strings.NewReader(html), "page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("extracted %d table schemas, want 2: %v", len(set), set)
+	}
+	if !reflect.DeepEqual(set[0].Attributes, []string{"Course Title", "Instructor", "Credits"}) {
+		t.Errorf("table 1 = %v", set[0].Attributes)
+	}
+	if !reflect.DeepEqual(set[1].Attributes, []string{"Song", "Artist/Composer", "Genre"}) {
+		t.Errorf("table 2 = %v", set[1].Attributes)
+	}
+	if set[0].Name != "page#courses" {
+		t.Errorf("table 1 name = %q", set[0].Name)
+	}
+}
+
+func TestTablesNestedTableSkipped(t *testing.T) {
+	html := `
+<table>
+  <tr><th>Outer A</th><th>Outer B<table><tr><th>Inner</th></tr></table></th></tr>
+</table>`
+	set, err := Tables(strings.NewReader(html), "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer table's headers recorded; the nested table also matches the
+	// <table> scan and yields its own schema.
+	if len(set) == 0 {
+		t.Fatal("no schemas")
+	}
+	for _, a := range set[0].Attributes {
+		if a == "Inner" {
+			t.Fatalf("inner header leaked into outer schema: %v", set[0].Attributes)
+		}
+	}
+}
+
+func TestSpreadsheetSimple(t *testing.T) {
+	csvData := "song,artist/composer,genre\nHey,Someone,pop\n"
+	set, err := Spreadsheet(strings.NewReader(csvData), "music.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("extracted %d schemas", len(set))
+	}
+	want := []string{"song", "artist/composer", "genre"}
+	if !reflect.DeepEqual(set[0].Attributes, want) {
+		t.Errorf("attributes = %v, want %v", set[0].Attributes, want)
+	}
+}
+
+func TestSpreadsheetTitleRowSkipped(t *testing.T) {
+	csvData := "My Favorite Songs 2010,,\n,,\nsong,artist,genre\nHey,Someone,pop\n"
+	set, err := Spreadsheet(strings.NewReader(csvData), "s.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("extracted %d schemas", len(set))
+	}
+	if !reflect.DeepEqual(set[0].Attributes, []string{"song", "artist", "genre"}) {
+		t.Errorf("attributes = %v", set[0].Attributes)
+	}
+}
+
+func TestSpreadsheetTSV(t *testing.T) {
+	tsv := "Name\tGrade\tSchool\tDistrict\tProject\nPat\t5\tKing PS\tTVDSB\tVolcano\n"
+	set, err := Spreadsheet(strings.NewReader(tsv), "projects.tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Fatalf("extracted %d schemas", len(set))
+	}
+	want := []string{"Name", "Grade", "School", "District", "Project"}
+	if !reflect.DeepEqual(set[0].Attributes, want) {
+		t.Errorf("attributes = %v, want %v", set[0].Attributes, want)
+	}
+}
+
+func TestSpreadsheetNumericRowsRejected(t *testing.T) {
+	csvData := "1,2,3\n4,5,6\n"
+	set, err := Spreadsheet(strings.NewReader(csvData), "nums.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("numeric sheet produced schema: %v", set)
+	}
+	if set, _ := Spreadsheet(strings.NewReader(""), "empty.csv"); len(set) != 0 {
+		t.Fatal("empty sheet produced schema")
+	}
+}
+
+func TestNTriples(t *testing.T) {
+	nt := `
+# a comment
+<http://ex.org/p1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://xmlns.com/foaf/0.1/Person> .
+<http://ex.org/p1> <http://xmlns.com/foaf/0.1/firstName> "Alice" .
+<http://ex.org/p1> <http://xmlns.com/foaf/0.1/mbox> <mailto:a@ex.org> .
+<http://ex.org/p2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://xmlns.com/foaf/0.1/Person> .
+<http://ex.org/p2> <http://xmlns.com/foaf/0.1/familyName> "Okafor"@en .
+<http://ex.org/b1> <http://purl.org/dc/terms/title> "A Book"^^<http://www.w3.org/2001/XMLSchema#string> .
+_:blank <http://purl.org/dc/terms/creator> _:other .
+this line is malformed
+`
+	set, err := NTriples(strings.NewReader(nt), "dump.nt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("extracted %d schemas, want 2 (Person + untyped): %v", len(set), set)
+	}
+	// Sorted by type IRI: "(untyped)" < "http://...Person".
+	untyped, person := set[0], set[1]
+	if person.Name != "dump.nt#person" {
+		t.Errorf("person schema name = %q", person.Name)
+	}
+	wantPerson := []string{"family name", "first name", "mbox"}
+	if !reflect.DeepEqual(person.Attributes, wantPerson) {
+		t.Errorf("person attrs = %v, want %v", person.Attributes, wantPerson)
+	}
+	wantUntyped := []string{"creator", "title"}
+	if !reflect.DeepEqual(untyped.Attributes, wantUntyped) {
+		t.Errorf("untyped attrs = %v, want %v", untyped.Attributes, wantUntyped)
+	}
+}
+
+func TestHumanizeName(t *testing.T) {
+	tests := map[string]string{
+		"departure_city":   "departure city",
+		"departureCity":    "departure city",
+		"fields[dep-city]": "fields dep city",
+		"ALLCAPS":          "allcaps",
+		"first.name":       "first name",
+	}
+	for in, want := range tests {
+		if got := humanizeName(in); got != want {
+			t.Errorf("humanizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCleanText(t *testing.T) {
+	tests := map[string]string{
+		"  Departure   airport: ": "Departure airport",
+		"Name *":                  "Name",
+		"plain":                   "plain",
+		" \t\n ":                  "",
+	}
+	for in, want := range tests {
+		if got := cleanText(in); got != want {
+			t.Errorf("cleanText(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTokenizerEntities(t *testing.T) {
+	tokens := tokenizeHTML(`<p title="a &amp; b">x &lt; y</p>`)
+	var text, attr string
+	for _, t := range tokens {
+		if t.typ == textToken {
+			text = t.data
+		}
+		if t.typ == startTagToken && t.data == "p" {
+			attr = t.attrs["title"]
+		}
+	}
+	if text != "x < y" {
+		t.Errorf("text = %q", text)
+	}
+	if attr != "a & b" {
+		t.Errorf("attr = %q", attr)
+	}
+}
+
+func TestTokenizerRobustness(t *testing.T) {
+	// None of these may panic or loop forever.
+	inputs := []string{
+		"<", "<>", "< p>", "</", "</>", "<!--", "<!-- unterminated",
+		"<script>never closed", "<a href=unquoted>x</a>",
+		"<input disabled>", `<a b='single'>`, "<a b=>",
+		strings.Repeat("<div>", 1000),
+	}
+	for _, in := range inputs {
+		_ = tokenizeHTML(in)
+	}
+}

@@ -1,0 +1,239 @@
+package extract
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"schemaflow/internal/schema"
+)
+
+// Forms extracts one schema per <form> element of an HTML document — the
+// deep-web case of Figure 6.1: the attribute names are the visible field
+// labels where available, falling back to placeholders and humanized field
+// names. A document without <form> tags but with named inputs yields a
+// single schema for the whole page.
+//
+// Attribute-name resolution per field, in priority order:
+//  1. the <label for=...> whose target is the field's id;
+//  2. the text of a <label> lexically enclosing the field;
+//  3. the field's aria-label or placeholder;
+//  4. the humanized name attribute ("departure_city" → "departure city").
+//
+// Hidden, submit, button, reset, and image inputs carry no schema
+// information and are skipped.
+func Forms(r io.Reader, sourceName string) (schema.Set, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: reading %s: %w", sourceName, err)
+	}
+	tokens := tokenizeHTML(string(raw))
+
+	// Pass 1: label texts by "for" target.
+	labelFor := make(map[string]string)
+	for i := 0; i < len(tokens); i++ {
+		t := tokens[i]
+		if t.typ == startTagToken && t.data == "label" && t.attrs["for"] != "" {
+			labelFor[t.attrs["for"]] = cleanText(textUntilClose(tokens, i, "label"))
+		}
+	}
+
+	// Pass 2: walk fields, tracking form and label nesting.
+	type formAcc struct {
+		name  string
+		attrs []string
+		seen  map[string]bool
+	}
+	var forms []*formAcc
+	page := &formAcc{name: sourceName, seen: map[string]bool{}}
+	var current *formAcc
+	labelDepth := 0
+	labelText := ""
+
+	add := func(acc *formAcc, name string) {
+		name = cleanText(name)
+		if name == "" || acc.seen[name] {
+			return
+		}
+		acc.seen[name] = true
+		acc.attrs = append(acc.attrs, name)
+	}
+
+	for i := 0; i < len(tokens); i++ {
+		t := tokens[i]
+		switch t.typ {
+		case startTagToken, selfClosingToken:
+			switch t.data {
+			case "form":
+				current = &formAcc{name: formName(sourceName, len(forms), t.attrs), seen: map[string]bool{}}
+				forms = append(forms, current)
+			case "label":
+				if t.attrs["for"] == "" && t.typ == startTagToken {
+					labelDepth++
+					labelText = cleanText(textUntilClose(tokens, i, "label"))
+				}
+			case "input", "select", "textarea":
+				if t.data == "input" {
+					switch strings.ToLower(t.attrs["type"]) {
+					case "hidden", "submit", "button", "reset", "image":
+						continue
+					}
+				}
+				name := fieldName(t.attrs, labelFor, labelDepth > 0, labelText)
+				acc := current
+				if acc == nil {
+					acc = page
+				}
+				add(acc, name)
+			}
+		case endTagToken:
+			switch t.data {
+			case "form":
+				current = nil
+			case "label":
+				if labelDepth > 0 {
+					labelDepth--
+				}
+			}
+		}
+	}
+
+	var out schema.Set
+	for _, f := range forms {
+		if len(f.attrs) > 0 {
+			out = append(out, schema.Schema{Name: f.name, Attributes: f.attrs})
+		}
+	}
+	if len(out) == 0 && len(page.attrs) > 0 {
+		out = append(out, schema.Schema{Name: sourceName, Attributes: page.attrs})
+	}
+	return out, nil
+}
+
+func formName(source string, index int, attrs map[string]string) string {
+	for _, key := range []string{"id", "name", "action"} {
+		if v := attrs[key]; v != "" {
+			return source + "#" + v
+		}
+	}
+	return fmt.Sprintf("%s#form%d", source, index)
+}
+
+// fieldName resolves a field's attribute name per the priority order.
+func fieldName(attrs, labelFor map[string]string, inLabel bool, labelText string) string {
+	if id := attrs["id"]; id != "" {
+		if l := labelFor[id]; l != "" {
+			return l
+		}
+	}
+	if inLabel && labelText != "" {
+		return labelText
+	}
+	if l := attrs["aria-label"]; l != "" {
+		return l
+	}
+	if p := attrs["placeholder"]; p != "" {
+		return p
+	}
+	if n := attrs["name"]; n != "" {
+		return humanizeName(n)
+	}
+	return ""
+}
+
+// textUntilClose concatenates the text tokens between tokens[start] (a start
+// tag) and its matching end tag, tolerating unbalanced markup by stopping at
+// the first matching close.
+func textUntilClose(tokens []token, start int, tag string) string {
+	var sb strings.Builder
+	depth := 0
+	for i := start; i < len(tokens); i++ {
+		t := tokens[i]
+		switch {
+		case t.typ == startTagToken && t.data == tag:
+			depth++
+		case t.typ == endTagToken && t.data == tag:
+			depth--
+			if depth <= 0 {
+				return sb.String()
+			}
+		case t.typ == textToken && depth > 0:
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.data)
+		}
+	}
+	return sb.String()
+}
+
+// Tables extracts one schema per <table> whose first row contains <th>
+// header cells — the HTML-table case of Figure 6.1.
+func Tables(r io.Reader, sourceName string) (schema.Set, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: reading %s: %w", sourceName, err)
+	}
+	tokens := tokenizeHTML(string(raw))
+
+	var out schema.Set
+	tableIdx := 0
+	for i := 0; i < len(tokens); i++ {
+		if tokens[i].typ != startTagToken || tokens[i].data != "table" {
+			continue
+		}
+		name := formName(sourceName, tableIdx, tokens[i].attrs)
+		tableIdx++
+		headers := tableHeaders(tokens, i)
+		if len(headers) > 0 {
+			out = append(out, schema.Schema{Name: name, Attributes: headers})
+		}
+	}
+	return out, nil
+}
+
+// tableHeaders collects the <th> texts of the table's first header row.
+func tableHeaders(tokens []token, start int) []string {
+	var headers []string
+	depth := 0
+	inRow := false
+	rowDone := false
+	for i := start; i < len(tokens) && !rowDone; i++ {
+		t := tokens[i]
+		switch {
+		case t.typ == startTagToken && t.data == "table":
+			depth++
+			if depth > 1 {
+				// Nested table: skip it entirely.
+				skip := 1
+				for j := i + 1; j < len(tokens); j++ {
+					if tokens[j].typ == startTagToken && tokens[j].data == "table" {
+						skip++
+					}
+					if tokens[j].typ == endTagToken && tokens[j].data == "table" {
+						skip--
+						if skip == 0 {
+							i = j
+							break
+						}
+					}
+				}
+				depth--
+			}
+		case t.typ == endTagToken && t.data == "table":
+			rowDone = true
+		case t.typ == startTagToken && t.data == "tr":
+			inRow = true
+		case t.typ == endTagToken && t.data == "tr":
+			if inRow && len(headers) > 0 {
+				rowDone = true
+			}
+			inRow = false
+		case t.typ == startTagToken && t.data == "th" && inRow:
+			if h := cleanText(textUntilClose(tokens, i, "th")); h != "" {
+				headers = append(headers, h)
+			}
+		}
+	}
+	return headers
+}

@@ -1,0 +1,275 @@
+// Package extract implements the schema-extraction substrate of Section
+// 6.1.1 (Figure 6.1): turning structured data sources into the single-table
+// schemas the system clusters. The thesis built its corpora by extracting
+//
+//   - attribute names from deep-web form interfaces (labels and field names
+//     of HTML forms),
+//   - column headers from HTML tables, and
+//   - column headers from downloadable spreadsheets;
+//
+// this package does the same, plus an N-Triples extractor for RDF sources
+// (the "other types of data sources such as RDF data" extension the
+// conclusion proposes). Everything is stdlib-only, including the HTML
+// tokenizer.
+package extract
+
+import (
+	"strings"
+	"unicode"
+)
+
+// tokenType discriminates HTML tokens.
+type tokenType int
+
+const (
+	textToken tokenType = iota
+	startTagToken
+	endTagToken
+	selfClosingToken
+	commentToken
+	doctypeToken
+)
+
+// token is one lexical HTML token. For tag tokens, data is the lower-cased
+// tag name and attrs the lower-cased attribute map; for text and comments,
+// data is the (entity-decoded) content.
+type token struct {
+	typ   tokenType
+	data  string
+	attrs map[string]string
+}
+
+// tokenizeHTML lexes an HTML document. It is a pragmatic tokenizer for
+// schema extraction, not a spec-complete parser: it handles comments,
+// doctypes, quoted/unquoted attributes, self-closing tags, and raw-text
+// elements (script/style, whose contents are skipped), and it never fails —
+// malformed markup degrades to text.
+func tokenizeHTML(input string) []token {
+	var out []token
+	i := 0
+	n := len(input)
+	for i < n {
+		lt := strings.IndexByte(input[i:], '<')
+		if lt < 0 {
+			out = appendText(out, input[i:])
+			break
+		}
+		if lt > 0 {
+			out = appendText(out, input[i:i+lt])
+			i += lt
+		}
+		// input[i] == '<'
+		switch {
+		case strings.HasPrefix(input[i:], "<!--"):
+			end := strings.Index(input[i+4:], "-->")
+			if end < 0 {
+				out = append(out, token{typ: commentToken, data: input[i+4:]})
+				i = n
+			} else {
+				out = append(out, token{typ: commentToken, data: input[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(input[i:], "<!") || strings.HasPrefix(input[i:], "<?"):
+			end := strings.IndexByte(input[i:], '>')
+			if end < 0 {
+				i = n
+			} else {
+				out = append(out, token{typ: doctypeToken, data: input[i+2 : i+end]})
+				i += end + 1
+			}
+		case strings.HasPrefix(input[i:], "</"):
+			name, _, consumed := parseTag(input[i+2:])
+			if name == "" {
+				out = appendText(out, "<")
+				i++
+				break
+			}
+			out = append(out, token{typ: endTagToken, data: name})
+			i += 2 + consumed
+		default:
+			name, attrs, consumed := parseTag(input[i+1:])
+			if name == "" {
+				// A lone '<' that does not open a tag: literal text.
+				out = appendText(out, "<")
+				i++
+				break
+			}
+			typ := startTagToken
+			if consumed >= 2 && strings.HasSuffix(strings.TrimRight(input[i+1:i+1+consumed], ">"), "/") {
+				typ = selfClosingToken
+			}
+			out = append(out, token{typ: typ, data: name, attrs: attrs})
+			i += 1 + consumed
+			// Raw-text elements: skip to the matching close tag.
+			if typ == startTagToken && (name == "script" || name == "style") {
+				idx := indexFold(input[i:], "</"+name)
+				if idx < 0 {
+					i = n
+					break
+				}
+				i += idx
+				gt := strings.IndexByte(input[i:], '>')
+				if gt < 0 {
+					i = n
+				} else {
+					out = append(out, token{typ: endTagToken, data: name})
+					i += gt + 1
+				}
+			}
+		}
+	}
+	return out
+}
+
+func appendText(out []token, s string) []token {
+	if strings.TrimSpace(s) == "" {
+		return out
+	}
+	return append(out, token{typ: textToken, data: decodeEntities(s)})
+}
+
+// parseTag parses "name attr=val ... >" (the input starts just past '<' or
+// "</"). It returns the lower-cased tag name, attributes, and the number of
+// bytes consumed including the closing '>'. A leading non-letter yields an
+// empty name (not a tag).
+func parseTag(s string) (string, map[string]string, int) {
+	if s == "" || !isASCIILetter(s[0]) {
+		return "", nil, 0
+	}
+	i := 0
+	for i < len(s) && (isASCIILetter(s[i]) || isASCIIDigit(s[i]) || s[i] == '-' || s[i] == ':') {
+		i++
+	}
+	name := strings.ToLower(s[:i])
+	var attrs map[string]string
+	for i < len(s) {
+		// Skip whitespace and stray slashes.
+		for i < len(s) && (isSpace(s[i]) || s[i] == '/') {
+			i++
+		}
+		if i >= len(s) {
+			return name, attrs, i
+		}
+		if s[i] == '>' {
+			return name, attrs, i + 1
+		}
+		// Attribute name.
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '>' && !isSpace(s[i]) && s[i] != '/' {
+			i++
+		}
+		aname := strings.ToLower(s[start:i])
+		aval := ""
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i < len(s) && s[i] == '=' {
+			i++
+			for i < len(s) && isSpace(s[i]) {
+				i++
+			}
+			if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+				quote := s[i]
+				i++
+				vstart := i
+				for i < len(s) && s[i] != quote {
+					i++
+				}
+				aval = s[vstart:i]
+				if i < len(s) {
+					i++ // closing quote
+				}
+			} else {
+				vstart := i
+				for i < len(s) && !isSpace(s[i]) && s[i] != '>' {
+					i++
+				}
+				aval = s[vstart:i]
+			}
+		}
+		if aname != "" {
+			if attrs == nil {
+				attrs = make(map[string]string)
+			}
+			attrs[aname] = decodeEntities(aval)
+		}
+	}
+	return name, attrs, i
+}
+
+// indexFold returns the index of the first ASCII-case-insensitive
+// occurrence of pat (which must be lower-case) in s, or -1. Unlike
+// strings.Index(strings.ToLower(s), pat) it allocates nothing, which keeps
+// adversarial inputs with thousands of raw-text tags linear.
+func indexFold(s, pat string) int {
+	if len(pat) == 0 {
+		return 0
+	}
+	for i := 0; i+len(pat) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(pat); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != pat[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func isASCIILetter(b byte) bool {
+	return (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isASCIIDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isSpace(b byte) bool {
+	return b == ' ' || b == '\t' || b == '\n' || b == '\r' || b == '\f'
+}
+
+// decodeEntities resolves the handful of character references that actually
+// occur in attribute names and labels.
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`,
+	"&#39;", "'", "&apos;", "'", "&nbsp;", " ", "&#160;", " ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// cleanText collapses whitespace and trims label punctuation ("Departure
+// airport:" → "Departure airport").
+func cleanText(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	s = strings.TrimRightFunc(s, func(r rune) bool {
+		return r == ':' || r == '*' || r == '?' || unicode.IsSpace(r)
+	})
+	return strings.TrimSpace(s)
+}
+
+// humanizeName converts a machine field name ("departure_city",
+// "departureCity", "fields[dep-city]") into an attribute name phrase.
+func humanizeName(s string) string {
+	s = strings.NewReplacer("_", " ", "-", " ", ".", " ", "[", " ", "]", " ").Replace(s)
+	// Split camelCase humps.
+	var sb strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		if i > 0 && unicode.IsUpper(r) && unicode.IsLower(runes[i-1]) {
+			sb.WriteByte(' ')
+		}
+		sb.WriteRune(unicode.ToLower(r))
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

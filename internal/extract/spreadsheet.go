@@ -1,0 +1,80 @@
+package extract
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"schemaflow/internal/schema"
+)
+
+// Spreadsheet extracts the column-header schema of a CSV/TSV export — the
+// downloadable-spreadsheet case of Figure 6.1 ({song, artist/composer,
+// genre} in the thesis' example).
+//
+// Real spreadsheets often carry a title row or blank padding above the
+// actual header, so the extractor scans the first few rows and picks the
+// first row that *looks like* a header: mostly non-empty, mostly non-numeric
+// cells, and wider than one column. Comma and tab delimiters are
+// auto-detected from the first line.
+func Spreadsheet(r io.Reader, sourceName string) (schema.Set, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("extract: reading %s: %w", sourceName, err)
+	}
+	content := string(raw)
+	if strings.TrimSpace(content) == "" {
+		return nil, nil
+	}
+	cr := csv.NewReader(strings.NewReader(content))
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = true
+	if firstLine, _, ok := strings.Cut(content, "\n"); ok || firstLine != "" {
+		if strings.Count(firstLine, "\t") > strings.Count(firstLine, ",") {
+			cr.Comma = '\t'
+		}
+	}
+
+	const maxScan = 10
+	for rowIdx := 0; rowIdx < maxScan; rowIdx++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("extract: %s row %d: %w", sourceName, rowIdx+1, err)
+		}
+		if headers := headerRow(row); headers != nil {
+			return schema.Set{{Name: sourceName, Attributes: headers}}, nil
+		}
+	}
+	return nil, nil
+}
+
+// headerRow returns the cleaned header cells if the row qualifies as a
+// header, else nil. Duplicated header cells (common in real exports) are
+// collapsed first; a header then needs at least two distinct labeled
+// columns and must be predominantly textual (a data row of numbers must
+// not win).
+func headerRow(row []string) []string {
+	seen := make(map[string]bool, len(row))
+	var cells []string
+	numeric := 0
+	for _, c := range row {
+		c = cleanText(c)
+		if c == "" || seen[c] {
+			continue
+		}
+		seen[c] = true
+		if _, err := strconv.ParseFloat(strings.ReplaceAll(c, ",", ""), 64); err == nil {
+			numeric++
+		}
+		cells = append(cells, c)
+	}
+	if len(cells) < 2 || numeric*2 > len(cells) {
+		return nil
+	}
+	return cells
+}

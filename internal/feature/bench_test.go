@@ -1,0 +1,68 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+
+	"schemaflow/internal/schema"
+)
+
+// benchCorpus synthesizes an n-schema corpus over a realistic vocabulary
+// without importing the dataset package (which would invert the dependency
+// order for no gain).
+func benchCorpus(n int) schema.Set {
+	words := []string{
+		"title", "authors", "publication", "year", "venue", "pages",
+		"make", "model", "mileage", "price", "color", "transmission",
+		"name", "phone", "email", "address", "city", "state",
+		"genre", "director", "rating", "runtime", "course", "credits",
+		"instructor", "room", "semester", "department", "enrollment",
+	}
+	rng := rand.New(rand.NewSource(7))
+	set := make(schema.Set, n)
+	for i := range set {
+		attrs := make([]string, 4+rng.Intn(5))
+		for j := range attrs {
+			attrs[j] = words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		}
+		set[i] = schema.Schema{Name: "s", Attributes: attrs}
+	}
+	return set
+}
+
+func BenchmarkBuild315(b *testing.B) {
+	set := benchCorpus(315) // DW∪SS scale
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(set, DefaultConfig())
+	}
+}
+
+func BenchmarkBuildLite315(b *testing.B) {
+	set := benchCorpus(315)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BuildLite(set, DefaultConfig())
+	}
+}
+
+func BenchmarkBuild1000(b *testing.B) {
+	set := benchCorpus(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(set, DefaultConfig())
+	}
+}
+
+func BenchmarkQueryVector(b *testing.B) {
+	sp := Build(benchCorpus(315), DefaultConfig())
+	keywords := []string{"publication", "authors", "title"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.QueryVector(keywords)
+	}
+}

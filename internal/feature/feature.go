@@ -1,0 +1,318 @@
+// Package feature implements Algorithm 1 of the thesis: representing every
+// schema as a binary feature vector over the global term vocabulary L.
+//
+// Feature j of schema S_i is 1 iff S_i contains a term whose similarity to
+// vocabulary term L_j is at least τ_t_sim under the configured term
+// similarity function (LCS-substring similarity with τ = 0.8 by default).
+// The same vector space later embeds keyword queries (Chapter 5).
+package feature
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"schemaflow/internal/bitvec"
+	"schemaflow/internal/schema"
+	"schemaflow/internal/strsim"
+	"schemaflow/internal/terms"
+)
+
+// Mode selects the feature representation.
+type Mode int
+
+const (
+	// Binary is the thesis' representation: F_j ∈ {0,1} (Section 4.1 —
+	// "schema attributes usually contain a few terms, so binary features
+	// are sufficient").
+	Binary Mode = iota
+	// TermFrequency keeps per-feature match counts (how many of the
+	// schema's terms matched vocabulary term j) and measures similarity by
+	// generalized Jaccard Σmin/Σmax. Provided to test the thesis' claim
+	// that counting adds nothing.
+	TermFrequency
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == TermFrequency {
+		return "term-frequency"
+	}
+	return "binary"
+}
+
+// Config controls feature-space construction.
+type Config struct {
+	// TermOpts controls term extraction from attribute names.
+	TermOpts terms.Options
+	// Sim is the term similarity function t_sim. Nil means strsim.LCSSim.
+	Sim strsim.TermSim
+	// Tau is the τ_t_sim threshold of Algorithm 1. Zero means 0.8, the
+	// value used throughout the thesis.
+	Tau float64
+	// Mode selects binary (default, the thesis' choice) or term-frequency
+	// features.
+	Mode Mode
+}
+
+// DefaultConfig returns the thesis defaults: LCS similarity at τ = 0.8 with
+// default term extraction.
+func DefaultConfig() Config {
+	return Config{TermOpts: terms.DefaultOptions(), Sim: strsim.LCSSim{}, Tau: 0.8}
+}
+
+func (c Config) normalized() Config {
+	if c.Sim == nil {
+		c.Sim = strsim.LCSSim{}
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.8
+	}
+	if c.TermOpts.MinLength == 0 {
+		c.TermOpts = terms.DefaultOptions()
+	}
+	return c
+}
+
+// Space is the constructed vector space: the vocabulary L, one binary
+// feature vector per input schema, and a lazily filled pairwise similarity
+// cache. A Space is immutable after Build; the similarity cache is
+// pre-filled by Build, so reads are safe for concurrent use.
+type Space struct {
+	cfg Config
+
+	// Vocab is L: the sorted list of all distinct canonical terms across
+	// all input schemas.
+	Vocab []string
+	// VocabIndex maps a vocabulary term to its position in Vocab.
+	VocabIndex map[string]int
+
+	// TermSets[i] is T_i, the extracted term set of schema i.
+	TermSets []map[string]bool
+	// Vectors[i] is F^i, the binary feature vector of schema i.
+	Vectors []*bitvec.Vector
+	// counts[i][j] is the number of schema-i term occurrences matching
+	// vocabulary term j; populated only in TermFrequency mode.
+	counts [][]uint16
+
+	matcher *matchIndex
+	sims    *SimMatrix
+}
+
+// Build extracts terms, constructs the vocabulary, computes every schema's
+// feature vector, and precomputes all pairwise schema similarities
+// ("All schema-to-schema similarities should be computed and memoized in
+// advance", Section 4.2). The O(n²) similarity fill is parallelized across
+// CPUs; rows are partitioned so no two goroutines touch the same matrix
+// cell.
+func Build(set schema.Set, cfg Config) *Space {
+	sp := BuildLite(set, cfg)
+	n := len(set)
+	sp.sims = newSimMatrix(n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		for i := 0; i < n; i++ {
+			sp.fillSimRow(i)
+		}
+		return sp
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				sp.fillSimRow(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return sp
+}
+
+// fillSimRow memoizes similarities of schema i against all j > i.
+func (sp *Space) fillSimRow(i int) {
+	for j := i + 1; j < len(sp.Vectors); j++ {
+		sp.sims.set(i, j, sp.pairSim(i, j))
+	}
+}
+
+// BuildLite constructs the space without the O(n²) pairwise-similarity
+// memo. Similarity still works (computed on demand), but clustering over a
+// lite space recomputes Jaccards repeatedly; use Build for clustering and
+// BuildLite when only vocabulary and query embedding are needed (e.g. when
+// loading a persisted model).
+func BuildLite(set schema.Set, cfg Config) *Space {
+	cfg = cfg.normalized()
+	sp := &Space{cfg: cfg}
+
+	sp.TermSets = make([]map[string]bool, len(set))
+	vocabSet := make(map[string]bool)
+	for i, s := range set {
+		ts := terms.Extract(s.Attributes, cfg.TermOpts)
+		sp.TermSets[i] = ts
+		for t := range ts {
+			vocabSet[t] = true
+		}
+	}
+	sp.Vocab = make([]string, 0, len(vocabSet))
+	for t := range vocabSet {
+		sp.Vocab = append(sp.Vocab, t)
+	}
+	sort.Strings(sp.Vocab)
+	sp.VocabIndex = make(map[string]int, len(sp.Vocab))
+	for j, t := range sp.Vocab {
+		sp.VocabIndex[t] = j
+	}
+
+	sp.matcher = newMatchIndex(sp.Vocab, cfg.Sim, cfg.Tau, cfg.TermOpts.MinLength)
+
+	// Feature vectors: F^i = union over t in T_i of the vocabulary terms
+	// matching t. Because every schema term is itself in the vocabulary and
+	// the similarity is symmetric, per-vocabulary-term match lists can be
+	// reused across schemas.
+	sp.Vectors = make([]*bitvec.Vector, len(set))
+	for i := range set {
+		v := bitvec.New(len(sp.Vocab))
+		for t := range sp.TermSets[i] {
+			for _, j := range sp.matcher.matchesOfVocab(sp.VocabIndex[t]) {
+				v.Set(int(j))
+			}
+		}
+		sp.Vectors[i] = v
+	}
+	if cfg.Mode == TermFrequency {
+		// Count every term *occurrence* across the schema's attributes
+		// (binary mode deduplicates; counting is the point here).
+		sp.counts = make([][]uint16, len(set))
+		for i, s := range set {
+			c := make([]uint16, len(sp.Vocab))
+			for _, attr := range s.Attributes {
+				for _, t := range terms.FromAttribute(attr, cfg.TermOpts) {
+					for _, j := range sp.matcher.matchesOfVocab(sp.VocabIndex[t]) {
+						if c[j] < ^uint16(0) {
+							c[j]++
+						}
+					}
+				}
+			}
+			sp.counts[i] = c
+		}
+	}
+	return sp
+}
+
+// generalizedJaccard is Σ_j min(a_j, b_j) / Σ_j max(a_j, b_j).
+func generalizedJaccard(a, b []uint16) float64 {
+	var minSum, maxSum int
+	for j := range a {
+		x, y := int(a[j]), int(b[j])
+		if x < y {
+			minSum += x
+			maxSum += y
+		} else {
+			minSum += y
+			maxSum += x
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return float64(minSum) / float64(maxSum)
+}
+
+// Dim returns dim L, the dimensionality of the feature space.
+func (sp *Space) Dim() int { return len(sp.Vocab) }
+
+// NumSchemas returns the number of schemas embedded in the space.
+func (sp *Space) NumSchemas() int { return len(sp.Vectors) }
+
+// Config returns the configuration the space was built with.
+func (sp *Space) Config() Config { return sp.cfg }
+
+// Similarity returns s_sim(S_i, S_j): the Jaccard coefficient of the two
+// schemas' feature vectors (memoized).
+func (sp *Space) Similarity(i, j int) float64 {
+	if i == j {
+		return 1
+	}
+	if sp.sims == nil {
+		return sp.pairSim(i, j)
+	}
+	return sp.sims.get(i, j)
+}
+
+// pairSim computes one pairwise similarity according to the mode.
+func (sp *Space) pairSim(i, j int) float64 {
+	if sp.counts != nil {
+		return generalizedJaccard(sp.counts[i], sp.counts[j])
+	}
+	return sp.Vectors[i].Jaccard(sp.Vectors[j])
+}
+
+// QueryVector embeds a keyword query into the feature space exactly as
+// Section 5.1 describes: keywords are canonicalized and filtered like schema
+// terms, then F^Q_j = 1 iff some query term matches L_j at τ_t_sim.
+// Query terms need not belong to the vocabulary.
+func (sp *Space) QueryVector(keywords []string) *bitvec.Vector {
+	v := bitvec.New(len(sp.Vocab))
+	for _, kw := range keywords {
+		for _, t := range terms.FromAttribute(kw, sp.cfg.TermOpts) {
+			for _, j := range sp.matcher.matchesOf(t) {
+				v.Set(int(j))
+			}
+		}
+	}
+	return v
+}
+
+// QueryTerms returns the canonical filtered terms T_Q of a keyword query.
+func (sp *Space) QueryTerms(keywords []string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, kw := range keywords {
+		for _, t := range terms.FromAttribute(kw, sp.cfg.TermOpts) {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// SimMatrix is a condensed symmetric matrix of pairwise similarities with
+// unit diagonal, stored as the strict upper triangle.
+type SimMatrix struct {
+	n    int
+	data []float64
+}
+
+func newSimMatrix(n int) *SimMatrix {
+	return &SimMatrix{n: n, data: make([]float64, n*(n-1)/2)}
+}
+
+func (m *SimMatrix) idx(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j || j >= m.n || i < 0 {
+		panic(fmt.Sprintf("simmatrix: bad index (%d,%d) for n=%d", i, j, m.n))
+	}
+	// Row-major strict upper triangle.
+	return i*(2*m.n-i-1)/2 + (j - i - 1)
+}
+
+func (m *SimMatrix) set(i, j int, v float64) { m.data[m.idx(i, j)] = v }
+func (m *SimMatrix) get(i, j int) float64    { return m.data[m.idx(i, j)] }

@@ -1,0 +1,348 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schemaflow/internal/schema"
+	"schemaflow/internal/strsim"
+	"schemaflow/internal/terms"
+)
+
+func smallSet() schema.Set {
+	return schema.Set{
+		{Name: "bib1", Attributes: []string{"title", "authors", "year of publish", "conference name"}},
+		{Name: "bib2", Attributes: []string{"paper title", "author", "publication year", "venue"}},
+		{Name: "car1", Attributes: []string{"year", "type", "make", "model"}},
+	}
+}
+
+func TestBuildVocabulary(t *testing.T) {
+	sp := Build(smallSet(), DefaultConfig())
+	// Vocabulary must be sorted and contain every extracted term.
+	for j := 1; j < len(sp.Vocab); j++ {
+		if sp.Vocab[j-1] >= sp.Vocab[j] {
+			t.Fatalf("vocabulary not strictly sorted at %d: %q >= %q", j, sp.Vocab[j-1], sp.Vocab[j])
+		}
+	}
+	for _, term := range []string{"title", "authors", "year", "publish", "conference", "name", "make", "model"} {
+		if _, ok := sp.VocabIndex[term]; !ok {
+			t.Errorf("vocabulary missing %q", term)
+		}
+	}
+	if sp.Dim() != len(sp.Vocab) {
+		t.Fatal("Dim != len(Vocab)")
+	}
+}
+
+func TestOwnTermsAlwaysSet(t *testing.T) {
+	// F^i_j = 1 whenever schema i literally contains vocabulary term j
+	// (self-similarity is 1 ≥ τ).
+	sp := Build(smallSet(), DefaultConfig())
+	for i := range smallSet() {
+		for term := range sp.TermSets[i] {
+			if !sp.Vectors[i].Get(sp.VocabIndex[term]) {
+				t.Errorf("schema %d: own term %q not set", i, term)
+			}
+		}
+	}
+}
+
+func TestFuzzyMatchSetsBits(t *testing.T) {
+	// "authors" (bib1) and "author" (bib2) must cross-match at τ=0.8:
+	// both schemas' vectors should have both vocabulary bits set.
+	sp := Build(smallSet(), DefaultConfig())
+	jAuthors := sp.VocabIndex["authors"]
+	jAuthor := sp.VocabIndex["author"]
+	if !sp.Vectors[0].Get(jAuthor) {
+		t.Error("bib1 should fuzzy-match 'author'")
+	}
+	if !sp.Vectors[1].Get(jAuthors) {
+		t.Error("bib2 should fuzzy-match 'authors'")
+	}
+	// 'make' (car1) must not appear in the bibliography vectors.
+	if sp.Vectors[0].Get(sp.VocabIndex["make"]) {
+		t.Error("bib1 matched 'make'")
+	}
+}
+
+func TestSimilaritySymmetricMemoized(t *testing.T) {
+	sp := Build(smallSet(), DefaultConfig())
+	if sp.Similarity(0, 0) != 1 {
+		t.Fatal("self-similarity != 1")
+	}
+	if sp.Similarity(0, 1) != sp.Similarity(1, 0) {
+		t.Fatal("similarity asymmetric")
+	}
+	// Bibliography pair must be far more similar than bib/car.
+	if sp.Similarity(0, 1) <= sp.Similarity(0, 2) {
+		t.Fatalf("sim(bib1,bib2)=%v <= sim(bib1,car1)=%v",
+			sp.Similarity(0, 1), sp.Similarity(0, 2))
+	}
+}
+
+func TestBuildLiteMatchesBuild(t *testing.T) {
+	set := smallSet()
+	full := Build(set, DefaultConfig())
+	lite := BuildLite(set, DefaultConfig())
+	for i := range set {
+		if !full.Vectors[i].Equal(lite.Vectors[i]) {
+			t.Fatalf("schema %d vectors differ between Build and BuildLite", i)
+		}
+		for j := range set {
+			if math.Abs(full.Similarity(i, j)-lite.Similarity(i, j)) > 1e-15 {
+				t.Fatalf("similarity(%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	// Build parallelizes the pairwise fill once n >= 64; the memoized
+	// matrix must be identical to on-demand (BuildLite) computation.
+	words := []string{
+		"title", "author", "year", "venue", "pages", "make", "model",
+		"price", "color", "name", "phone", "email", "city", "genre",
+	}
+	rng := rand.New(rand.NewSource(99))
+	set := make(schema.Set, 150)
+	for i := range set {
+		attrs := make([]string, 2+rng.Intn(5))
+		for j := range attrs {
+			attrs[j] = words[rng.Intn(len(words))]
+		}
+		set[i] = schema.Schema{Name: "s", Attributes: attrs}
+	}
+	full := Build(set, DefaultConfig())
+	lite := BuildLite(set, DefaultConfig())
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if full.Similarity(i, j) != lite.Similarity(i, j) {
+				t.Fatalf("similarity(%d,%d): parallel %v vs direct %v",
+					i, j, full.Similarity(i, j), lite.Similarity(i, j))
+			}
+		}
+	}
+}
+
+func TestQueryVector(t *testing.T) {
+	sp := Build(smallSet(), DefaultConfig())
+	// The Chapter 1 example style: keywords matching attribute terms.
+	fq := sp.QueryVector([]string{"title", "authors", "toronto"})
+	if !fq.Get(sp.VocabIndex["title"]) || !fq.Get(sp.VocabIndex["authors"]) {
+		t.Fatal("query vector missing matched terms")
+	}
+	// "toronto" is not in the vocabulary and matches nothing.
+	count := fq.Count()
+	fq2 := sp.QueryVector([]string{"title", "authors"})
+	if fq2.Count() != count {
+		t.Fatal("out-of-vocabulary keyword changed the vector")
+	}
+	// Fuzzy query match: "author" should light the "authors" bit.
+	fq3 := sp.QueryVector([]string{"author"})
+	if !fq3.Get(sp.VocabIndex["authors"]) {
+		t.Fatal("query fuzzy match failed")
+	}
+}
+
+func TestQueryTermsDedup(t *testing.T) {
+	sp := Build(smallSet(), DefaultConfig())
+	got := sp.QueryTerms([]string{"title", "Title", "of title"})
+	if len(got) != 1 || got[0] != "title" {
+		t.Fatalf("QueryTerms = %v", got)
+	}
+}
+
+func TestStemAndExactStrategies(t *testing.T) {
+	set := schema.Set{
+		{Name: "a", Attributes: []string{"connection", "speed"}},
+		{Name: "b", Attributes: []string{"connections", "speed"}},
+	}
+	stem := Build(set, Config{TermOpts: terms.DefaultOptions(), Sim: strsim.StemSim{}, Tau: 0.99})
+	if !stem.Vectors[0].Get(stem.VocabIndex["connections"]) {
+		t.Fatal("stem strategy did not match plural")
+	}
+	exact := Build(set, Config{TermOpts: terms.DefaultOptions(), Sim: strsim.ExactSim{}, Tau: 0.99})
+	if exact.Vectors[0].Get(exact.VocabIndex["connections"]) {
+		t.Fatal("exact strategy matched distinct terms")
+	}
+	if !exact.Vectors[0].Get(exact.VocabIndex["connection"]) {
+		t.Fatal("exact strategy missed identity")
+	}
+}
+
+func TestDefaultStrategyFallback(t *testing.T) {
+	// An unrecognized similarity function must fall back to the
+	// full-scan strategy and still produce correct matches.
+	set := smallSet()
+	full := Build(set, Config{TermOpts: terms.DefaultOptions(), Sim: strsim.JaroWinklerSim{}, Tau: 0.95})
+	for i := range set {
+		for term := range full.TermSets[i] {
+			if !full.Vectors[i].Get(full.VocabIndex[term]) {
+				t.Fatalf("full-scan strategy: own term %q missing", term)
+			}
+		}
+	}
+}
+
+// TestGramPrefilterSound verifies that the n-gram candidate prefilter never
+// loses a true match: the LCS-built space must equal a brute-force
+// construction on random schema sets.
+func TestGramPrefilterSound(t *testing.T) {
+	words := []string{
+		"title", "titles", "subtitle", "author", "authors", "authorship",
+		"year", "years", "yearly", "name", "names", "rename",
+		"price", "prices", "priced", "location", "locations", "relocation",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var set schema.Set
+		for i := 0; i < 4; i++ {
+			n := 1 + rng.Intn(5)
+			attrs := make([]string, n)
+			for k := range attrs {
+				attrs[k] = words[rng.Intn(len(words))]
+			}
+			set = append(set, schema.Schema{Name: "s", Attributes: attrs})
+		}
+		fast := Build(set, DefaultConfig())
+		// Brute force: for every schema term and vocab term, test directly.
+		sim := strsim.LCSSim{}
+		for i := range set {
+			want := make(map[int]bool)
+			for term := range fast.TermSets[i] {
+				for j, v := range fast.Vocab {
+					if sim.Sim(term, v) >= 0.8 {
+						want[j] = true
+					}
+				}
+			}
+			for j := range fast.Vocab {
+				if fast.Vectors[i].Get(j) != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermFrequencyMode(t *testing.T) {
+	set := schema.Set{
+		// "departure" occurs in two attributes here — TF sees 2, binary 1.
+		{Name: "a", Attributes: []string{"departure airport", "departure city", "airline"}},
+		{Name: "b", Attributes: []string{"departure airport", "airline"}},
+		{Name: "c", Attributes: []string{"make", "model"}},
+	}
+	cfg := Config{TermOpts: terms.DefaultOptions(), Tau: 0.8, Mode: TermFrequency}
+	sp := Build(set, cfg)
+	// Binary vectors are unchanged by the mode.
+	bin := Build(set, Config{TermOpts: terms.DefaultOptions(), Tau: 0.8})
+	for i := range set {
+		if !sp.Vectors[i].Equal(bin.Vectors[i]) {
+			t.Fatalf("TF mode changed binary vector %d", i)
+		}
+	}
+	// Generalized Jaccard penalizes the count mismatch: sim(a,b) < 1 even
+	// though their term sets heavily overlap, and must stay below the
+	// corresponding binary Jaccard here (min/max < inter/union with counts).
+	if sp.Similarity(0, 2) >= sp.Similarity(0, 1) {
+		t.Fatalf("unrelated pair as similar as related pair: %v vs %v",
+			sp.Similarity(0, 2), sp.Similarity(0, 1))
+	}
+	// Lite and full agree in TF mode too.
+	lite := BuildLite(set, cfg)
+	for i := range set {
+		for j := range set {
+			if sp.Similarity(i, j) != lite.Similarity(i, j) {
+				t.Fatalf("TF similarity(%d,%d) differs between Build and BuildLite", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneralizedJaccard(t *testing.T) {
+	tests := []struct {
+		a, b []uint16
+		want float64
+	}{
+		{[]uint16{1, 2, 0}, []uint16{1, 2, 0}, 1},
+		{[]uint16{1, 0}, []uint16{0, 1}, 0},
+		{[]uint16{2, 1}, []uint16{1, 1}, 2.0 / 3},
+		{[]uint16{0, 0}, []uint16{0, 0}, 0},
+	}
+	for _, tc := range tests {
+		if got := generalizedJaccard(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("generalizedJaccard(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPropertyGeneralizedJaccard(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		a := make([]uint16, n)
+		b := make([]uint16, n)
+		for i := range a {
+			a[i] = uint16(rng.Intn(4))
+			b[i] = uint16(rng.Intn(4))
+		}
+		v := generalizedJaccard(a, b)
+		if v != generalizedJaccard(b, a) {
+			return false
+		}
+		if v < 0 || v > 1 {
+			return false
+		}
+		// Identity.
+		return generalizedJaccard(a, a) == 1 || allZero(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allZero(a []uint16) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimMatrixIndexing(t *testing.T) {
+	m := newSimMatrix(5)
+	v := 0.0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			v += 0.1
+			m.set(i, j, v)
+		}
+	}
+	v = 0.0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			v += 0.1
+			if m.get(i, j) != v || m.get(j, i) != v {
+				t.Fatalf("simmatrix (%d,%d) = %v, want %v", i, j, m.get(i, j), v)
+			}
+		}
+	}
+}
+
+func TestSimMatrixDiagonalPanics(t *testing.T) {
+	m := newSimMatrix(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("diagonal access did not panic")
+		}
+	}()
+	m.get(1, 1)
+}

@@ -1,0 +1,200 @@
+package feature
+
+import (
+	"math"
+
+	"schemaflow/internal/strsim"
+)
+
+// matchIndex answers "which vocabulary terms match this term at τ_t_sim?".
+//
+// The naive answer compares the term against every vocabulary entry, which
+// makes feature construction O(dim L · total terms) similarity calls. For
+// the default LCS similarity a sound prefilter exists: t_sim(a,b) ≥ τ
+// requires a common substring of length ≥ ⌈τ·(len(a)+len(b))/2⌉, so with a
+// minimum term length of L_min any matching pair shares a substring of
+// length g = min(3, ⌈τ·L_min⌉). Indexing vocabulary terms by their g-grams
+// turns matching into candidate lookup plus verification. Stem and exact
+// similarities get their own exact-bucket indexes; any other similarity
+// function falls back to a full scan.
+type matchIndex struct {
+	vocab []string
+	sim   strsim.TermSim
+	tau   float64
+
+	// vocabMatches[j] caches the match list of vocabulary term j.
+	vocabMatches [][]int32
+
+	strategy matchStrategy
+}
+
+type matchStrategy interface {
+	// candidates returns vocabulary indices that may match term; it must be
+	// a superset of the true matches.
+	candidates(term string) []int32
+}
+
+func newMatchIndex(vocab []string, sim strsim.TermSim, tau float64, minLen int) *matchIndex {
+	m := &matchIndex{
+		vocab:        vocab,
+		sim:          sim,
+		tau:          tau,
+		vocabMatches: make([][]int32, len(vocab)),
+	}
+	switch sim.(type) {
+	case strsim.LCSSim:
+		m.strategy = newGramStrategy(vocab, tau, minLen)
+	case strsim.StemSim:
+		m.strategy = newStemStrategy(vocab)
+	case strsim.ExactSim:
+		m.strategy = newExactStrategy(vocab)
+	default:
+		m.strategy = fullScan{n: len(vocab)}
+	}
+	return m
+}
+
+// matchesOf returns the vocabulary indices whose terms match the given term
+// at τ. The term need not be in the vocabulary.
+func (m *matchIndex) matchesOf(term string) []int32 {
+	cands := m.strategy.candidates(term)
+	out := make([]int32, 0, 4)
+	for _, j := range cands {
+		v := m.vocab[j]
+		if term == v || m.sim.Sim(term, v) >= m.tau {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// matchesOfVocab is matchesOf for a term already in the vocabulary,
+// memoized per vocabulary index.
+func (m *matchIndex) matchesOfVocab(j int) []int32 {
+	if got := m.vocabMatches[j]; got != nil {
+		return got
+	}
+	matches := m.matchesOf(m.vocab[j])
+	if matches == nil {
+		matches = []int32{}
+	}
+	m.vocabMatches[j] = matches
+	return matches
+}
+
+// gramStrategy indexes vocabulary terms by character g-grams.
+type gramStrategy struct {
+	gram  int
+	index map[string][]int32
+	all   []int32 // used when the prefilter is unsound for a given term
+}
+
+func newGramStrategy(vocab []string, tau float64, minLen int) *gramStrategy {
+	if minLen <= 0 {
+		minLen = 3
+	}
+	// Any pair of terms of length >= minLen matching at tau shares a common
+	// substring of length >= ceil(tau*minLen), since (len(a)+len(b))/2 >=
+	// minLen. Using that (capped at 3) as the gram size keeps the filter
+	// sound while pruning hard.
+	need := int(math.Ceil(tau * float64(minLen)))
+	g := need
+	if g > 3 {
+		g = 3
+	}
+	if g < 1 {
+		g = 1
+	}
+	s := &gramStrategy{gram: g, index: make(map[string][]int32)}
+	for j, t := range vocab {
+		for _, gr := range gramsOf(t, g) {
+			s.index[gr] = append(s.index[gr], int32(j))
+		}
+		s.all = append(s.all, int32(j))
+	}
+	return s
+}
+
+func gramsOf(t string, g int) []string {
+	if len(t) < g {
+		return []string{t}
+	}
+	out := make([]string, 0, len(t)-g+1)
+	seen := make(map[string]bool, len(t))
+	for i := 0; i+g <= len(t); i++ {
+		gr := t[i : i+g]
+		if !seen[gr] {
+			seen[gr] = true
+			out = append(out, gr)
+		}
+	}
+	return out
+}
+
+func (s *gramStrategy) candidates(term string) []int32 {
+	if len(term) < s.gram {
+		// Shorter than a gram: the prefilter argument does not apply, and
+		// such terms are filtered out upstream anyway; scan everything.
+		return s.all
+	}
+	var out []int32
+	seen := make(map[int32]bool)
+	for _, gr := range gramsOf(term, s.gram) {
+		for _, j := range s.index[gr] {
+			if !seen[j] {
+				seen[j] = true
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// stemStrategy buckets vocabulary terms by Porter stem.
+type stemStrategy struct {
+	byStem map[string][]int32
+}
+
+func newStemStrategy(vocab []string) *stemStrategy {
+	s := &stemStrategy{byStem: make(map[string][]int32, len(vocab))}
+	for j, t := range vocab {
+		st := strsim.Stem(t)
+		s.byStem[st] = append(s.byStem[st], int32(j))
+	}
+	return s
+}
+
+func (s *stemStrategy) candidates(term string) []int32 {
+	return s.byStem[strsim.Stem(term)]
+}
+
+// exactStrategy is a plain map lookup.
+type exactStrategy struct {
+	byTerm map[string]int32
+}
+
+func newExactStrategy(vocab []string) *exactStrategy {
+	s := &exactStrategy{byTerm: make(map[string]int32, len(vocab))}
+	for j, t := range vocab {
+		s.byTerm[t] = int32(j)
+	}
+	return s
+}
+
+func (s *exactStrategy) candidates(term string) []int32 {
+	if j, ok := s.byTerm[term]; ok {
+		return []int32{j}
+	}
+	return nil
+}
+
+// fullScan compares against every vocabulary term.
+type fullScan struct{ n int }
+
+func (f fullScan) candidates(string) []int32 {
+	out := make([]int32, f.n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}

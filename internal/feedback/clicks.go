@@ -1,0 +1,92 @@
+package feedback
+
+import (
+	"math"
+	"sort"
+
+	"schemaflow/internal/classify"
+)
+
+// ClickLog is the implicit-feedback channel: "the system automatically
+// infers the correctness of clustering by monitoring user interaction (e.g.,
+// clicking on search results)". Every time a user clicks into a domain's
+// results after a query, the domain's learned prior strengthens; Rerank
+// blends that prior into the classifier's posterior.
+//
+// The blend is a smoothed log-odds adjustment: with c_r clicks on domain r
+// out of C total,
+//
+//	score'_r = score_r + w · log((c_r + 1) / (C + |D|))
+//
+// i.e. a Laplace-smoothed empirical click distribution acting as an
+// additional prior, weighted by w (Weight, default 1). With no clicks the
+// adjustment is a constant across domains and the ranking is unchanged.
+type ClickLog struct {
+	// Weight scales the influence of clicks; 0 means 1.
+	Weight float64
+
+	counts []float64
+	total  float64
+}
+
+// NewClickLog creates a log over numDomains domains.
+func NewClickLog(numDomains int) *ClickLog {
+	return &ClickLog{counts: make([]float64, numDomains)}
+}
+
+// Record registers one click on a result from the given domain. Unknown
+// domain ids are ignored (the model may have been rebuilt since).
+func (cl *ClickLog) Record(domain int) {
+	if domain < 0 || domain >= len(cl.counts) {
+		return
+	}
+	cl.counts[domain]++
+	cl.total++
+}
+
+// Clicks returns the recorded click count of a domain.
+func (cl *ClickLog) Clicks(domain int) float64 {
+	if domain < 0 || domain >= len(cl.counts) {
+		return 0
+	}
+	return cl.counts[domain]
+}
+
+// Rerank returns a copy of scores re-sorted with the click prior blended in.
+// Posterior values are re-normalized over the adjusted scores.
+func (cl *ClickLog) Rerank(scores []classify.Score) []classify.Score {
+	w := cl.Weight
+	if w == 0 {
+		w = 1
+	}
+	out := make([]classify.Score, len(scores))
+	copy(out, scores)
+	denom := cl.total + float64(len(cl.counts))
+	if denom == 0 {
+		return out
+	}
+	for i := range out {
+		adj := w * math.Log((cl.Clicks(out[i].Domain)+1)/denom)
+		out[i].LogPosterior += adj
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].LogPosterior > out[b].LogPosterior
+	})
+	// Re-normalize posteriors.
+	maxLP := math.Inf(-1)
+	for _, s := range out {
+		if s.LogPosterior > maxLP {
+			maxLP = s.LogPosterior
+		}
+	}
+	if !math.IsInf(maxLP, -1) {
+		sum := 0.0
+		for _, s := range out {
+			sum += math.Exp(s.LogPosterior - maxLP)
+		}
+		for i := range out {
+			out[i].Posterior = math.Exp(out[i].LogPosterior-maxLP) / sum
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaflow/internal/engine"
+	"schemaflow/internal/mediate"
+)
+
+// Automatic feedback from retrieved data (the thesis' third proposed
+// channel): "determine whether the tuples retrieved from the data sources in
+// a given cluster are consistent with each others, according to some measure
+// of consistency, and use this to assess the correctness of clustering."
+//
+// The consistency measure here is per-mediated-attribute value overlap: for
+// each source and each mediated attribute it populates (under its best
+// mapping), collect the set of values; a source whose values overlap poorly
+// with every peer's values across the attributes they share is suspicious —
+// it may be a homonym victim (same attribute names, different meaning).
+
+// Suggestion flags one source of a domain as inconsistent with its peers.
+type Suggestion struct {
+	// Schema is the source's index within the mediated domain.
+	Schema int
+	// Name is the source schema's name.
+	Name string
+	// Overlap is the source's average best value overlap with any peer,
+	// across the mediated attributes it shares with peers; low is bad.
+	Overlap float64
+	// Detail names the attribute with the worst overlap.
+	Detail string
+}
+
+// CheckConsistency analyzes one domain's sources and returns suggestions for
+// sources whose average value overlap falls below minOverlap, worst first.
+// Sources without data, and attributes populated by only one source, carry
+// no evidence and are skipped.
+func CheckConsistency(med *mediate.Mediated, sources []engine.Source, minOverlap float64) ([]Suggestion, error) {
+	if len(sources) != len(med.Schemas) {
+		return nil, fmt.Errorf("feedback: %d sources for %d schemas", len(sources), len(med.Schemas))
+	}
+
+	// values[attr][source] = set of values the source's best mapping puts
+	// into that mediated attribute.
+	values := make([]map[int]map[string]bool, len(med.Attrs))
+	for mi := range values {
+		values[mi] = make(map[int]map[string]bool)
+	}
+	for si, src := range sources {
+		if len(src.Tuples) == 0 || len(med.Mappings[si]) == 0 {
+			continue
+		}
+		best := med.Mappings[si][0]
+		for k, to := range best.AttrTo {
+			if to < 0 {
+				continue
+			}
+			set := values[to][si]
+			if set == nil {
+				set = make(map[string]bool)
+				values[to][si] = set
+			}
+			for _, tuple := range src.Tuples {
+				v := strings.ToLower(strings.TrimSpace(tuple[k]))
+				if v != "" {
+					set[v] = true
+				}
+			}
+		}
+	}
+
+	var out []Suggestion
+	for si := range sources {
+		if len(sources[si].Tuples) == 0 {
+			continue
+		}
+		total, n := 0.0, 0
+		worstAttr, worstOverlap := "", 2.0
+		for mi := range med.Attrs {
+			mine := values[mi][si]
+			if len(mine) == 0 {
+				continue
+			}
+			// Best overlap with any peer populating the same attribute.
+			best, peers := 0.0, 0
+			for sj, theirs := range values[mi] {
+				if sj == si || len(theirs) == 0 {
+					continue
+				}
+				peers++
+				if ov := valueOverlap(mine, theirs); ov > best {
+					best = ov
+				}
+			}
+			if peers == 0 {
+				continue
+			}
+			total += best
+			n++
+			if best < worstOverlap {
+				worstOverlap = best
+				worstAttr = med.Attrs[mi].Name
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		avg := total / float64(n)
+		if avg < minOverlap {
+			out = append(out, Suggestion{
+				Schema:  si,
+				Name:    med.Schemas[si].Name,
+				Overlap: avg,
+				Detail:  fmt.Sprintf("worst attribute %q (overlap %.2f)", worstAttr, worstOverlap),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Overlap < out[b].Overlap })
+	return out, nil
+}
+
+// valueOverlap is the overlap coefficient |A∩B| / min(|A|,|B|) — robust to
+// sources of very different sizes, unlike plain Jaccard.
+func valueOverlap(a, b map[string]bool) float64 {
+	small, large := a, b
+	if len(b) < len(a) {
+		small, large = b, a
+	}
+	if len(small) == 0 {
+		return 0
+	}
+	inter := 0
+	for v := range small {
+		if large[v] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(small))
+}

@@ -1,0 +1,67 @@
+package mediate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"schemaflow/internal/schema"
+)
+
+func benchSet(n int) schema.Set {
+	concepts := [][]string{
+		{"title", "paper title", "article title"},
+		{"authors", "author", "author names"},
+		{"year", "publication year", "year of publish"},
+		{"venue", "conference name", "journal"},
+		{"pages", "page numbers"},
+		{"publisher", "published by"},
+		{"abstract", "summary"},
+		{"keywords", "index terms"},
+	}
+	rng := rand.New(rand.NewSource(2))
+	set := make(schema.Set, n)
+	for i := range set {
+		perm := rng.Perm(len(concepts))[:4+rng.Intn(4)]
+		attrs := make([]string, len(perm))
+		for k, c := range perm {
+			variants := concepts[c]
+			attrs[k] = variants[rng.Intn(len(variants))]
+		}
+		set[i] = schema.Schema{Name: fmt.Sprintf("s%d", i), Attributes: attrs}
+	}
+	return set
+}
+
+func BenchmarkBuild50(b *testing.B) {
+	set := benchSet(50)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild500(b *testing.B) {
+	set := benchSet(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildUnfiltered500(b *testing.B) {
+	set := benchSet(500)
+	opts := DefaultOptions()
+	opts.Negative = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(set, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,524 @@
+// Package mediate implements the schema mediation and mapping substrate the
+// thesis plugs its clustering into (Section 4.4), following the approach of
+// Das Sarma, Dong & Halevy, "Bootstrapping pay-as-you-go data integration
+// systems" (SIGMOD 2008) at the level of detail the thesis depends on:
+//
+//   - a mediated schema per domain, built by filtering source attributes
+//     below a frequency threshold and clustering the survivors into
+//     mediated attributes by name similarity (using the same t_sim as
+//     feature construction);
+//   - for each source schema, a *probabilistic mapping*: a set of possible
+//     attribute-level mappings into the mediated schema, each with a
+//     probability.
+//
+// The package also exposes the un-clustered ("single mediated schema over
+// everything") mode that Section 6.3 uses to demonstrate why clustering
+// before mediation matters.
+package mediate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"schemaflow/internal/schema"
+	"schemaflow/internal/strsim"
+	"schemaflow/internal/terms"
+)
+
+// Options configures mediation.
+type Options struct {
+	// FreqThreshold is the attribute frequency threshold: source attributes
+	// appearing (up to similarity) in a smaller fraction of the domain's
+	// schemas are excluded from the mediated schema. SIGMOD 2008 and the
+	// thesis use 0.1. Zero keeps the default; set Negative to disable
+	// filtering entirely (the "threshold of 0" extreme of Section 6.3).
+	FreqThreshold float64
+	// Negative disables frequency filtering when true.
+	Negative bool
+	// AttrSimThreshold is the minimum attribute-name similarity for two
+	// source attributes to be clustered into one mediated attribute.
+	// Zero means 0.5, which fuses sub-phrase variants ("email" with
+	// "email address", "year" with "publication year") while keeping
+	// sibling attributes ("first name" vs "last name", fuzzy Jaccard 1/3)
+	// apart.
+	AttrSimThreshold float64
+	// TermSim is the term similarity used inside attribute similarity; nil
+	// means LCS at τ 0.8, matching feature construction.
+	TermSim strsim.TermSim
+	// TermTau is the τ_t_sim threshold for term matching. Zero means 0.8.
+	TermTau float64
+	// TermOpts controls tokenization of attribute names.
+	TermOpts terms.Options
+	// MaxMappings bounds the number of alternative mappings kept per source
+	// schema. Zero means 4.
+	MaxMappings int
+	// MongeElkan switches attribute-name similarity from fuzzy term-set
+	// Jaccard to the symmetrized Monge-Elkan combinator over the same
+	// t_sim. Monge-Elkan rewards containment ("email" scores 1.0 against
+	// "email address"), so it fuses sub-phrase variants more aggressively.
+	MongeElkan bool
+}
+
+// DefaultOptions mirrors the parameters of the thesis' mediation experiments.
+func DefaultOptions() Options {
+	return Options{
+		FreqThreshold:    0.1,
+		AttrSimThreshold: 0.5,
+		TermSim:          strsim.LCSSim{},
+		TermTau:          0.8,
+		TermOpts:         terms.DefaultOptions(),
+		MaxMappings:      4,
+	}
+}
+
+func (o Options) normalized() Options {
+	if o.FreqThreshold == 0 {
+		o.FreqThreshold = 0.1
+	}
+	if o.Negative {
+		o.FreqThreshold = 0
+	}
+	if o.AttrSimThreshold == 0 {
+		o.AttrSimThreshold = 0.5
+	}
+	if o.TermSim == nil {
+		o.TermSim = strsim.LCSSim{}
+	}
+	if o.TermTau == 0 {
+		o.TermTau = 0.8
+	}
+	if o.TermOpts.MinLength == 0 {
+		o.TermOpts = terms.DefaultOptions()
+	}
+	if o.MaxMappings == 0 {
+		o.MaxMappings = 4
+	}
+	return o
+}
+
+// SourceAttr identifies one attribute of one source schema.
+type SourceAttr struct {
+	// Schema is the index of the source schema within the mediated set.
+	Schema int
+	// Attr is the index of the attribute within that schema.
+	Attr int
+	// Name is the attribute name, for convenience.
+	Name string
+}
+
+// MediatedAttr is one attribute of the mediated schema: a cluster of similar
+// source attributes. Its display name is the most frequent member name.
+type MediatedAttr struct {
+	// Name is the representative name shown to users.
+	Name string
+	// Sources lists the member source attributes.
+	Sources []SourceAttr
+}
+
+// Mapping is one possible attribute-level mapping φ from a source schema to
+// the mediated schema: AttrTo[k] is the mediated-attribute index that source
+// attribute k maps to, or -1 when unmapped. Prob is Pr(φ is correct).
+type Mapping struct {
+	AttrTo []int
+	Prob   float64
+}
+
+// Mediated is the mediated schema of one domain plus the probabilistic
+// mappings of each member schema (Φ^{S_i, M_r}).
+type Mediated struct {
+	// Schemas are the domain's member schemas, in the order mappings are
+	// indexed.
+	Schemas schema.Set
+	// Attrs is the mediated schema M_r.
+	Attrs []MediatedAttr
+	// Mappings[i] is the probabilistic mapping of Schemas[i]; probabilities
+	// within one schema's mapping set sum to 1.
+	Mappings [][]Mapping
+}
+
+// AttrIndex returns the index of the mediated attribute with the given
+// display name, or -1.
+func (m *Mediated) AttrIndex(name string) int {
+	for i, a := range m.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Build mediates the given schemas into one mediated schema with
+// probabilistic mappings. The schemas are those of a single domain; calling
+// it on an entire multi-domain corpus reproduces the pathologies of
+// Section 6.3.
+func Build(set schema.Set, opts Options) (*Mediated, error) {
+	opts = opts.normalized()
+	if len(set) == 0 {
+		return &Mediated{}, nil
+	}
+
+	sim := newAttrSim(opts)
+
+	// Collect all source attributes.
+	var attrs []SourceAttr
+	for i, s := range set {
+		for k, name := range s.Attributes {
+			attrs = append(attrs, SourceAttr{Schema: i, Attr: k, Name: name})
+		}
+	}
+
+	// Attribute frequency: the fraction of schemas containing an attribute
+	// similar to this one. Computed over distinct canonical names to avoid
+	// rescanning duplicates.
+	freq := attributeFrequencies(set, attrs, sim)
+
+	// Cluster the frequent attributes into mediated attributes by
+	// single-link connected components at the similarity threshold.
+	var kept []int
+	for ai, a := range attrs {
+		if freq[canonicalName(a.Name)] >= opts.FreqThreshold {
+			kept = append(kept, ai)
+		}
+	}
+	comps := clusterAttributes(attrs, kept, sim, opts.AttrSimThreshold)
+
+	med := &Mediated{Schemas: set}
+	for _, comp := range comps {
+		ma := MediatedAttr{}
+		nameCount := make(map[string]int)
+		for _, ai := range comp {
+			ma.Sources = append(ma.Sources, attrs[ai])
+			nameCount[canonicalName(attrs[ai].Name)]++
+		}
+		best, bestN := "", -1
+		for n, c := range nameCount {
+			if c > bestN || (c == bestN && n < best) {
+				best, bestN = n, c
+			}
+		}
+		ma.Name = best
+		med.Attrs = append(med.Attrs, ma)
+	}
+	sort.Slice(med.Attrs, func(a, b int) bool { return med.Attrs[a].Name < med.Attrs[b].Name })
+
+	// Index: which mediated attribute contains each kept source attribute.
+	medOf := make(map[[2]int]int)
+	for mi, ma := range med.Attrs {
+		for _, sa := range ma.Sources {
+			medOf[[2]int{sa.Schema, sa.Attr}] = mi
+		}
+	}
+
+	// Distinct member names per mediated attribute: candidate scoring only
+	// needs one representative per distinct name, not every occurrence
+	// (mediated attributes for frequent names can have thousands of
+	// source occurrences).
+	medNames := make([][]string, len(med.Attrs))
+	for mi, ma := range med.Attrs {
+		seen := make(map[string]bool)
+		for _, sa := range ma.Sources {
+			c := canonicalName(sa.Name)
+			if !seen[c] {
+				seen[c] = true
+				medNames[mi] = append(medNames[mi], sa.Name)
+			}
+		}
+	}
+
+	// Probabilistic mappings per schema.
+	med.Mappings = make([][]Mapping, len(set))
+	for i, s := range set {
+		med.Mappings[i] = buildMappings(i, s, med, medNames, medOf, sim, opts)
+	}
+	return med, nil
+}
+
+// canonicalName lower-cases and squeezes whitespace in an attribute name.
+func canonicalName(name string) string {
+	return strings.Join(strings.Fields(strings.ToLower(name)), " ")
+}
+
+// attrSim computes attribute-name similarity: the Jaccard coefficient over
+// fuzzy-matched term sets, using the configured t_sim and τ_t_sim (the
+// "attribute similarity should be based on the same similarity function
+// t_sim" requirement of Section 4.4). Results are memoized per name pair.
+type attrSim struct {
+	opts  Options
+	terms map[string][]string
+	memo  map[[2]string]float64
+}
+
+func newAttrSim(opts Options) *attrSim {
+	return &attrSim{opts: opts, terms: make(map[string][]string), memo: make(map[[2]string]float64)}
+}
+
+func (as *attrSim) termsOf(name string) []string {
+	c := canonicalName(name)
+	if t, ok := as.terms[c]; ok {
+		return t
+	}
+	t := terms.ExtractList([]string{name}, as.opts.TermOpts)
+	as.terms[c] = t
+	return t
+}
+
+// sim returns the similarity of two attribute names in [0,1].
+func (as *attrSim) sim(a, b string) float64 {
+	ca, cb := canonicalName(a), canonicalName(b)
+	if ca == cb {
+		return 1
+	}
+	key := [2]string{ca, cb}
+	if cb < ca {
+		key = [2]string{cb, ca}
+	}
+	if v, ok := as.memo[key]; ok {
+		return v
+	}
+	ta, tb := as.termsOf(a), as.termsOf(b)
+	var v float64
+	if as.opts.MongeElkan {
+		v = strsim.MongeElkanSym(ta, tb, as.opts.TermSim)
+	} else {
+		v = fuzzyJaccard(ta, tb, as.opts.TermSim, as.opts.TermTau)
+	}
+	as.memo[key] = v
+	return v
+}
+
+// fuzzyJaccard computes |matched pairs| / |union| where a term of one set
+// matches at most one term of the other at τ (greedy matching).
+func fuzzyJaccard(ta, tb []string, sim strsim.TermSim, tau float64) float64 {
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	used := make([]bool, len(tb))
+	matched := 0
+	for _, x := range ta {
+		for j, y := range tb {
+			if !used[j] && (x == y || sim.Sim(x, y) >= tau) {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	union := len(ta) + len(tb) - matched
+	if union == 0 {
+		return 0
+	}
+	return float64(matched) / float64(union)
+}
+
+// attributeFrequencies computes, for every distinct canonical attribute
+// name, the fraction of schemas containing an attribute similar to it at
+// the mediation similarity threshold.
+func attributeFrequencies(set schema.Set, attrs []SourceAttr, sim *attrSim) map[string]float64 {
+	type nameInfo struct {
+		example string
+		schemas map[int]bool
+	}
+	distinct := make(map[string]*nameInfo)
+	for _, a := range attrs {
+		c := canonicalName(a.Name)
+		if distinct[c] == nil {
+			distinct[c] = &nameInfo{example: a.Name, schemas: map[int]bool{}}
+		}
+		distinct[c].schemas[a.Schema] = true
+	}
+	names := make([]string, 0, len(distinct))
+	for c := range distinct {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+
+	// A schema "contains" name n when it has an attribute with
+	// sim >= threshold; exact containment is the common case, so start from
+	// the exact-occurrence schema sets and extend via similar names.
+	freq := make(map[string]float64, len(names))
+	for _, c := range names {
+		in := make(map[int]bool, len(distinct[c].schemas))
+		for s := range distinct[c].schemas {
+			in[s] = true
+		}
+		for _, other := range names {
+			if other == c {
+				continue
+			}
+			if sim.sim(distinct[c].example, distinct[other].example) >= sim.opts.AttrSimThreshold {
+				for s := range distinct[other].schemas {
+					in[s] = true
+				}
+			}
+		}
+		freq[c] = float64(len(in)) / float64(len(set))
+	}
+	return freq
+}
+
+// clusterAttributes groups the kept attribute occurrences into single-link
+// connected components over name similarity. Occurrences with identical
+// canonical names always share a component.
+func clusterAttributes(attrs []SourceAttr, kept []int, sim *attrSim, tau float64) [][]int {
+	// Union-find over distinct names, then expand back to occurrences.
+	nameIdx := make(map[string]int)
+	var names []string
+	var example []string
+	for _, ai := range kept {
+		c := canonicalName(attrs[ai].Name)
+		if _, ok := nameIdx[c]; !ok {
+			nameIdx[c] = len(names)
+			names = append(names, c)
+			example = append(example, attrs[ai].Name)
+		}
+	}
+	parent := make([]int, len(names))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if sim.sim(example[i], example[j]) >= tau {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for _, ai := range kept {
+		r := find(nameIdx[canonicalName(attrs[ai].Name)])
+		byRoot[r] = append(byRoot[r], ai)
+	}
+	roots := make([]int, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(byRoot))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// buildMappings enumerates up to MaxMappings injective attribute mappings
+// from schema i into the mediated schema, scored by attribute similarity to
+// the mediated attribute's representative contents and normalized into
+// probabilities.
+func buildMappings(i int, s schema.Schema, med *Mediated, medNames [][]string, medOf map[[2]int]int, sim *attrSim, opts Options) []Mapping {
+	nAttrs := len(s.Attributes)
+	// Candidate mediated attributes for each source attribute, with weights.
+	type cand struct {
+		med    int
+		weight float64
+	}
+	cands := make([][]cand, nAttrs)
+	for k, name := range s.Attributes {
+		// The attribute's own mediated cluster (if it survived filtering)
+		// is the primary candidate at weight 1.
+		if mi, ok := medOf[[2]int{i, k}]; ok {
+			cands[k] = append(cands[k], cand{med: mi, weight: 1})
+		}
+		for mi := range med.Attrs {
+			if len(cands[k]) > 0 && cands[k][0].med == mi {
+				continue
+			}
+			best := 0.0
+			for _, rep := range medNames[mi] {
+				if v := sim.sim(name, rep); v > best {
+					best = v
+				}
+			}
+			if best >= opts.AttrSimThreshold {
+				cands[k] = append(cands[k], cand{med: mi, weight: best})
+			}
+		}
+		sort.Slice(cands[k], func(a, b int) bool { return cands[k][a].weight > cands[k][b].weight })
+		if len(cands[k]) > 3 {
+			cands[k] = cands[k][:3]
+		}
+	}
+
+	// Beam enumeration of injective assignments. The "unmapped" option has
+	// a fixed small weight so alternative mappings with genuinely ambiguous
+	// attributes survive.
+	const unmappedWeight = 0.1
+	beam := []partial{{attrTo: nil, used: map[int]bool{}, score: 1}}
+	for k := 0; k < nAttrs; k++ {
+		var next []partial
+		for _, p := range beam {
+			// Unmapped extension.
+			next = append(next, p.extend(-1, unmappedWeight))
+			for _, c := range cands[k] {
+				if !p.used[c.med] {
+					next = append(next, p.extend(c.med, c.weight))
+				}
+			}
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a].score > next[b].score })
+		if len(next) > opts.MaxMappings*4 {
+			next = next[:opts.MaxMappings*4]
+		}
+		beam = next
+	}
+	sort.Slice(beam, func(a, b int) bool { return beam[a].score > beam[b].score })
+	if len(beam) > opts.MaxMappings {
+		beam = beam[:opts.MaxMappings]
+	}
+	total := 0.0
+	for _, p := range beam {
+		total += p.score
+	}
+	out := make([]Mapping, 0, len(beam))
+	for _, p := range beam {
+		out = append(out, Mapping{AttrTo: p.attrTo, Prob: p.score / total})
+	}
+	return out
+}
+
+// partial is a prefix of an attribute mapping under beam enumeration.
+type partial struct {
+	attrTo []int
+	used   map[int]bool
+	score  float64
+}
+
+// extend returns a copy of p with the next source attribute assigned to
+// mediated attribute med (-1 = unmapped), multiplying the running score.
+func (p partial) extend(med int, weight float64) partial {
+	attrTo := make([]int, len(p.attrTo)+1)
+	copy(attrTo, p.attrTo)
+	attrTo[len(p.attrTo)] = med
+	used := make(map[int]bool, len(p.used)+1)
+	for k := range p.used {
+		used[k] = true
+	}
+	if med >= 0 {
+		used[med] = true
+	}
+	return partial{attrTo: attrTo, used: used, score: p.score * weight}
+}
+
+// Describe renders the mediated schema for logs and the CLI.
+func (m *Mediated) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mediated schema: %d attributes over %d schemas\n", len(m.Attrs), len(m.Schemas))
+	for _, a := range m.Attrs {
+		fmt.Fprintf(&sb, "  %-24s (%d source attrs)\n", a.Name, len(a.Sources))
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package mediate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"schemaflow/internal/schema"
+)
+
+// TestPropertyBuildInvariants fuzzes corpora and checks structural
+// invariants of mediation:
+//
+//   - every mediated attribute has ≥1 source, and no kept source attribute
+//     appears in two mediated attributes;
+//   - per schema, mapping probabilities sum to 1 and each mapping is
+//     injective and complete (one entry per source attribute);
+//   - with filtering disabled, every source attribute occurrence is covered
+//     by some mediated attribute.
+func TestPropertyBuildInvariants(t *testing.T) {
+	pool := []string{
+		"title", "paper title", "authors", "author names", "year",
+		"publication year", "venue", "pages", "publisher", "abstract",
+		"make", "model", "price", "mileage", "first name", "email",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		set := make(schema.Set, n)
+		for i := range set {
+			k := 2 + rng.Intn(4)
+			perm := rng.Perm(len(pool))[:k]
+			attrs := make([]string, k)
+			for j, p := range perm {
+				attrs[j] = pool[p]
+			}
+			set[i] = schema.Schema{Name: "s", Attributes: attrs}
+		}
+		opts := DefaultOptions()
+		if rng.Intn(2) == 0 {
+			opts.Negative = true
+		}
+		med, err := Build(set, opts)
+		if err != nil {
+			return false
+		}
+
+		// Disjoint coverage of kept occurrences.
+		seen := make(map[[2]int]bool)
+		for _, ma := range med.Attrs {
+			if len(ma.Sources) == 0 || ma.Name == "" {
+				return false
+			}
+			for _, sa := range ma.Sources {
+				key := [2]int{sa.Schema, sa.Attr}
+				if seen[key] {
+					return false // one occurrence in two mediated attrs
+				}
+				seen[key] = true
+			}
+		}
+		if opts.Negative {
+			for i, s := range set {
+				for k := range s.Attributes {
+					if !seen[[2]int{i, k}] {
+						return false // unfiltered attribute dropped
+					}
+				}
+			}
+		}
+
+		// Mapping laws.
+		for i, mappings := range med.Mappings {
+			if len(mappings) == 0 {
+				return false
+			}
+			total := 0.0
+			for _, mp := range mappings {
+				if len(mp.AttrTo) != len(set[i].Attributes) {
+					return false
+				}
+				used := make(map[int]bool)
+				for _, to := range mp.AttrTo {
+					if to < 0 {
+						continue
+					}
+					if to >= len(med.Attrs) || used[to] {
+						return false
+					}
+					used[to] = true
+				}
+				if mp.Prob <= 0 || mp.Prob > 1+1e-12 {
+					return false
+				}
+				total += mp.Prob
+			}
+			if math.Abs(total-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyFrequencyMonotone: lowering the threshold never shrinks the
+// mediated schema.
+func TestPropertyFrequencyMonotone(t *testing.T) {
+	pool := []string{
+		"title", "authors", "year", "venue", "pages",
+		"make", "model", "price", "mileage", "color",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		set := make(schema.Set, n)
+		for i := range set {
+			k := 2 + rng.Intn(4)
+			perm := rng.Perm(len(pool))[:k]
+			attrs := make([]string, k)
+			for j, p := range perm {
+				attrs[j] = pool[p]
+			}
+			set[i] = schema.Schema{Name: "s", Attributes: attrs}
+		}
+		sizes := make([]int, 0, 3)
+		for _, th := range []float64{0.6, 0.3, 0.05} {
+			opts := DefaultOptions()
+			opts.FreqThreshold = th
+			med, err := Build(set, opts)
+			if err != nil {
+				return false
+			}
+			sizes = append(sizes, len(med.Attrs))
+		}
+		return sizes[0] <= sizes[1] && sizes[1] <= sizes[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

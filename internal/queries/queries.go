@@ -1,0 +1,208 @@
+// Package queries implements the random keyword-query generator of Section
+// 6.1.3, which simulates a user formulating a query with a particular domain
+// label in mind:
+//
+//  1. pick a target label B_rand with probability ∝ |S(B_rand)|;
+//  2. keep only the terms occurring in a sufficiently large fraction of
+//     S(B_rand) (0.25 for DW/SS, 0.1 for DDH);
+//  3. weight each surviving term by λ(t, B) — its relative frequency in B
+//     divided by its average relative frequency across all labels — and
+//     normalize into a distribution;
+//  4. draw the query's keywords i.i.d. from that distribution.
+package queries
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"schemaflow/internal/schema"
+	"schemaflow/internal/terms"
+)
+
+// Options configures the generator.
+type Options struct {
+	// MinFrac is the frequency filter: a term is a candidate for label B
+	// only if it occurs in at least this fraction of S(B). The thesis uses
+	// 0.25 for DW and SS, and 0.1 for DDH.
+	MinFrac float64
+	// TermOpts controls term extraction; it should match the feature
+	// space's extraction options.
+	TermOpts terms.Options
+	// Seed seeds the random process.
+	Seed int64
+}
+
+// Generator draws labeled random queries from a labeled schema corpus.
+type Generator struct {
+	rng *rand.Rand
+
+	labels []string
+	// labelCum is the cumulative distribution over labels (∝ |S(B)|).
+	labelCum []float64
+
+	// termsFor[label] are the candidate terms with their cumulative
+	// normalized-λ distribution.
+	termsFor map[string]termDist
+}
+
+type termDist struct {
+	terms []string
+	cum   []float64
+}
+
+// Query is one generated keyword query with its intended target label.
+type Query struct {
+	Keywords []string
+	Label    string
+}
+
+// NewGenerator analyzes the corpus and precomputes the per-label term
+// distributions. It fails if no label ends up with any candidate terms.
+func NewGenerator(set schema.Set, opts Options) (*Generator, error) {
+	if opts.MinFrac <= 0 {
+		opts.MinFrac = 0.25
+	}
+	if opts.TermOpts.MinLength == 0 {
+		opts.TermOpts = terms.DefaultOptions()
+	}
+	byLabel := set.ByLabel()
+	labels := set.Labels()
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("queries: corpus has no labels")
+	}
+
+	// Term sets per schema.
+	termSets := make([]map[string]bool, len(set))
+	for i, s := range set {
+		termSets[i] = terms.Extract(s.Attributes, opts.TermOpts)
+	}
+
+	// Freq(t, B): number of schemas of label B containing t, and the
+	// per-label totals Σ_t Freq(t, B).
+	freq := make(map[string]map[string]int, len(labels)) // label → term → count
+	labelTotal := make(map[string]float64, len(labels))
+	for _, b := range labels {
+		f := make(map[string]int)
+		for _, si := range byLabel[b] {
+			for t := range termSets[si] {
+				f[t]++
+			}
+		}
+		freq[b] = f
+		for _, c := range f {
+			labelTotal[b] += float64(c)
+		}
+	}
+
+	// avgRelFreq(t) = (1/|B|) Σ_B Freq(t,B)/labelTotal(B).
+	avgRel := make(map[string]float64)
+	for _, b := range labels {
+		if labelTotal[b] == 0 {
+			continue
+		}
+		for t, c := range freq[b] {
+			avgRel[t] += float64(c) / labelTotal[b]
+		}
+	}
+	nB := float64(len(labels))
+	for t := range avgRel {
+		avgRel[t] /= nB
+	}
+
+	g := &Generator{
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		termsFor: make(map[string]termDist),
+	}
+
+	// Label distribution ∝ |S(B)|, restricted to labels with candidates.
+	for _, b := range labels {
+		nSchemas := float64(len(byLabel[b]))
+		if nSchemas == 0 || labelTotal[b] == 0 {
+			continue
+		}
+		var cand []string
+		for t, c := range freq[b] {
+			if float64(c)/nSchemas >= opts.MinFrac {
+				cand = append(cand, t)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		sort.Strings(cand)
+		// λ(t, B) = relFreq(t,B) / avgRel(t), normalized into a
+		// distribution over the candidates.
+		weights := make([]float64, len(cand))
+		total := 0.0
+		for i, t := range cand {
+			rel := float64(freq[b][t]) / labelTotal[b]
+			w := rel
+			if avgRel[t] > 0 {
+				w = rel / avgRel[t]
+			}
+			weights[i] = w
+			total += w
+		}
+		td := termDist{terms: cand, cum: make([]float64, len(cand))}
+		acc := 0.0
+		for i, w := range weights {
+			acc += w / total
+			td.cum[i] = acc
+		}
+		g.termsFor[b] = td
+		g.labels = append(g.labels, b)
+		g.labelCum = append(g.labelCum, nSchemas)
+	}
+	if len(g.labels) == 0 {
+		return nil, fmt.Errorf("queries: no label has candidate terms at MinFrac=%v", opts.MinFrac)
+	}
+	acc := 0.0
+	total := 0.0
+	for _, w := range g.labelCum {
+		total += w
+	}
+	for i, w := range g.labelCum {
+		acc += w / total
+		g.labelCum[i] = acc
+	}
+	return g, nil
+}
+
+// Labels returns the labels the generator can target (those with candidate
+// terms), sorted.
+func (g *Generator) Labels() []string {
+	return append([]string(nil), g.labels...)
+}
+
+// Generate draws one query of the given keyword count.
+func (g *Generator) Generate(size int) Query {
+	b := g.labels[sampleCum(g.labelCum, g.rng.Float64())]
+	td := g.termsFor[b]
+	kw := make([]string, size)
+	for i := range kw {
+		kw[i] = td.terms[sampleCum(td.cum, g.rng.Float64())]
+	}
+	return Query{Keywords: kw, Label: b}
+}
+
+// Batch draws n queries of each size in [1, maxSize], in size order — the
+// Figure 6.7 workload (100 queries per size from 1 to 10).
+func (g *Generator) Batch(n, maxSize int) []Query {
+	out := make([]Query, 0, n*maxSize)
+	for size := 1; size <= maxSize; size++ {
+		for i := 0; i < n; i++ {
+			out = append(out, g.Generate(size))
+		}
+	}
+	return out
+}
+
+// sampleCum returns the first index whose cumulative weight is ≥ u.
+func sampleCum(cum []float64, u float64) int {
+	i := sort.SearchFloat64s(cum, u)
+	if i >= len(cum) {
+		i = len(cum) - 1
+	}
+	return i
+}

@@ -1,0 +1,163 @@
+package queries
+
+import (
+	"math"
+	"testing"
+
+	"schemaflow/internal/schema"
+)
+
+func corpus() schema.Set {
+	return schema.Set{
+		{Name: "t1", Attributes: []string{"departure", "destination", "airline"}, Labels: []string{"travel"}},
+		{Name: "t2", Attributes: []string{"departure", "destination", "price"}, Labels: []string{"travel"}},
+		{Name: "t3", Attributes: []string{"departure", "airline", "class"}, Labels: []string{"travel"}},
+		{Name: "b1", Attributes: []string{"title", "authors", "pages"}, Labels: []string{"bibliography"}},
+		// "price" appears in both labels, making it non-distinctive.
+		{Name: "b2", Attributes: []string{"title", "authors", "price"}, Labels: []string{"bibliography"}},
+	}
+}
+
+func TestGeneratorTargetsLabelsProportionally(t *testing.T) {
+	g, err := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[g.Generate(3).Label]++
+	}
+	// travel has 3 of 5 schemas → expected 60% of queries.
+	frac := float64(counts["travel"]) / n
+	if math.Abs(frac-0.6) > 0.05 {
+		t.Fatalf("travel fraction = %v, want ≈0.6", frac)
+	}
+}
+
+func TestKeywordsComeFromTargetLabel(t *testing.T) {
+	g, err := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	travelTerms := map[string]bool{
+		"departure": true, "destination": true, "airline": true,
+		"price": true, "class": true,
+	}
+	bibTerms := map[string]bool{
+		"title": true, "authors": true, "pages": true, "price": true,
+	}
+	for i := 0; i < 500; i++ {
+		q := g.Generate(4)
+		if len(q.Keywords) != 4 {
+			t.Fatalf("query size = %d", len(q.Keywords))
+		}
+		pool := travelTerms
+		if q.Label == "bibliography" {
+			pool = bibTerms
+		}
+		for _, kw := range q.Keywords {
+			if !pool[kw] {
+				t.Fatalf("query for %q contains foreign keyword %q", q.Label, kw)
+			}
+		}
+	}
+}
+
+func TestMinFracFiltersRareTerms(t *testing.T) {
+	// "class" occurs in 1/3 travel schemas = 0.33; a 0.5 filter drops it
+	// (while "pages", at exactly 1/2 of bibliography, survives).
+	g, err := NewGenerator(corpus(), Options{MinFrac: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		q := g.Generate(3)
+		for _, kw := range q.Keywords {
+			if kw == "class" {
+				t.Fatalf("rare term %q survived MinFrac=0.5", kw)
+			}
+		}
+	}
+}
+
+func TestDistinctiveTermsFavored(t *testing.T) {
+	// λ favors label-exclusive terms over cross-label ones: "departure"
+	// occurs only in travel while "price" occurs in both labels, so travel
+	// queries should draw "departure" far more often than "price".
+	// (Frequency *within* the label cancels out of λ by design — the thesis
+	// weights by the ratio of relative frequencies, not raw counts.)
+	g, err := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		q := g.Generate(1)
+		if q.Label == "travel" {
+			counts[q.Keywords[0]]++
+		}
+	}
+	if counts["departure"] == 0 {
+		t.Fatalf("term counts: %v", counts)
+	}
+	if counts["departure"] <= counts["price"]*2 {
+		t.Fatalf("departure (%d) not strongly favored over shared term price (%d)",
+			counts["departure"], counts["price"])
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g, err := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := g.Batch(10, 3)
+	if len(qs) != 30 {
+		t.Fatalf("Batch produced %d queries", len(qs))
+	}
+	for i, q := range qs {
+		wantSize := i/10 + 1
+		if len(q.Keywords) != wantSize {
+			t.Fatalf("query %d size = %d, want %d", i, len(q.Keywords), wantSize)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g1, _ := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 9})
+	g2, _ := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 9})
+	for i := 0; i < 50; i++ {
+		a, b := g1.Generate(3), g2.Generate(3)
+		if a.Label != b.Label {
+			t.Fatal("labels diverge")
+		}
+		for k := range a.Keywords {
+			if a.Keywords[k] != b.Keywords[k] {
+				t.Fatal("keywords diverge")
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewGenerator(schema.Set{{Name: "x", Attributes: []string{"abc"}}}, Options{}); err == nil {
+		t.Fatal("unlabeled corpus accepted")
+	}
+	// MinFrac so high no term survives anywhere.
+	set := schema.Set{
+		{Name: "a", Attributes: []string{"alpha"}, Labels: []string{"A"}},
+		{Name: "b", Attributes: []string{"beta"}, Labels: []string{"A"}},
+	}
+	if _, err := NewGenerator(set, Options{MinFrac: 0.9}); err == nil {
+		t.Fatal("no-candidates corpus accepted")
+	}
+}
+
+func TestLabelsAccessor(t *testing.T) {
+	g, _ := NewGenerator(corpus(), Options{MinFrac: 0.25, Seed: 1})
+	ls := g.Labels()
+	if len(ls) != 2 {
+		t.Fatalf("Labels = %v", ls)
+	}
+}

@@ -1,0 +1,76 @@
+package schema
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"name | a, b | l1, l2",
+		"name | a",
+		"| a |",
+		"a | | b",
+		"x | ,,,",
+		"a|b|c|d",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseLine(line)
+		if err != nil {
+			return
+		}
+		// Accepted lines must survive a write/read round trip — unless the
+		// writer explicitly rejects the name as unrepresentable in the line
+		// format (comment-prefixed or separator-bearing names).
+		var buf bytes.Buffer
+		if err := WriteLines(&buf, Set{s}); err != nil {
+			return
+		}
+		got, err := ReadLines(&buf)
+		if err != nil {
+			t.Fatalf("round trip read failed: %v (wrote %q)", err, buf.String())
+		}
+		if len(got) != 1 {
+			t.Fatalf("round trip produced %d schemas", len(got))
+		}
+		// Attribute and label lists must not themselves contain the
+		// format's separators; ParseLine trims fields, so a mismatch here
+		// means an escaping hole.
+		for _, a := range append(append([]string{}, s.Attributes...), s.Labels...) {
+			if strings.ContainsAny(a, "|") {
+				t.Fatalf("field %q contains separator", a)
+			}
+		}
+	})
+}
+
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`[]`,
+		`[{"name":"a","attributes":["x"]}]`,
+		`[{"attributes":[]}]`,
+		`{"not":"array"}`,
+		`[`,
+		`[{"name":1}]`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode.
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, set); err != nil {
+			t.Fatalf("WriteJSON failed on accepted set: %v", err)
+		}
+	})
+}

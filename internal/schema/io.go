@@ -1,0 +1,145 @@
+package schema
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Two on-disk formats are supported:
+//
+//   - JSON: an array of Schema objects, or one JSON object per line (JSONL).
+//   - Line format: one schema per line,
+//     "name | attr1, attr2, ... [| label1, label2, ...]"
+//     with "#"-prefixed comment lines and blank lines ignored. This is the
+//     convenient hand-authoring format used by the CLI tools.
+
+// ReadJSON reads a schema set from r. It accepts either a single JSON array
+// or a stream of JSON objects (JSONL).
+func ReadJSON(r io.Reader) (Set, error) {
+	dec := json.NewDecoder(r)
+	// Peek at the first token to decide between array and stream form.
+	tok, err := dec.Token()
+	if err == io.EOF {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading schemas: %w", err)
+	}
+	var set Set
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		for dec.More() {
+			var s Schema
+			if err := dec.Decode(&s); err != nil {
+				return nil, fmt.Errorf("schema %d: %w", len(set), err)
+			}
+			set = append(set, s)
+		}
+		if _, err := dec.Token(); err != nil {
+			return nil, fmt.Errorf("reading schemas: %w", err)
+		}
+		return set, nil
+	}
+	// Stream form: the first token consumed part of the first object, so
+	// restart with a fresh decoder is impossible on a generic reader.
+	// Instead require array form when the input does not start with '['.
+	return nil, fmt.Errorf("reading schemas: expected JSON array, got %v", tok)
+}
+
+// WriteJSON writes the set to w as an indented JSON array.
+func WriteJSON(w io.Writer, set Set) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(set)
+}
+
+// ReadLines reads the line format described in the package comment.
+func ReadLines(r io.Reader) (Set, error) {
+	var set Set
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		set = append(set, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading schemas: %w", err)
+	}
+	return set, nil
+}
+
+// ParseLine parses one line of the line format:
+// "name | attr1, attr2 [| label1, label2]". The input must be a single
+// line: embedded newlines are rejected.
+func ParseLine(line string) (Schema, error) {
+	if strings.ContainsAny(line, "\n\r") {
+		return Schema{}, fmt.Errorf("input contains a line break")
+	}
+	parts := strings.Split(line, "|")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Schema{}, fmt.Errorf("expected 2 or 3 |-separated fields, got %d", len(parts))
+	}
+	s := Schema{Name: strings.TrimSpace(parts[0])}
+	s.Attributes = splitList(parts[1])
+	if len(s.Attributes) == 0 {
+		return Schema{}, fmt.Errorf("schema %q has no attributes", s.Name)
+	}
+	if len(parts) == 3 {
+		s.Labels = splitList(parts[2])
+	}
+	return s, nil
+}
+
+// WriteLines writes the set in the line format. Schema names that would be
+// misread on the way back — names starting with the comment marker '#' or
+// containing the field separator '|' — are rejected rather than silently
+// corrupted; use the JSON format for such names.
+func WriteLines(w io.Writer, set Set) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range set {
+		if strings.HasPrefix(strings.TrimSpace(s.Name), "#") {
+			return fmt.Errorf("schema name %q would be read back as a comment; use JSON", s.Name)
+		}
+		if strings.Contains(s.Name, "|") {
+			return fmt.Errorf("schema name %q contains the field separator; use JSON", s.Name)
+		}
+		if strings.ContainsAny(s.Name, "\n\r") {
+			return fmt.Errorf("schema name %q contains a line break; use JSON", s.Name)
+		}
+		for _, field := range append(append([]string{}, s.Attributes...), s.Labels...) {
+			if strings.ContainsAny(field, "|,\n\r") {
+				return fmt.Errorf("schema %q: field %q contains a separator or line break; use JSON", s.Name, field)
+			}
+		}
+		line := s.Name + " | " + strings.Join(s.Attributes, ", ")
+		if len(s.Labels) > 0 {
+			line += " | " + strings.Join(s.Labels, ", ")
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package schema defines the input data model of the system: single-table
+// schemas given purely as sets of attribute names (Definition 3.1.1 and
+// Section 3.1 of the thesis), optionally annotated with ground-truth domain
+// labels for evaluation (Section 6.1.2).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a single-table schema extracted from a structured data source
+// (web form, HTML table, spreadsheet, ...). The only information the system
+// relies on is Attributes; Name and Labels exist for provenance and
+// evaluation respectively.
+type Schema struct {
+	// Name identifies the source (e.g. a URL or file name). It is never
+	// used by the algorithms.
+	Name string `json:"name,omitempty"`
+
+	// Attributes are the attribute names of the schema, e.g.
+	// {"departure airport", "destination airport", "airline", "class"}.
+	Attributes []string `json:"attributes"`
+
+	// Labels are the ground-truth domain labels B(S_i) assigned by a human
+	// annotator (Section 6.1.2). Empty outside evaluation workloads. A
+	// schema may carry several labels ("schools", "people", "awards", ...).
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Clone returns a deep copy of s.
+func (s Schema) Clone() Schema {
+	c := Schema{Name: s.Name}
+	c.Attributes = append([]string(nil), s.Attributes...)
+	c.Labels = append([]string(nil), s.Labels...)
+	return c
+}
+
+// HasLabel reports whether label is among s.Labels.
+func (s Schema) HasLabel(label string) bool {
+	for _, l := range s.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the schema compactly for logs and error messages.
+func (s Schema) String() string {
+	name := s.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	return fmt.Sprintf("%s{%s}", name, strings.Join(s.Attributes, ", "))
+}
+
+// Validate reports structural problems: no attributes, or a blank attribute
+// name. The algorithms tolerate both, but callers loading external data
+// usually want to reject them early.
+func (s Schema) Validate() error {
+	if len(s.Attributes) == 0 {
+		return fmt.Errorf("schema %q has no attributes", s.Name)
+	}
+	for i, a := range s.Attributes {
+		if strings.TrimSpace(a) == "" {
+			return fmt.Errorf("schema %q: attribute %d is blank", s.Name, i)
+		}
+	}
+	return nil
+}
+
+// Set is an ordered collection of schemas. Order is significant: schema
+// index positions are used as stable identifiers throughout the pipeline.
+type Set []Schema
+
+// Labels returns the sorted set B of all labels appearing in the set.
+func (set Set) Labels() []string {
+	seen := make(map[string]bool)
+	for _, s := range set {
+		for _, l := range s.Labels {
+			seen[l] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByLabel returns, for each label, the indices of the schemas carrying it —
+// the S(B_j) sets of Section 6.1.2.
+func (set Set) ByLabel() map[string][]int {
+	out := make(map[string][]int)
+	for i, s := range set {
+		for _, l := range s.Labels {
+			out[l] = append(out[l], i)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a schema set the way Table 6.1 of the thesis does.
+type Stats struct {
+	NumSchemas      int
+	MaxTermsPerSch  int
+	AvgTermsPerSch  float64
+	NumLabels       int
+	MaxLabelsPerSch int
+	AvgLabelsPerSch float64
+	MaxSchemasPerLb int
+	AvgSchemasPerLb float64
+}
+
+// ComputeStats computes Table 6.1-style statistics. termsOf maps a schema to
+// its extracted term set size; passing the real extractor keeps this package
+// free of a dependency on the terms package.
+func ComputeStats(set Set, termsOf func(Schema) int) Stats {
+	st := Stats{NumSchemas: len(set)}
+	if len(set) == 0 {
+		return st
+	}
+	totalTerms, totalLabels := 0, 0
+	for _, s := range set {
+		n := termsOf(s)
+		totalTerms += n
+		if n > st.MaxTermsPerSch {
+			st.MaxTermsPerSch = n
+		}
+		totalLabels += len(s.Labels)
+		if len(s.Labels) > st.MaxLabelsPerSch {
+			st.MaxLabelsPerSch = len(s.Labels)
+		}
+	}
+	byLabel := set.ByLabel()
+	st.NumLabels = len(byLabel)
+	totalPerLabel := 0
+	for _, idxs := range byLabel {
+		totalPerLabel += len(idxs)
+		if len(idxs) > st.MaxSchemasPerLb {
+			st.MaxSchemasPerLb = len(idxs)
+		}
+	}
+	st.AvgTermsPerSch = float64(totalTerms) / float64(len(set))
+	st.AvgLabelsPerSch = float64(totalLabels) / float64(len(set))
+	if st.NumLabels > 0 {
+		st.AvgSchemasPerLb = float64(totalPerLabel) / float64(st.NumLabels)
+	}
+	return st
+}

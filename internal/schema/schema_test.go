@@ -1,0 +1,173 @@
+package schema
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sample() Set {
+	return Set{
+		{Name: "s1", Attributes: []string{"title", "authors"}, Labels: []string{"bibliography"}},
+		{Name: "s2", Attributes: []string{"make", "model", "year"}, Labels: []string{"cars"}},
+		{Name: "s3", Attributes: []string{"name", "grade", "school"}, Labels: []string{"schools", "people"}},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Schema{Name: "x", Attributes: []string{"a"}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	if err := (Schema{Name: "x"}).Validate(); err == nil {
+		t.Fatal("schema with no attributes accepted")
+	}
+	if err := (Schema{Name: "x", Attributes: []string{"a", "  "}}).Validate(); err == nil {
+		t.Fatal("blank attribute accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := sample()[0]
+	c := s.Clone()
+	c.Attributes[0] = "changed"
+	c.Labels[0] = "changed"
+	if s.Attributes[0] != "title" || s.Labels[0] != "bibliography" {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+func TestHasLabel(t *testing.T) {
+	s := sample()[2]
+	if !s.HasLabel("people") || s.HasLabel("cars") {
+		t.Fatal("HasLabel broken")
+	}
+}
+
+func TestLabelsSorted(t *testing.T) {
+	got := sample().Labels()
+	want := []string{"bibliography", "cars", "people", "schools"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestByLabel(t *testing.T) {
+	by := sample().ByLabel()
+	if !reflect.DeepEqual(by["people"], []int{2}) {
+		t.Fatalf("ByLabel[people] = %v", by["people"])
+	}
+	if !reflect.DeepEqual(by["cars"], []int{1}) {
+		t.Fatalf("ByLabel[cars] = %v", by["cars"])
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	st := ComputeStats(sample(), func(s Schema) int { return len(s.Attributes) })
+	if st.NumSchemas != 3 {
+		t.Fatalf("NumSchemas = %d", st.NumSchemas)
+	}
+	if st.MaxTermsPerSch != 3 {
+		t.Fatalf("MaxTermsPerSch = %d", st.MaxTermsPerSch)
+	}
+	if st.NumLabels != 4 {
+		t.Fatalf("NumLabels = %d", st.NumLabels)
+	}
+	if st.MaxLabelsPerSch != 2 {
+		t.Fatalf("MaxLabelsPerSch = %d", st.MaxLabelsPerSch)
+	}
+	wantAvgLabels := 4.0 / 3.0
+	if st.AvgLabelsPerSch != wantAvgLabels {
+		t.Fatalf("AvgLabelsPerSch = %v, want %v", st.AvgLabelsPerSch, wantAvgLabels)
+	}
+	if st.MaxSchemasPerLb != 1 {
+		t.Fatalf("MaxSchemasPerLb = %d", st.MaxSchemasPerLb)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := ComputeStats(nil, func(Schema) int { return 0 })
+	if st.NumSchemas != 0 || st.AvgTermsPerSch != 0 {
+		t.Fatal("empty-set stats not zeroed")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", got, sample())
+	}
+}
+
+func TestReadJSONEmpty(t *testing.T) {
+	got, err := ReadJSON(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+	got, err = ReadJSON(strings.NewReader("[]"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty array: %v, %v", got, err)
+	}
+}
+
+func TestReadJSONRejectsNonArray(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Fatal("non-array JSON accepted")
+	}
+}
+
+func TestLinesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLines(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLines(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", got, sample())
+	}
+}
+
+func TestReadLinesSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\ns1 | a, b | l1\n  \n# more\ns2 | c\n"
+	got, err := ReadLines(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "s1" || got[1].Name != "s2" {
+		t.Fatalf("ReadLines = %v", got)
+	}
+	if len(got[1].Labels) != 0 {
+		t.Fatalf("unlabeled schema got labels %v", got[1].Labels)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"no pipes at all",
+		"name | a | l | extra",
+		"name |   ",
+	}
+	for _, line := range bad {
+		if _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) accepted", line)
+		}
+	}
+}
+
+func TestReadLinesReportsLineNumber(t *testing.T) {
+	_, err := ReadLines(strings.NewReader("ok | a\nbroken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line number", err)
+	}
+}

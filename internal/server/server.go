@@ -1,0 +1,285 @@
+// Package server exposes a built pay-as-you-go integration system over
+// HTTP — the search-engine use case of the thesis' architecture (Figure
+// 3.1): a keyword query comes in, the classifier ranks domains, the caller
+// retrieves the winning domain's mediated schema as a structured query
+// interface, and finally poses a structured query that returns
+// probability-ranked tuples.
+//
+// Endpoints (all JSON):
+//
+//	GET  /domains                 list domains with members and mediated schemas
+//	GET  /classify?q=...&top=k    rank domains for a keyword query
+//	GET  /explain?q=...&domain=r  per-term score breakdown for one domain
+//	GET  /schema?domain=r         one domain's mediated schema
+//	POST /query                   {"domain": r, "select": [...], "where": {...}, "limit": k}
+//	POST /feedback                {"moves": [...], "merges": [...], "splits": [...]}
+//	GET  /healthz                 liveness
+//
+// POST /feedback applies explicit user corrections and atomically swaps in
+// the rebuilt system — the live pay-as-you-go loop. Domain ids may change
+// across a feedback application; the response carries the id mapping.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"schemaflow/internal/engine"
+	"schemaflow/payg"
+)
+
+// Server wires a built System (and optionally its data sources) to an
+// http.Handler. It is safe for concurrent use: reads share an RWMutex with
+// the feedback endpoint, which replaces the system wholesale.
+type Server struct {
+	mu      sync.RWMutex
+	sys     *payg.System
+	sources []payg.Source
+
+	mux *http.ServeMux
+}
+
+// New builds the handler. sources may be nil, in which case /query answers
+// 503 (classification and schema browsing still work — the system never
+// needs data).
+func New(sys *payg.System, sources []payg.Source) *Server {
+	s := &Server{sys: sys, sources: sources, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /domains", s.handleDomains)
+	s.mux.HandleFunc("GET /classify", s.handleClassify)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /schema", s.handleSchema)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
+	return s
+}
+
+// system returns the current system under the read lock.
+func (s *Server) system() *payg.System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	sys := s.system()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"schemas": sys.NumSchemas(),
+		"domains": sys.NumDomains(),
+	})
+}
+
+// domainJSON is the wire form of one domain.
+type domainJSON struct {
+	ID          int          `json:"id"`
+	Unclustered bool         `json:"unclustered,omitempty"`
+	Schemas     []memberJSON `json:"schemas"`
+	Mediated    []string     `json:"mediated_schema,omitempty"`
+}
+
+type memberJSON struct {
+	Name string  `json:"name"`
+	Prob float64 `json:"prob"`
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	var out []domainJSON
+	for _, d := range s.system().Domains() {
+		dj := domainJSON{ID: d.ID, Unclustered: d.Unclustered, Mediated: d.MediatedAttributes}
+		for _, m := range d.Schemas {
+			dj.Schemas = append(dj.Schemas, memberJSON{Name: m.Name, Prob: m.Prob})
+		}
+		out = append(out, dj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scoreJSON is the wire form of one classified domain.
+type scoreJSON struct {
+	Domain    int      `json:"domain"`
+	Posterior float64  `json:"posterior"`
+	Mediated  []string `json:"mediated_schema,omitempty"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	top := 3
+	if t := r.URL.Query().Get("top"); t != "" {
+		v, err := strconv.Atoi(t)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad top parameter")
+			return
+		}
+		top = v
+	}
+	sys := s.system()
+	scores := sys.Classify(q)
+	if top < len(scores) {
+		scores = scores[:top]
+	}
+	out := make([]scoreJSON, 0, len(scores))
+	for _, sc := range scores {
+		sj := scoreJSON{Domain: sc.Domain, Posterior: sc.Posterior}
+		if attrs, err := sys.MediatedAttributes(sc.Domain); err == nil {
+			sj.Mediated = attrs
+		}
+		out = append(out, sj)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	domain, err := strconv.Atoi(r.URL.Query().Get("domain"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad domain parameter")
+		return
+	}
+	attrs, err := s.system().MediatedAttributes(domain)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"domain": domain, "mediated_schema": attrs})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	domain, err := strconv.Atoi(r.URL.Query().Get("domain"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad domain parameter")
+		return
+	}
+	ex, err := s.system().Explain(q, domain)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	type termJSON struct {
+		Term  string  `json:"term"`
+		Delta float64 `json:"delta"`
+	}
+	terms := make([]termJSON, 0, len(ex.Terms))
+	for _, t := range ex.Terms {
+		terms = append(terms, termJSON{Term: t.Term, Delta: t.Delta})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domain":    ex.Domain,
+		"log_prior": ex.LogPrior,
+		"baseline":  ex.Baseline,
+		"terms":     terms,
+		"total":     ex.Score(),
+	})
+}
+
+// feedbackRequest is the /feedback body.
+type feedbackRequest struct {
+	Moves []struct {
+		Schema int `json:"schema"`
+		Domain int `json:"domain"`
+	} `json:"moves"`
+	Merges [][2]int `json:"merges"`
+	Splits []int    `json:"splits"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	fb := payg.Feedback{Merges: req.Merges, Splits: req.Splits}
+	for _, mv := range req.Moves {
+		fb.Moves = append(fb.Moves, payg.Move{Schema: mv.Schema, Domain: mv.Domain})
+	}
+	if len(fb.Moves)+len(fb.Merges)+len(fb.Splits) == 0 {
+		writeError(w, http.StatusBadRequest, "empty feedback")
+		return
+	}
+	// Serialize rebuilds: take the write lock for the whole apply so two
+	// concurrent corrections compose rather than racing on the same base.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.sys.ApplyFeedback(fb)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.sys = res.System
+	writeJSON(w, http.StatusOK, map[string]any{
+		"domains":       res.System.NumDomains(),
+		"domain_map":    res.DomainMap,
+		"new_domain_of": res.NewDomainOf,
+	})
+}
+
+// queryRequest is the /query body.
+type queryRequest struct {
+	Domain int               `json:"domain"`
+	Select []string          `json:"select"`
+	Where  map[string]string `json:"where"`
+	Limit  int               `json:"limit"`
+}
+
+// tupleJSON is one result tuple.
+type tupleJSON struct {
+	Values  []string `json:"values"`
+	Prob    float64  `json:"prob"`
+	Sources []string `json:"sources"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.sources == nil {
+		writeError(w, http.StatusServiceUnavailable, "no data sources attached")
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Select) == 0 {
+		writeError(w, http.StatusBadRequest, "empty select list")
+		return
+	}
+	res, err := s.system().Execute(req.Domain,
+		engine.Query{Select: req.Select, Where: req.Where, Limit: req.Limit}, s.sources)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := make([]tupleJSON, 0, len(res))
+	for _, t := range res {
+		out = append(out, tupleJSON{Values: t.Values, Prob: t.Prob, Sources: t.Sources})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		fmt.Println("server: encoding response:", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,187 @@
+package strsim
+
+// Auxiliary string-distance metrics. The thesis cites Cohen, Ravikumar &
+// Fienberg's comparison of string metrics [7] when motivating its choice of
+// t_sim; these implementations let the benchmark harness compare the
+// LCS-based t_sim against the standard alternatives on the same data.
+
+// LevenshteinSim is 1 - (edit distance / max length): a normalized
+// edit-distance similarity.
+type LevenshteinSim struct{}
+
+// Sim implements TermSim.
+func (LevenshteinSim) Sim(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(m)
+}
+
+// Name implements TermSim.
+func (LevenshteinSim) Name() string { return "levenshtein" }
+
+// Levenshtein returns the edit distance (insert/delete/substitute, unit
+// costs) between a and b in O(len(a)·len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			d := prev[j-1] + cost
+			if v := prev[j] + 1; v < d {
+				d = v
+			}
+			if v := cur[j-1] + 1; v < d {
+				d = v
+			}
+			cur[j] = d
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// JaroWinklerSim is the Jaro-Winkler similarity with the standard prefix
+// scale of 0.1 over at most 4 common prefix characters.
+type JaroWinklerSim struct{}
+
+// Sim implements TermSim.
+func (JaroWinklerSim) Sim(a, b string) float64 { return JaroWinkler(a, b) }
+
+// Name implements TermSim.
+func (JaroWinklerSim) Name() string { return "jaro-winkler" }
+
+// Jaro returns the Jaro similarity of a and b.
+func Jaro(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if !matchedB[j] && a[i] == b[j] {
+				matchedA[i] = true
+				matchedB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity of a and b.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// NGramSim is the Jaccard similarity of the character n-gram sets of the two
+// terms (n = N; N <= 0 means trigrams). Terms shorter than N characters are
+// compared exactly.
+type NGramSim struct {
+	N int
+}
+
+// Sim implements TermSim.
+func (g NGramSim) Sim(a, b string) float64 {
+	n := g.N
+	if n <= 0 {
+		n = 3
+	}
+	if len(a) < n || len(b) < n {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	ga := ngrams(a, n)
+	gb := ngrams(b, n)
+	inter := 0
+	for s := range ga {
+		if gb[s] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Name implements TermSim.
+func (g NGramSim) Name() string {
+	if g.N == 2 {
+		return "bigram"
+	}
+	return "trigram"
+}
+
+func ngrams(s string, n int) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for i := 0; i+n <= len(s); i++ {
+		out[s[i:i+n]] = true
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package strsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"abc", "acb", 2},
+	}
+	for _, tc := range tests {
+		if got := Levenshtein(tc.a, tc.b); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestPropertyLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaro(t *testing.T) {
+	// Classic reference pair: JARO("MARTHA","MARHTA") = 0.944...
+	got := Jaro("martha", "marhta")
+	if math.Abs(got-0.9444444) > 1e-6 {
+		t.Fatalf("Jaro(martha,marhta) = %v", got)
+	}
+	if Jaro("abc", "abc") != 1 {
+		t.Fatal("identical strings should give 1")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Fatal("disjoint strings should give 0")
+	}
+	if Jaro("", "abc") != 0 {
+		t.Fatal("empty vs non-empty should give 0")
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// JW("MARTHA","MARHTA") = 0.961...
+	got := JaroWinkler("martha", "marhta")
+	if math.Abs(got-0.9611111) > 1e-6 {
+		t.Fatalf("JaroWinkler(martha,marhta) = %v", got)
+	}
+	// Winkler boost never lowers the score.
+	if JaroWinkler("prefix", "prefab") < Jaro("prefix", "prefab") {
+		t.Fatal("JaroWinkler below Jaro")
+	}
+}
+
+func TestNGramSim(t *testing.T) {
+	g := NGramSim{N: 2}
+	if g.Sim("night", "night") != 1 {
+		t.Fatal("identical should give 1")
+	}
+	// bigrams(night) = {ni,ig,gh,ht}; bigrams(nacht) = {na,ac,ch,ht}
+	// → intersection {ht}, union 7 → 1/7.
+	got := g.Sim("night", "nacht")
+	if math.Abs(got-1.0/7) > 1e-12 {
+		t.Fatalf("bigram Sim(night,nacht) = %v, want 1/7", got)
+	}
+	// Shorter than n: exact comparison.
+	if g.Sim("a", "a") != 1 || g.Sim("a", "b") != 0 {
+		t.Fatal("short-input fallback broken")
+	}
+	if (NGramSim{}).Name() != "trigram" || (NGramSim{N: 2}).Name() != "bigram" {
+		t.Fatal("Name broken")
+	}
+}
+
+func TestMeasureNames(t *testing.T) {
+	named := map[string]TermSim{
+		"lcs":          LCSSim{},
+		"exact":        ExactSim{},
+		"stem":         StemSim{},
+		"levenshtein":  LevenshteinSim{},
+		"jaro-winkler": JaroWinklerSim{},
+	}
+	for want, m := range named {
+		if m.Name() != want {
+			t.Errorf("%T.Name() = %q, want %q", m, m.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package strsim
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980), implemented from the original paper.
+// Used by StemSim as the alternative term-similarity function suggested in
+// Section 4.1 of the thesis ("a function that recognizes two terms to be
+// similar if and only if they have the same stem").
+
+// Stem returns the Porter stem of a lower-case ASCII word. Words shorter
+// than three letters are returned unchanged (the standard Porter guard; this
+// system also filters such terms out earlier).
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isConsonant reports whether w[i] is a consonant in Porter's sense: a letter
+// other than a, e, i, o, u, and y when preceded by a consonant ('y' after a
+// vowel or at word start counts as a consonant).
+func isConsonant(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC (vowel-consonant) sequences in w,
+// i.e. the count in the decomposition [C](VC)^m[V].
+func measure(w []byte) int {
+	n := 0
+	i := 0
+	// Skip initial consonant run.
+	for i < len(w) && isConsonant(w, i) {
+		i++
+	}
+	for i < len(w) {
+		// Vowel run.
+		for i < len(w) && !isConsonant(w, i) {
+			i++
+		}
+		if i >= len(w) {
+			break
+		}
+		// Consonant run → one VC.
+		for i < len(w) && isConsonant(w, i) {
+			i++
+		}
+		n++
+	}
+	return n
+}
+
+// containsVowel reports whether the stem contains a vowel (*v* condition).
+func containsVowel(w []byte) bool {
+	for i := range w {
+		if !isConsonant(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports the *d condition: the stem ends with a double
+// consonant (e.g. -TT, -SS).
+func endsDoubleConsonant(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isConsonant(w, n-1)
+}
+
+// endsCVC reports the *o condition: the stem ends consonant-vowel-consonant
+// where the final consonant is not w, x, or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(w, n-3) || isConsonant(w, n-2) || !isConsonant(w, n-1) {
+		return false
+	}
+	c := w[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix s (which the caller has verified is present)
+// with r.
+func replaceSuffix(w []byte, s, r string) []byte {
+	return append(w[:len(w)-len(s)], r...)
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return replaceSuffix(w, "sses", "ss")
+	case hasSuffix(w, "ies"):
+		return replaceSuffix(w, "ies", "i")
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return replaceSuffix(w, "s", "")
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w[:len(w)-3]) > 0 {
+			return replaceSuffix(w, "eed", "ee")
+		}
+		return w
+	}
+	stripped := false
+	if hasSuffix(w, "ed") && containsVowel(w[:len(w)-2]) {
+		w = replaceSuffix(w, "ed", "")
+		stripped = true
+	} else if hasSuffix(w, "ing") && containsVowel(w[:len(w)-3]) {
+		w = replaceSuffix(w, "ing", "")
+		stripped = true
+	}
+	if !stripped {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"):
+		return append(w, 'e')
+	case hasSuffix(w, "bl"):
+		return append(w, 'e')
+	case hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleConsonant(w):
+		c := w[len(w)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return w[:len(w)-1]
+		}
+	case measure(w) == 1 && endsCVC(w):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && containsVowel(w[:len(w)-1]) {
+		return replaceSuffix(w, "y", "i")
+	}
+	return w
+}
+
+// pair is one (suffix → replacement) rule; rules apply when the remaining
+// stem has measure above the step's bound.
+type pair struct{ suffix, repl string }
+
+var step2Rules = []pair{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+	{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+	{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+	{"iviti", "ive"}, {"biliti", "ble"},
+}
+
+var step3Rules = []pair{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+	{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func applyRules(w []byte, rules []pair, minMeasure int) []byte {
+	for _, r := range rules {
+		if hasSuffix(w, r.suffix) {
+			if measure(w[:len(w)-len(r.suffix)]) > minMeasure-1 {
+				return replaceSuffix(w, r.suffix, r.repl)
+			}
+			return w
+		}
+	}
+	return w
+}
+
+func step2(w []byte) []byte { return applyRules(w, step2Rules, 1) }
+func step3(w []byte) []byte { return applyRules(w, step3Rules, 1) }
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if s == "ion" {
+			// -ion only drops after s or t.
+			if len(stem) == 0 || (stem[len(stem)-1] != 's' && stem[len(stem)-1] != 't') {
+				return w
+			}
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleConsonant(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,130 @@
+package strsim
+
+import "testing"
+
+func TestStemClassicExamples(t *testing.T) {
+	// Examples drawn from Porter's 1980 paper.
+	tests := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+	}
+	for in, want := range tests {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "by"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonTerms(t *testing.T) {
+	// Stemming a stem should be stable for the vocabulary this system
+	// actually sees (attribute-name terms).
+	words := []string{
+		"departure", "destination", "professor", "students", "publication",
+		"authors", "conference", "enrollment", "transmission", "mileage",
+		"nationality", "prerequisites", "addresses", "categories",
+	}
+	for _, w := range words {
+		s1 := Stem(w)
+		s2 := Stem(s1)
+		if s1 != s2 {
+			t.Errorf("Stem not idempotent: %q → %q → %q", w, s1, s2)
+		}
+	}
+}
+
+func TestStemGroupsInflections(t *testing.T) {
+	groups := [][]string{
+		{"author", "authors"},
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"relate", "related", "relating"},
+	}
+	for _, g := range groups {
+		want := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != want {
+				t.Errorf("Stem(%q) = %q, want %q (group %v)", w, got, want, g)
+			}
+		}
+	}
+}

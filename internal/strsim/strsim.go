@@ -1,0 +1,119 @@
+// Package strsim provides the string similarity functions the system uses to
+// decide whether two terms are "the same" (Section 4.1 of the thesis).
+//
+// The primary function is the longest-common-substring similarity
+//
+//	t_sim(t1, t2) = 2·len(LCS(t1, t2)) / (len(t1) + len(t2))
+//
+// i.e. the length of the longest common substring divided by the average
+// length of the two terms. The thesis also suggests stem equality as an
+// alternative; both are provided behind the TermSim interface, along with
+// classic metrics (Levenshtein, Jaro-Winkler, n-gram Jaccard) that are useful
+// for comparison experiments.
+package strsim
+
+// TermSim measures the similarity of two terms on a [0, 1] scale, where 1
+// means identical. Implementations must be symmetric: Sim(a,b) == Sim(b,a).
+type TermSim interface {
+	// Sim returns the similarity of a and b in [0, 1].
+	Sim(a, b string) float64
+	// Name identifies the measure in experiment output.
+	Name() string
+}
+
+// LCSSim is the thesis' default term similarity: longest common substring
+// length divided by the average of the two term lengths. The zero value is
+// ready to use.
+type LCSSim struct{}
+
+// Sim implements TermSim.
+func (LCSSim) Sim(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	l := LongestCommonSubstring(a, b)
+	return 2 * float64(l) / float64(len(a)+len(b))
+}
+
+// Name implements TermSim.
+func (LCSSim) Name() string { return "lcs" }
+
+// ExactSim recognizes two terms as similar only when they are identical.
+// Useful as a degenerate baseline for ablations of the fuzzy matcher.
+type ExactSim struct{}
+
+// Sim implements TermSim.
+func (ExactSim) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Name implements TermSim.
+func (ExactSim) Name() string { return "exact" }
+
+// StemSim recognizes two terms as similar if and only if they share the same
+// Porter stem — the alternative t_sim suggested at the end of Section 4.1.
+type StemSim struct{}
+
+// Sim implements TermSim.
+func (StemSim) Sim(a, b string) float64 {
+	if a == b || Stem(a) == Stem(b) {
+		return 1
+	}
+	return 0
+}
+
+// Name implements TermSim.
+func (StemSim) Name() string { return "stem" }
+
+// LongestCommonSubstring returns the length of the longest contiguous
+// substring common to a and b. It operates on bytes; terms in this system
+// are canonicalized ASCII, for which byte and rune semantics coincide.
+//
+// The dynamic-programming formulation runs in O(len(a)·len(b)) time and
+// O(min) space. For the short terms this system compares (attribute-name
+// fragments, typically < 20 bytes) it is faster in practice than the
+// suffix-automaton path; use LongestCommonSubstringLinear for long inputs.
+func LongestCommonSubstring(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Keep the inner dimension the smaller string to minimize the DP row.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// Threshold wraps a TermSim as a boolean predicate at threshold tau: two
+// terms match when sim >= tau. This is the τ_t_sim gate of Algorithm 1.
+type Threshold struct {
+	Measure TermSim
+	Tau     float64
+}
+
+// Match reports whether the two terms are sufficiently similar.
+func (t Threshold) Match(a, b string) bool {
+	return t.Measure.Sim(a, b) >= t.Tau
+}

@@ -1,0 +1,126 @@
+package strsim
+
+// Suffix-automaton-based longest common substring.
+//
+// The thesis notes that the longest common substring "can be computed
+// efficiently in linear time using suffix trees". A suffix automaton is the
+// compact, array-friendly equivalent: build the automaton of one string in
+// O(n), then stream the other string through it keeping the length of the
+// longest suffix of the processed prefix that is a substring of the first
+// string. The maximum of those lengths is the LCS length.
+
+type samState struct {
+	next [256]int32 // transition per byte; -1 when absent
+	link int32      // suffix link
+	len  int32      // length of the longest string in this state's class
+}
+
+// SuffixAutomaton is the suffix automaton of a fixed pattern string. Build
+// one with NewSuffixAutomaton and query common-substring lengths against it
+// with LongestCommonWith. It is cheap to reuse against many candidate
+// strings, which is exactly the access pattern of vocabulary matching
+// (one vocabulary term vs every term of a schema).
+type SuffixAutomaton struct {
+	states []samState
+	last   int32
+}
+
+// NewSuffixAutomaton builds the suffix automaton of s in O(len(s)) time.
+func NewSuffixAutomaton(s string) *SuffixAutomaton {
+	sa := &SuffixAutomaton{states: make([]samState, 1, 2*len(s)+2)}
+	sa.states[0].link = -1
+	for i := range sa.states[0].next {
+		sa.states[0].next[i] = -1
+	}
+	sa.last = 0
+	for i := 0; i < len(s); i++ {
+		sa.extend(s[i])
+	}
+	return sa
+}
+
+func (sa *SuffixAutomaton) newState(length, link int32, copyFrom int32) int32 {
+	var st samState
+	if copyFrom >= 0 {
+		st = sa.states[copyFrom]
+	} else {
+		for i := range st.next {
+			st.next[i] = -1
+		}
+	}
+	st.len = length
+	st.link = link
+	sa.states = append(sa.states, st)
+	return int32(len(sa.states) - 1)
+}
+
+func (sa *SuffixAutomaton) extend(c byte) {
+	cur := sa.newState(sa.states[sa.last].len+1, -1, -1)
+	p := sa.last
+	for p != -1 && sa.states[p].next[c] == -1 {
+		sa.states[p].next[c] = cur
+		p = sa.states[p].link
+	}
+	if p == -1 {
+		sa.states[cur].link = 0
+	} else {
+		q := sa.states[p].next[c]
+		if sa.states[p].len+1 == sa.states[q].len {
+			sa.states[cur].link = q
+		} else {
+			clone := sa.newState(sa.states[p].len+1, sa.states[q].link, q)
+			for p != -1 && sa.states[p].next[c] == q {
+				sa.states[p].next[c] = clone
+				p = sa.states[p].link
+			}
+			sa.states[q].link = clone
+			sa.states[cur].link = clone
+		}
+	}
+	sa.last = cur
+}
+
+// Contains reports whether sub occurs as a substring of the automaton's
+// pattern.
+func (sa *SuffixAutomaton) Contains(sub string) bool {
+	v := int32(0)
+	for i := 0; i < len(sub); i++ {
+		v = sa.states[v].next[sub[i]]
+		if v == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestCommonWith returns the length of the longest substring common to
+// the automaton's pattern and t, in O(len(t)) time.
+func (sa *SuffixAutomaton) LongestCommonWith(t string) int {
+	var best, cur int32
+	v := int32(0)
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		for v != 0 && sa.states[v].next[c] == -1 {
+			v = sa.states[v].link
+			cur = sa.states[v].len
+		}
+		if sa.states[v].next[c] != -1 {
+			v = sa.states[v].next[c]
+			cur++
+		}
+		if cur > best {
+			best = cur
+		}
+	}
+	return int(best)
+}
+
+// LongestCommonSubstringLinear computes the same value as
+// LongestCommonSubstring via a suffix automaton of a; it runs in
+// O(len(a)+len(b)) time and is the better choice when either input is long.
+func LongestCommonSubstringLinear(a, b string) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return NewSuffixAutomaton(a).LongestCommonWith(b)
+}

@@ -1,0 +1,181 @@
+// Package terms implements term extraction from attribute names
+// (Algorithm 1, steps 4–8 of the thesis).
+//
+// An attribute name such as "Day/Time" or "MaxNumberOfStudents" is split
+// into individual terms ("day", "time"; "max", "number", "students"),
+// because individual terms cluster better across rephrasings than whole
+// attribute names ("Professor Name" vs "Name of the Professor"). Terms are
+// canonicalized to lower case; stop words and very short terms are dropped.
+package terms
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Options controls term extraction. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	// MinLength is the minimum number of letters a term must have to be
+	// kept. The thesis drops "extremely short terms (e.g., terms with less
+	// than three letters)", so the default is 3.
+	MinLength int
+
+	// StopWords maps canonical-form words to be discarded. If nil,
+	// DefaultStopWords is used. Explicitly pass an empty map to disable
+	// stop-word removal.
+	StopWords map[string]bool
+
+	// KeepDigits controls whether purely numeric tokens are kept. Attribute
+	// names on the web occasionally embed counters ("address2") that carry
+	// no domain signal, so the default is false.
+	KeepDigits bool
+}
+
+// DefaultOptions returns the extraction options used throughout the thesis'
+// experiments.
+func DefaultOptions() Options {
+	return Options{MinLength: 3, StopWords: nil, KeepDigits: false}
+}
+
+// DefaultStopWords is the stop-word list applied during extraction. It covers
+// the short function words that routinely appear inside attribute names
+// ("number of students", "date of birth") plus generic web-form filler.
+var DefaultStopWords = map[string]bool{
+	"a": true, "an": true, "and": true, "any": true, "are": true,
+	"as": true, "at": true, "be": true, "but": true, "by": true,
+	"for": true, "from": true, "has": true, "have": true, "in": true,
+	"into": true, "is": true, "it": true, "its": true, "no": true,
+	"not": true, "of": true, "on": true, "or": true, "per": true,
+	"such": true, "that": true, "the": true, "their": true, "then": true,
+	"there": true, "these": true, "this": true, "to": true, "was": true,
+	"were": true, "which": true, "will": true, "with": true, "your": true,
+	"etc": true, "please": true, "select": true, "enter": true,
+	"other": true, "all": true,
+}
+
+// isDelimiter reports whether r separates tokens inside an attribute name.
+// The thesis names white space, slashes, and underscores; real attribute
+// names also use hyphens, dots, parentheses, and assorted punctuation, so we
+// treat every non-letter, non-digit rune as a delimiter.
+func isDelimiter(r rune) bool {
+	return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+}
+
+// SplitAttribute splits a single attribute name into raw (uncanonicalized)
+// tokens: first over delimiter runes, then over CamelCase boundaries inside
+// each fragment. "Day/Time" → ["Day", "Time"];
+// "MaxNumberOfStudents" → ["Max", "Number", "Of", "Students"];
+// "departing (mm/dd/yy)" → ["departing", "mm", "dd", "yy"].
+func SplitAttribute(name string) []string {
+	var out []string
+	fields := strings.FieldsFunc(name, isDelimiter)
+	for _, f := range fields {
+		out = append(out, splitCamel(f)...)
+	}
+	return out
+}
+
+// splitCamel splits a fragment at transitions from lower case (or digit) to
+// upper case, and at transitions from a run of upper case into an upper+lower
+// pair (so "HTTPServer" → ["HTTP", "Server"]), and at letter/digit
+// boundaries ("address2" → ["address", "2"]).
+func splitCamel(s string) []string {
+	runes := []rune(s)
+	if len(runes) == 0 {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 1; i < len(runes); i++ {
+		prev, cur := runes[i-1], runes[i]
+		boundary := false
+		switch {
+		case unicode.IsLower(prev) && unicode.IsUpper(cur):
+			boundary = true
+		case unicode.IsDigit(prev) != unicode.IsDigit(cur):
+			boundary = true
+		case unicode.IsUpper(prev) && unicode.IsUpper(cur) &&
+			i+1 < len(runes) && unicode.IsLower(runes[i+1]):
+			boundary = true
+		}
+		if boundary {
+			out = append(out, string(runes[start:i]))
+			start = i
+		}
+	}
+	out = append(out, string(runes[start:]))
+	return out
+}
+
+// Canonical converts a raw token to canonical form: lower case with
+// surrounding space trimmed.
+func Canonical(token string) string {
+	return strings.ToLower(strings.TrimSpace(token))
+}
+
+// isNumeric reports whether s consists solely of digits.
+func isNumeric(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// keep reports whether a canonical term survives filtering under opts.
+func keep(term string, opts Options) bool {
+	if !opts.KeepDigits && isNumeric(term) {
+		return false
+	}
+	if len([]rune(term)) < opts.MinLength {
+		return false
+	}
+	stop := opts.StopWords
+	if stop == nil {
+		stop = DefaultStopWords
+	}
+	return !stop[term]
+}
+
+// FromAttribute extracts the canonical, filtered terms of one attribute
+// name, in order of appearance. Duplicates within the attribute are kept;
+// use Extract to get the deduplicated term set of a whole schema.
+func FromAttribute(name string, opts Options) []string {
+	raw := SplitAttribute(name)
+	out := make([]string, 0, len(raw))
+	for _, tok := range raw {
+		t := Canonical(tok)
+		if keep(t, opts) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Extract returns the set of terms T_i for a schema given as a list of
+// attribute names, as a sorted-insertion-order-free map. This is the T_i of
+// Algorithm 1.
+func Extract(attributes []string, opts Options) map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range attributes {
+		for _, t := range FromAttribute(a, opts) {
+			set[t] = true
+		}
+	}
+	return set
+}
+
+// ExtractList is Extract followed by deterministic ordering: the sorted
+// slice of distinct terms of the schema.
+func ExtractList(attributes []string, opts Options) []string {
+	set := Extract(attributes, opts)
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,158 @@
+package terms
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitAttributeDelimiters(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Day/Time", []string{"Day", "Time"}},
+		{"first_name", []string{"first", "name"}},
+		{"Professor Name", []string{"Professor", "Name"}},
+		{"departing (mm/dd/yy)", []string{"departing", "mm", "dd", "yy"}},
+		{"e-mail", []string{"e", "mail"}},
+		{"", nil},
+		{"///", nil},
+	}
+	for _, tc := range tests {
+		if got := SplitAttribute(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitAttribute(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSplitAttributeCamelCase(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"MaxNumberOfStudents", []string{"Max", "Number", "Of", "Students"}},
+		{"classID", []string{"class", "ID"}},
+		{"HTTPServerPort", []string{"HTTP", "Server", "Port"}},
+		{"address2", []string{"address", "2"}},
+		{"ISBN", []string{"ISBN"}},
+	}
+	for _, tc := range tests {
+		if got := SplitAttribute(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitAttribute(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFromAttributeFiltersStopWordsAndShortTerms(t *testing.T) {
+	got := FromAttribute("Number of the Students", DefaultOptions())
+	want := []string{"number", "students"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromAttribute = %v, want %v", got, want)
+	}
+}
+
+func TestFromAttributeDropsDigitsAndShort(t *testing.T) {
+	got := FromAttribute("mm/dd/yy 2010 id", DefaultOptions())
+	if len(got) != 0 {
+		t.Fatalf("FromAttribute = %v, want empty (all tokens short or numeric)", got)
+	}
+}
+
+func TestFromAttributeKeepDigits(t *testing.T) {
+	opts := DefaultOptions()
+	opts.KeepDigits = true
+	got := FromAttribute("code 2010", opts)
+	want := []string{"code", "2010"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromAttribute = %v, want %v", got, want)
+	}
+}
+
+func TestCustomStopWords(t *testing.T) {
+	opts := DefaultOptions()
+	opts.StopWords = map[string]bool{"name": true}
+	got := FromAttribute("first name", opts)
+	want := []string{"first"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FromAttribute = %v, want %v", got, want)
+	}
+	// Empty (non-nil) map disables stop words entirely.
+	opts.StopWords = map[string]bool{}
+	got = FromAttribute("number of students", opts)
+	if !reflect.DeepEqual(got, []string{"number", "students"}) {
+		// "of" is only 2 letters so MinLength still removes it.
+		t.Fatalf("FromAttribute = %v", got)
+	}
+}
+
+func TestExtractThesisExample(t *testing.T) {
+	// The Chapter 4 example: {Class ID, Day/Time, Professor Name, Subject}
+	// → {Class, Day, Time, Professor, Name, Subject} (ID is too short).
+	got := ExtractList([]string{"Class ID", "Day/Time", "Professor Name", "Subject"}, DefaultOptions())
+	want := []string{"class", "day", "name", "professor", "subject", "time"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractList = %v, want %v", got, want)
+	}
+}
+
+func TestExtractDeduplicates(t *testing.T) {
+	set := Extract([]string{"name", "first name", "last name"}, DefaultOptions())
+	if len(set) != 3 || !set["name"] || !set["first"] || !set["last"] {
+		t.Fatalf("Extract = %v", set)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	if got := Canonical("  TiTLe "); got != "title" {
+		t.Fatalf("Canonical = %q", got)
+	}
+}
+
+func TestPropertyTermsAreCanonicalAndFiltered(t *testing.T) {
+	opts := DefaultOptions()
+	f := func(name string) bool {
+		for _, term := range FromAttribute(name, opts) {
+			if term != Canonical(term) {
+				return false
+			}
+			if len([]rune(term)) < opts.MinLength {
+				return false
+			}
+			if DefaultStopWords[term] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExtractSubsetOfAttributeTerms(t *testing.T) {
+	// Every term in Extract comes from some attribute's FromAttribute.
+	opts := DefaultOptions()
+	f := func(a, b, c string) bool {
+		attrs := []string{a, b, c}
+		fromAll := make(map[string]bool)
+		for _, at := range attrs {
+			for _, term := range FromAttribute(at, opts) {
+				fromAll[term] = true
+			}
+		}
+		set := Extract(attrs, opts)
+		if len(set) != len(fromAll) {
+			return false
+		}
+		for term := range set {
+			if !fromAll[term] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

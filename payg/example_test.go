@@ -1,0 +1,97 @@
+package payg_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"schemaflow/payg"
+)
+
+// Example builds a system over three tiny domains and routes a keyword
+// query, demonstrating the minimal Build → Classify flow.
+func Example() {
+	schemas := []payg.Schema{
+		{Name: "flights", Attributes: []string{"departure airport", "destination airport", "airline"}},
+		{Name: "trips", Attributes: []string{"departure", "destination", "airline", "fare"}},
+		{Name: "papers", Attributes: []string{"title", "authors", "publication year"}},
+		{Name: "books", Attributes: []string{"title", "author", "publisher"}},
+	}
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := sys.Classify("departure Toronto destination Cairo")[0]
+	fmt.Println("domains:", sys.NumDomains())
+	fmt.Println("query routed to the domain containing:", sys.Domains()[best.Domain].Schemas[0].Name)
+	// Output:
+	// domains: 2
+	// query routed to the domain containing: flights
+}
+
+// ExampleSystem_Execute shows the full Section 3.3 use case: classify a
+// keyword query, then run a structured query over the winning domain's
+// mediated schema.
+func ExampleSystem_Execute() {
+	schemas := []payg.Schema{
+		{Name: "air1", Attributes: []string{"departure", "destination", "airline"}},
+		{Name: "air2", Attributes: []string{"departure city", "destination city", "carrier"}},
+	}
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := []payg.Source{
+		{Schema: schemas[0], Tuples: []payg.Tuple{{"YYZ", "CAI", "AirNorth"}}},
+		{Schema: schemas[1], Tuples: []payg.Tuple{{"YYZ", "CAI", "BlueJet"}}},
+	}
+	domain := sys.Classify("departure destination")[0].Domain
+	res, err := sys.Execute(domain, payg.Query{
+		Select: []string{"departure", "destination"},
+	}, sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top tuple:", strings.Join(res[0].Values, " → "))
+	// Output:
+	// top tuple: YYZ → CAI
+}
+
+// ExampleSystem_ApplyFeedback demonstrates the pay-as-you-go refinement
+// step: a user correction rebuilds the system with the schema pinned.
+func ExampleSystem_ApplyFeedback() {
+	schemas := []payg.Schema{
+		{Name: "cars1", Attributes: []string{"make", "model", "price"}},
+		{Name: "cars2", Attributes: []string{"car make", "model", "color"}},
+		{Name: "stamps", Attributes: []string{"catalog price", "year", "condition"}},
+	}
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.ApplyFeedback(payg.Feedback{Splits: []int{2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := res.NewDomainOf[2]
+	fmt.Printf("stamps now alone in its domain: %v\n",
+		len(res.System.Domains()[d].Schemas) == 1)
+	// Output:
+	// stamps now alone in its domain: true
+}
+
+// ExampleExtractForms turns a raw deep-web HTML form into a schema ready
+// for Build.
+func ExampleExtractForms() {
+	html := `<form id="search">
+	  <label for="d">Departure airport</label><input id="d" name="dep">
+	  <label for="a">Destination airport</label><input id="a" name="dst">
+	</form>`
+	schemas, err := payg.ExtractForms(strings.NewReader(html), "expedia")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(schemas[0].Name, "→", strings.Join(schemas[0].Attributes, ", "))
+	// Output:
+	// expedia#search → Departure airport, Destination airport
+}

@@ -1,0 +1,35 @@
+package payg
+
+import (
+	"io"
+
+	"schemaflow/internal/extract"
+)
+
+// Schema extraction front ends (Section 6.1.1 of the thesis / Figure 6.1):
+// the extractors turn raw structured sources into the Schema values Build
+// consumes.
+
+// ExtractForms extracts one schema per HTML <form> in the document (the
+// deep-web case): attribute names come from field labels, placeholders, and
+// humanized field names. sourceName seeds the schema names.
+func ExtractForms(r io.Reader, sourceName string) ([]Schema, error) {
+	return extract.Forms(r, sourceName)
+}
+
+// ExtractTables extracts one schema per HTML <table> with header cells.
+func ExtractTables(r io.Reader, sourceName string) ([]Schema, error) {
+	return extract.Tables(r, sourceName)
+}
+
+// ExtractSpreadsheet extracts the column-header schema of a CSV/TSV export,
+// skipping title rows and rejecting all-numeric pseudo-headers.
+func ExtractSpreadsheet(r io.Reader, sourceName string) ([]Schema, error) {
+	return extract.Spreadsheet(r, sourceName)
+}
+
+// ExtractNTriples extracts one schema per rdf:type from an RDF N-Triples
+// dump, using predicate local names as attribute names.
+func ExtractNTriples(r io.Reader, sourceName string) ([]Schema, error) {
+	return extract.NTriples(r, sourceName)
+}

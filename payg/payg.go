@@ -1,0 +1,342 @@
+// Package payg is the public API of schemaflow: a multi-domain
+// pay-as-you-go data integration system following Mahmoud & Aboulnaga
+// (SIGMOD 2010).
+//
+// Given nothing but a collection of single-table schemas (sets of attribute
+// names), Build produces a System that has:
+//
+//   - clustered the schemas into domains, fully automatically, handling
+//     boundary schemas with a probabilistic membership model;
+//   - mediated each domain into a mediated schema with probabilistic
+//     mappings from every member source;
+//   - constructed a naive Bayesian query classifier that routes keyword
+//     queries to their most relevant domains.
+//
+// The typical use case (the thesis' Section 3.3): call Classify with a user
+// keyword query to obtain ranked domains, show the top domains' mediated
+// schemas as structured query interfaces, then Execute a structured query
+// against a chosen domain to retrieve probability-ranked tuples.
+package payg
+
+import (
+	"fmt"
+	"strings"
+
+	"schemaflow/internal/classify"
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/engine"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/mediate"
+	"schemaflow/internal/schema"
+	"schemaflow/internal/strsim"
+	"schemaflow/internal/terms"
+)
+
+// Schema is a single-table schema: a named set of attribute names,
+// optionally labeled with ground-truth domains for evaluation.
+type Schema = schema.Schema
+
+// Score is one ranked domain returned by Classify.
+type Score = classify.Score
+
+// Query is a structured query over a domain's mediated schema.
+type Query = engine.Query
+
+// ResultTuple is one probability-ranked tuple of a query result.
+type ResultTuple = engine.ResultTuple
+
+// Source is a data source: a schema plus its tuples.
+type Source = engine.Source
+
+// Tuple is one raw row of a data source.
+type Tuple = engine.Tuple
+
+// Options configures Build. The zero value selects the thesis' defaults.
+type Options struct {
+	// TauTSim is the term-similarity threshold τ_t_sim (default 0.8).
+	TauTSim float64
+	// TermSimilarity selects t_sim: "lcs" (default), "stem", "exact", or
+	// "lcsubsequence".
+	TermSimilarity string
+	// TauCSim is the clustering stop / membership threshold τ_c_sim
+	// (default 0.25; the thesis recommends 0.2–0.3).
+	TauCSim float64
+	// Linkage selects c_sim: "avg-jaccard" (default), "min-jaccard",
+	// "max-jaccard", or "total-jaccard".
+	Linkage string
+	// Theta is the membership uncertainty width θ (default 0.02).
+	Theta float64
+	// ExactClassifier forces the exact subset-enumeration classifier;
+	// by default domains with more than 20 uncertain schemas fall back to
+	// the approximate rule.
+	ExactClassifier bool
+	// ApproximateClassifier selects the linear-time approximate classifier
+	// for every domain.
+	ApproximateClassifier bool
+	// SkipMediation skips building mediated schemas and mappings; Classify
+	// still works, Execute does not.
+	SkipMediation bool
+	// TermFrequencyFeatures switches from the thesis' binary feature
+	// vectors to term-frequency counts with generalized Jaccard — the
+	// §4.1 alternative, provided for comparison.
+	TermFrequencyFeatures bool
+	// MediationFreqThreshold is the attribute frequency threshold for
+	// mediated schemas (default 0.1).
+	MediationFreqThreshold float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TauTSim == 0 {
+		o.TauTSim = 0.8
+	}
+	if o.TermSimilarity == "" {
+		o.TermSimilarity = "lcs"
+	}
+	if o.TauCSim == 0 {
+		o.TauCSim = 0.25
+	}
+	if o.Linkage == "" {
+		o.Linkage = "avg-jaccard"
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.02
+	}
+	if o.MediationFreqThreshold == 0 {
+		o.MediationFreqThreshold = 0.1
+	}
+	return o
+}
+
+func (o Options) termSim() (strsim.TermSim, error) {
+	switch o.TermSimilarity {
+	case "lcs":
+		return strsim.LCSSim{}, nil
+	case "stem":
+		return strsim.StemSim{}, nil
+	case "exact":
+		return strsim.ExactSim{}, nil
+	case "lcsubsequence":
+		return strsim.LCSeqSim{}, nil
+	default:
+		return nil, fmt.Errorf("payg: unknown term similarity %q", o.TermSimilarity)
+	}
+}
+
+// DomainInfo summarizes one discovered domain for presentation.
+type DomainInfo struct {
+	// ID is the domain identifier used by Classify and Execute.
+	ID int
+	// Schemas lists member schema names with membership probabilities.
+	Schemas []DomainMember
+	// MediatedAttributes are the mediated schema's attribute names (empty
+	// when mediation was skipped).
+	MediatedAttributes []string
+	// Unclustered is true for a singleton domain (one schema that matched
+	// nothing else).
+	Unclustered bool
+}
+
+// DomainMember is one schema's membership in a domain.
+type DomainMember struct {
+	Name string
+	Prob float64
+}
+
+// System is a built pay-as-you-go integration system. It is immutable and
+// safe for concurrent use once Build returns.
+type System struct {
+	opts       Options
+	schemas    schema.Set
+	space      *feature.Space
+	model      *core.Model
+	classifier *classify.Classifier
+	mediated   []*mediate.Mediated
+}
+
+// Build runs the full pipeline: feature vectors → hierarchical clustering →
+// probabilistic domains → per-domain mediation → classifier construction.
+func Build(schemas []Schema, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	if len(schemas) == 0 {
+		return nil, fmt.Errorf("payg: no schemas")
+	}
+	ts, err := opts.termSim()
+	if err != nil {
+		return nil, err
+	}
+	set := schema.Set(schemas)
+	for i := range set {
+		if err := set[i].Validate(); err != nil {
+			return nil, fmt.Errorf("payg: %w", err)
+		}
+	}
+	method, err := cluster.ParseMethod(opts.Linkage)
+	if err != nil {
+		return nil, err
+	}
+
+	fcfg := feature.Config{
+		TermOpts: terms.DefaultOptions(),
+		Sim:      ts,
+		Tau:      opts.TauTSim,
+	}
+	if opts.TermFrequencyFeatures {
+		fcfg.Mode = feature.TermFrequency
+	}
+	sp := feature.Build(set, fcfg)
+	cl := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
+	model, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
+	if err != nil {
+		return nil, err
+	}
+
+	ccfg := classify.Config{}
+	if opts.ApproximateClassifier {
+		ccfg.Mode = classify.Approximate
+	}
+	if opts.ExactClassifier {
+		ccfg.MaxExactUncertain = -1
+	}
+	cls, err := classify.New(model, ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	sys := &System{opts: opts, schemas: set, space: sp, model: model, classifier: cls}
+	if !opts.SkipMediation {
+		if err := sys.buildMediation(); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func (s *System) buildMediation() error {
+	mopts := mediate.DefaultOptions()
+	mopts.FreqThreshold = s.opts.MediationFreqThreshold
+	ts, err := s.opts.termSim()
+	if err != nil {
+		return err
+	}
+	mopts.TermSim = ts
+	mopts.TermTau = s.opts.TauTSim
+
+	s.mediated = make([]*mediate.Mediated, s.model.NumDomains())
+	for r := range s.model.Domains {
+		var members schema.Set
+		for _, mem := range s.model.Domains[r].Members {
+			members = append(members, s.schemas[mem.Schema])
+		}
+		med, err := mediate.Build(members, mopts)
+		if err != nil {
+			return fmt.Errorf("payg: mediating domain %d: %w", r, err)
+		}
+		s.mediated[r] = med
+	}
+	return nil
+}
+
+// NumDomains returns the number of discovered domains (including singleton
+// domains of unclustered schemas).
+func (s *System) NumDomains() int { return s.model.NumDomains() }
+
+// NumSchemas returns the number of input schemas.
+func (s *System) NumSchemas() int { return len(s.schemas) }
+
+// Domains describes every discovered domain.
+func (s *System) Domains() []DomainInfo {
+	out := make([]DomainInfo, s.model.NumDomains())
+	for r := range s.model.Domains {
+		d := &s.model.Domains[r]
+		info := DomainInfo{ID: r, Unclustered: len(d.Cluster) == 1}
+		for _, mem := range d.Members {
+			info.Schemas = append(info.Schemas, DomainMember{Name: s.schemas[mem.Schema].Name, Prob: mem.Prob})
+		}
+		if s.mediated != nil {
+			for _, a := range s.mediated[r].Attrs {
+				info.MediatedAttributes = append(info.MediatedAttributes, a.Name)
+			}
+		}
+		out[r] = info
+	}
+	return out
+}
+
+// Classify ranks all domains by relevance to a free-text keyword query and
+// returns them best first. The query string is split on whitespace.
+func (s *System) Classify(query string) []Score {
+	return s.classifier.Classify(strings.Fields(query))
+}
+
+// ClassifyKeywords ranks domains for an already-tokenized query.
+func (s *System) ClassifyKeywords(keywords []string) []Score {
+	return s.classifier.Classify(keywords)
+}
+
+// Explanation itemizes a classification per matched vocabulary term.
+type Explanation = classify.Explanation
+
+// Explain breaks down why a domain scored the way it did for a query:
+// which matched vocabulary terms argued for (or against) it. Compare the
+// same term's contribution across domains to see what drove the ranking.
+func (s *System) Explain(query string, domain int) (*Explanation, error) {
+	return s.classifier.Explain(strings.Fields(query), domain)
+}
+
+// MediatedAttributes returns the mediated schema of a domain as attribute
+// names — the structured query interface presented to the user.
+func (s *System) MediatedAttributes(domain int) ([]string, error) {
+	if s.mediated == nil {
+		return nil, fmt.Errorf("payg: system built with SkipMediation")
+	}
+	if domain < 0 || domain >= len(s.mediated) {
+		return nil, fmt.Errorf("payg: no domain %d", domain)
+	}
+	var out []string
+	for _, a := range s.mediated[domain].Attrs {
+		out = append(out, a.Name)
+	}
+	return out, nil
+}
+
+// Execute answers a structured query over a domain's mediated schema.
+// Sources supplies the data: one Source per input schema, aligned with the
+// schema order passed to Build (schemas without data may use an empty
+// tuple list). Tuple probabilities combine mapping probability and domain
+// membership probability per Section 4.4 of the thesis.
+func (s *System) Execute(domain int, q Query, sources []Source) ([]ResultTuple, error) {
+	if s.mediated == nil {
+		return nil, fmt.Errorf("payg: system built with SkipMediation")
+	}
+	if domain < 0 || domain >= len(s.mediated) {
+		return nil, fmt.Errorf("payg: no domain %d", domain)
+	}
+	if len(sources) != len(s.schemas) {
+		return nil, fmt.Errorf("payg: %d sources for %d schemas", len(sources), len(s.schemas))
+	}
+	d := &s.model.Domains[domain]
+	var srcs []Source
+	var probs []float64
+	for _, mem := range d.Members {
+		src := sources[mem.Schema]
+		if len(src.Schema.Attributes) != len(s.schemas[mem.Schema].Attributes) {
+			return nil, fmt.Errorf("payg: source %d schema has %d attributes, built schema has %d",
+				mem.Schema, len(src.Schema.Attributes), len(s.schemas[mem.Schema].Attributes))
+		}
+		srcs = append(srcs, src)
+		probs = append(probs, mem.Prob)
+	}
+	ex, err := engine.NewDomainExecutor(s.mediated[domain], srcs, probs)
+	if err != nil {
+		return nil, err
+	}
+	return ex.Execute(q)
+}
+
+// Model exposes the underlying probabilistic domain model for advanced use
+// (evaluation harnesses, custom classifiers).
+func (s *System) Model() *core.Model { return s.model }
+
+// Schemas returns the input schemas in build order.
+func (s *System) Schemas() []Schema { return s.schemas }

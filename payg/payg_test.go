@@ -1,0 +1,310 @@
+package payg
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func demoSchemas() []Schema {
+	return []Schema{
+		{Name: "flights", Attributes: []string{"departure airport", "destination airport", "airline", "class"}},
+		{Name: "trips", Attributes: []string{"departure", "destination", "departing date", "returning date"}},
+		{Name: "tickets", Attributes: []string{"departure city", "destination city", "airline", "price"}},
+		{Name: "papers", Attributes: []string{"title", "authors", "publication year", "conference"}},
+		{Name: "books", Attributes: []string{"title", "author", "publisher", "year"}},
+		{Name: "oddball", Attributes: []string{"telescope aperture", "seismograph reading"}},
+	}
+}
+
+func build(t *testing.T, opts Options) *System {
+	t.Helper()
+	sys, err := Build(demoSchemas(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestBuildDiscoversDomains(t *testing.T) {
+	sys := build(t, Options{})
+	if sys.NumSchemas() != 6 {
+		t.Fatalf("NumSchemas = %d", sys.NumSchemas())
+	}
+	if sys.NumDomains() != 3 {
+		t.Fatalf("NumDomains = %d, want 3 (travel, bibliography, oddball)", sys.NumDomains())
+	}
+	infos := sys.Domains()
+	singletons := 0
+	for _, d := range infos {
+		if d.Unclustered {
+			singletons++
+			if len(d.Schemas) != 1 || d.Schemas[0].Name != "oddball" {
+				t.Fatalf("unexpected singleton: %+v", d)
+			}
+		}
+		for _, m := range d.Schemas {
+			if m.Prob <= 0 || m.Prob > 1 {
+				t.Fatalf("membership prob %v", m.Prob)
+			}
+		}
+		if len(d.MediatedAttributes) == 0 {
+			t.Fatalf("domain %d has no mediated attributes", d.ID)
+		}
+	}
+	if singletons != 1 {
+		t.Fatalf("%d singleton domains", singletons)
+	}
+}
+
+func TestClassifyRouting(t *testing.T) {
+	sys := build(t, Options{})
+	travelDomain := sys.Model().Clustering.Assign[0]
+	bibDomain := sys.Model().Clustering.Assign[3]
+
+	scores := sys.Classify("departure Toronto destination Cairo")
+	if scores[0].Domain != travelDomain {
+		t.Fatalf("travel query → domain %d, want %d", scores[0].Domain, travelDomain)
+	}
+	scores = sys.Classify("books authored by Stephen King title")
+	if scores[0].Domain != bibDomain {
+		t.Fatalf("bibliography query → domain %d, want %d", scores[0].Domain, bibDomain)
+	}
+	if kw := sys.ClassifyKeywords([]string{"airline", "class"}); kw[0].Domain != travelDomain {
+		t.Fatalf("keyword API → domain %d", kw[0].Domain)
+	}
+}
+
+func TestMediatedAttributes(t *testing.T) {
+	sys := build(t, Options{})
+	travelDomain := sys.Model().Clustering.Assign[0]
+	attrs, err := sys.MediatedAttributes(travelDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(attrs, " ")
+	if !strings.Contains(joined, "departure") || !strings.Contains(joined, "destination") {
+		t.Fatalf("travel mediated schema = %v", attrs)
+	}
+	if _, err := sys.MediatedAttributes(99); err == nil {
+		t.Fatal("bad domain id accepted")
+	}
+}
+
+func TestExecuteEndToEnd(t *testing.T) {
+	sys := build(t, Options{})
+	travelDomain := sys.Model().Clustering.Assign[0]
+	attrs, _ := sys.MediatedAttributes(travelDomain)
+	var depAttr string
+	for _, a := range attrs {
+		if strings.Contains(a, "departure") {
+			depAttr = a
+			break
+		}
+	}
+	if depAttr == "" {
+		t.Fatalf("no departure attribute in %v", attrs)
+	}
+
+	schemas := demoSchemas()
+	sources := make([]Source, len(schemas))
+	for i, s := range schemas {
+		sources[i] = Source{Schema: s}
+	}
+	sources[0].Tuples = []Tuple{{"YYZ", "CAI", "AirNorth", "economy"}}
+	sources[1].Tuples = []Tuple{{"YYZ", "CAI", "2010-05-01", "2010-05-15"}}
+	sources[2].Tuples = []Tuple{{"Toronto", "Cairo", "SkyWays", "900"}}
+
+	res, err := sys.Execute(travelDomain, Query{Select: []string{depAttr}}, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no tuples")
+	}
+	seen := make(map[string]bool)
+	for _, r := range res {
+		if r.Prob <= 0 || r.Prob > 1 {
+			t.Fatalf("tuple prob %v", r.Prob)
+		}
+		seen[r.Values[0]] = true
+	}
+	if !seen["YYZ"] || !seen["Toronto"] {
+		t.Fatalf("missing departures: %v", seen)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	sys := build(t, Options{})
+	if _, err := sys.Execute(0, Query{}, nil); err == nil {
+		t.Fatal("wrong source count accepted")
+	}
+	schemas := demoSchemas()
+	sources := make([]Source, len(schemas))
+	for i, s := range schemas {
+		sources[i] = Source{Schema: s}
+	}
+	sources[0].Schema.Attributes = sources[0].Schema.Attributes[:2]
+	travelDomain := sys.Model().Clustering.Assign[0]
+	if _, err := sys.Execute(travelDomain, Query{}, sources); err == nil {
+		t.Fatal("schema shape mismatch accepted")
+	}
+}
+
+func TestSkipMediation(t *testing.T) {
+	sys := build(t, Options{SkipMediation: true})
+	if _, err := sys.MediatedAttributes(0); err == nil {
+		t.Fatal("MediatedAttributes should fail with SkipMediation")
+	}
+	if _, err := sys.Execute(0, Query{}, make([]Source, 6)); err == nil {
+		t.Fatal("Execute should fail with SkipMediation")
+	}
+	// Classification still works.
+	if got := sys.Classify("departure destination"); len(got) == 0 {
+		t.Fatal("Classify broken with SkipMediation")
+	}
+}
+
+func TestBuildOptionValidation(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("empty schema list accepted")
+	}
+	if _, err := Build(demoSchemas(), Options{TermSimilarity: "bogus"}); err == nil {
+		t.Fatal("bogus term similarity accepted")
+	}
+	if _, err := Build(demoSchemas(), Options{Linkage: "bogus"}); err == nil {
+		t.Fatal("bogus linkage accepted")
+	}
+	if _, err := Build([]Schema{{Name: "x"}}, Options{}); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestAlternativeOptions(t *testing.T) {
+	for _, opts := range []Options{
+		{Linkage: "min-jaccard"},
+		{Linkage: "total-jaccard"},
+		{TermSimilarity: "stem"},
+		{TermSimilarity: "exact"},
+		{TermSimilarity: "lcsubsequence"},
+		{ApproximateClassifier: true},
+		{TauCSim: 0.3, Theta: 0.1},
+		{TermFrequencyFeatures: true},
+	} {
+		sys, err := Build(demoSchemas(), opts)
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", opts, err)
+		}
+		if len(sys.Classify("departure destination")) == 0 {
+			t.Fatalf("Classify broken under %+v", opts)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys := build(t, Options{})
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDomains() != sys.NumDomains() || loaded.NumSchemas() != sys.NumSchemas() {
+		t.Fatalf("loaded %d domains / %d schemas", loaded.NumDomains(), loaded.NumSchemas())
+	}
+	for _, q := range []string{"departure destination", "title author", "telescope"} {
+		a, b := sys.Classify(q), loaded.Classify(q)
+		if len(a) != len(b) {
+			t.Fatalf("score counts differ for %q", q)
+		}
+		for k := range a {
+			if a[k].Domain != b[k].Domain || a[k].LogPosterior != b[k].LogPosterior {
+				t.Fatalf("query %q: %+v vs %+v", q, a[k], b[k])
+			}
+		}
+	}
+	// Mediation must be rebuilt identically.
+	for r := 0; r < sys.NumDomains(); r++ {
+		wa, _ := sys.MediatedAttributes(r)
+		ga, _ := loaded.MediatedAttributes(r)
+		if strings.Join(wa, "|") != strings.Join(ga, "|") {
+			t.Fatalf("domain %d mediated attrs differ: %v vs %v", r, wa, ga)
+		}
+	}
+}
+
+// failWriter errors after n bytes, exercising Save's error path.
+type failWriter struct{ remaining int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.remaining {
+		n := w.remaining
+		w.remaining = 0
+		return n, fmt.Errorf("disk full")
+	}
+	w.remaining -= len(p)
+	return len(p), nil
+}
+
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	sys := build(t, Options{})
+	if err := sys.Save(&failWriter{remaining: 64}); err == nil {
+		t.Fatal("write failure swallowed")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConcurrentClassify(t *testing.T) {
+	// A built System is immutable; concurrent classification and execution
+	// must be safe (run with -race).
+	sys := build(t, Options{})
+	schemas := demoSchemas()
+	sources := make([]Source, len(schemas))
+	for i, s := range schemas {
+		sources[i] = Source{Schema: s}
+	}
+	sources[0].Tuples = []Tuple{{"YYZ", "CAI", "AirNorth", "economy"}}
+	travelDomain := sys.Model().Clustering.Assign[0]
+	attrs, err := sys.MediatedAttributes(travelDomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			queries := []string{"departure destination", "title author", "telescope"}
+			for i := 0; i < 50; i++ {
+				if len(sys.Classify(queries[(g+i)%len(queries)])) == 0 {
+					done <- fmt.Errorf("goroutine %d: no scores", g)
+					return
+				}
+				if _, err := sys.Execute(travelDomain, Query{Select: attrs[:1]}, sources); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSchemasAccessor(t *testing.T) {
+	sys := build(t, Options{})
+	if got := sys.Schemas(); len(got) != 6 || got[0].Name != "flights" {
+		t.Fatalf("Schemas() = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package payg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"schemaflow/internal/classify"
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+	"schemaflow/internal/terms"
+)
+
+// snapshot is the on-disk form of a System (gob-encoded). It stores the
+// schemas, options, cluster assignment, probabilistic memberships, and the
+// classifier's precomputed tables — everything whose recomputation is
+// expensive. The feature space and mediated schemas are rebuilt
+// deterministically on load (cheap relative to clustering and exact
+// classifier setup).
+type snapshot struct {
+	Version     int
+	Opts        Options
+	Schemas     schema.Set
+	Assign      []int
+	Memberships [][]core.Membership
+	Classifier  *classify.Snapshot
+}
+
+const snapshotVersion = 1
+
+// Save serializes the system so that Load can reconstruct it without
+// re-running clustering or classifier setup.
+func (s *System) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:     snapshotVersion,
+		Opts:        s.opts,
+		Schemas:     s.schemas,
+		Assign:      s.model.Clustering.Assign,
+		Memberships: make([][]core.Membership, len(s.schemas)),
+		Classifier:  s.classifier.Snapshot(),
+	}
+	for i := range s.schemas {
+		snap.Memberships[i] = s.model.DomainsOf(i)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("payg: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a System previously written by Save. The feature space
+// is rebuilt (vocabulary and vectors are deterministic given the schemas and
+// options); clustering and classifier tables come from the snapshot.
+func Load(r io.Reader) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("payg: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("payg: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	opts := snap.Opts.withDefaults()
+	ts, err := opts.termSim()
+	if err != nil {
+		return nil, err
+	}
+	fcfg := feature.Config{
+		TermOpts: terms.DefaultOptions(),
+		Sim:      ts,
+		Tau:      opts.TauTSim,
+	}
+	if opts.TermFrequencyFeatures {
+		fcfg.Mode = feature.TermFrequency
+	}
+	sp := feature.BuildLite(snap.Schemas, fcfg)
+	cl := cluster.FromAssignment(snap.Assign)
+	model, err := core.RestoreModel(snap.Schemas, sp, cl, snap.Memberships, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
+	if err != nil {
+		return nil, err
+	}
+	cls, err := classify.Restore(model, snap.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{opts: opts, schemas: snap.Schemas, space: sp, model: model, classifier: cls}
+	if !opts.SkipMediation {
+		if err := sys.buildMediation(); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
