@@ -3,9 +3,17 @@
 // from a schema file, optionally attaches synthetic data so /query works,
 // and listens for JSON requests.
 //
+// The query path runs under a per-source resilience policy (timeout,
+// retries with backoff, circuit breaker) and degrades gracefully: when
+// some sources fail, /query returns the healthy sources' tuples plus a
+// "degraded" report instead of an error. The server itself drains
+// connections on SIGINT/SIGTERM, recovers panics, and bounds request
+// bodies and durations.
+//
 // Usage:
 //
 //	payg-server -in schemas.txt [-addr :8080] [-tau 0.25] [-tuples 20]
+//	            [-source-timeout 2s] [-retries 2]
 //
 //	curl 'localhost:8080/classify?q=departure+toronto'
 //	curl 'localhost:8080/domains'
@@ -13,10 +21,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
+	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"schemaflow/internal/cli"
@@ -30,15 +42,17 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	tau := flag.Float64("tau", 0.25, "clustering threshold tau_c_sim")
 	tuples := flag.Int("tuples", 20, "synthetic tuples per source for /query (0 disables data)")
+	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
+	retries := flag.Int("retries", 2, "retries per data-source fetch after the first failure")
 	flag.Parse()
 
-	if err := run(*in, *addr, *tau, *tuples); err != nil {
-		fmt.Fprintln(os.Stderr, "payg-server:", err)
-		os.Exit(1)
+	log.SetPrefix("payg-server: ")
+	if err := run(*in, *addr, *tau, *tuples, *sourceTimeout, *retries); err != nil {
+		log.Fatal(err)
 	}
 }
 
-func run(in, addr string, tau float64, tuples int) error {
+func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int) error {
 	set, err := cli.ReadSchemasFile(in)
 	if err != nil {
 		return err
@@ -48,12 +62,12 @@ func run(in, addr string, tau float64, tuples int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("built %d domains over %d schemas in %s\n",
+	log.Printf("built %d domains over %d schemas in %s",
 		sys.NumDomains(), sys.NumSchemas(), time.Since(start).Round(time.Millisecond))
 
-	var sources []payg.Source
+	var sources []payg.TupleSource
 	if tuples > 0 {
-		sources = make([]payg.Source, len(set))
+		sources = make([]payg.TupleSource, len(set))
 		for i, s := range set {
 			rows := dataset.GenerateTuples(s, tuples, int64(i))
 			ts := make([]payg.Tuple, len(rows))
@@ -62,14 +76,47 @@ func run(in, addr string, tau float64, tuples int) error {
 			}
 			sources[i] = payg.Source{Schema: s, Tuples: ts}
 		}
-		fmt.Printf("attached %d synthetic tuples per source\n", tuples)
+		log.Printf("attached %d synthetic tuples per source", tuples)
+	}
+
+	policy := payg.DefaultPolicy()
+	policy.Timeout = sourceTimeout
+	policy.MaxRetries = retries
+	handler, err := server.NewWithConfig(sys, server.Config{Sources: sources, Policy: policy})
+	if err != nil {
+		return err
 	}
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(sys, sources),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	fmt.Printf("listening on %s\n", addr)
-	return srv.ListenAndServe()
+
+	// Serve until the listener fails or a shutdown signal arrives; on
+	// SIGINT/SIGTERM drain in-flight connections before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Print("shutdown signal received; draining connections")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Print("shutdown complete")
+		return nil
+	}
 }

@@ -15,12 +15,16 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"schemaflow/internal/core"
 	"schemaflow/internal/mediate"
+	"schemaflow/internal/resilience"
 	"schemaflow/internal/schema"
 )
 
@@ -73,36 +77,75 @@ type ResultTuple struct {
 
 // DomainExecutor answers structured queries over one domain: the mediated
 // schema, its probabilistic mappings, the domain membership probabilities,
-// and the data sources.
+// and the data sources. Sources are fetched through the TupleSource
+// interface, optionally under a resilience policy (per-source timeout,
+// retries, circuit breaker) installed with SetPolicy; per-source breaker
+// state persists across queries on the same executor.
 type DomainExecutor struct {
-	med     *mediate.Mediated
-	sources []Source
-	// memberProb[i] is Pr(S_i ∈ D_r) for sources[i].
+	med      *mediate.Mediated
+	fetchers []TupleSource
+	// memberProb[i] is Pr(S_i ∈ D_r) for fetchers[i].
 	memberProb []float64
+
+	policy   *resilience.Policy
+	breakers []*resilience.Breaker
 }
 
-// NewDomainExecutor wires a mediated domain to its data sources. The sources
-// must be aligned 1:1 with med.Schemas; memberProb supplies Pr(S_i ∈ D_r)
-// (nil means certainty for all sources).
+// NewDomainExecutor wires a mediated domain to in-memory data sources. The
+// sources must be aligned 1:1 with med.Schemas; memberProb supplies
+// Pr(S_i ∈ D_r) (nil means certainty for all sources).
 func NewDomainExecutor(med *mediate.Mediated, sources []Source, memberProb []float64) (*DomainExecutor, error) {
-	if len(sources) != len(med.Schemas) {
-		return nil, fmt.Errorf("engine: %d sources for %d mediated schemas", len(sources), len(med.Schemas))
-	}
-	if memberProb == nil {
-		memberProb = make([]float64, len(sources))
-		for i := range memberProb {
-			memberProb[i] = 1
-		}
-	}
-	if len(memberProb) != len(sources) {
-		return nil, fmt.Errorf("engine: %d membership probabilities for %d sources", len(memberProb), len(sources))
-	}
 	for i := range sources {
 		if err := sources[i].Validate(); err != nil {
 			return nil, err
 		}
 	}
-	return &DomainExecutor{med: med, sources: sources, memberProb: memberProb}, nil
+	fetchers := make([]TupleSource, len(sources))
+	for i := range sources {
+		fetchers[i] = sources[i]
+	}
+	return NewFetchExecutor(med, fetchers, memberProb)
+}
+
+// NewFetchExecutor wires a mediated domain to arbitrary TupleSources
+// (remote, slow, failing). The fetchers must be aligned 1:1 with
+// med.Schemas; fetched tuples are width-validated against the mediated
+// domain's member schemas at query time, so a misbehaving source degrades
+// the result instead of corrupting it.
+func NewFetchExecutor(med *mediate.Mediated, fetchers []TupleSource, memberProb []float64) (*DomainExecutor, error) {
+	if len(fetchers) != len(med.Schemas) {
+		return nil, fmt.Errorf("engine: %d sources for %d mediated schemas", len(fetchers), len(med.Schemas))
+	}
+	if memberProb == nil {
+		memberProb = make([]float64, len(fetchers))
+		for i := range memberProb {
+			memberProb[i] = 1
+		}
+	}
+	if len(memberProb) != len(fetchers) {
+		return nil, fmt.Errorf("engine: %d membership probabilities for %d sources", len(memberProb), len(fetchers))
+	}
+	return &DomainExecutor{med: med, fetchers: fetchers, memberProb: memberProb}, nil
+}
+
+// SetPolicy installs a resilience policy on the per-source fetch path and
+// allocates one circuit breaker per source. Call before serving queries;
+// the breakers live as long as the executor.
+func (ex *DomainExecutor) SetPolicy(p resilience.Policy) {
+	ex.policy = &p
+	ex.breakers = make([]*resilience.Breaker, len(ex.fetchers))
+	for i := range ex.breakers {
+		ex.breakers[i] = p.NewBreaker()
+	}
+}
+
+// BreakerState reports the circuit breaker state for source i, or Closed
+// when no policy (or no breaker) is installed.
+func (ex *DomainExecutor) BreakerState(i int) resilience.State {
+	if i < 0 || i >= len(ex.breakers) || ex.breakers[i] == nil {
+		return resilience.Closed
+	}
+	return ex.breakers[i].State()
 }
 
 // FromModel builds one executor per domain of a probabilistic model, given a
@@ -132,9 +175,52 @@ func FromModel(m *core.Model, mediated []*mediate.Mediated, allSources []Source)
 	return out, nil
 }
 
+// SourceFailure describes one data source that contributed nothing to a
+// query result: it failed after exhausting the resilience policy, or was
+// skipped outright because its circuit breaker was open.
+type SourceFailure struct {
+	// Source is the failing source's name.
+	Source string
+	// Err is the final error (after retries), as text.
+	Err string
+	// Skipped is true when the circuit breaker rejected the source
+	// without attempting a fetch.
+	Skipped bool
+}
+
+// Result is a query answer that may be degraded: the consolidated tuples
+// from every source that answered, plus a report of the sources that did
+// not.
+type Result struct {
+	Tuples []ResultTuple
+	// Failures lists sources that contributed nothing, in source order.
+	// Empty means every source answered.
+	Failures []SourceFailure
+}
+
+// Degraded reports whether any source failed to contribute.
+func (r *Result) Degraded() bool { return len(r.Failures) > 0 }
+
 // Execute runs the query and returns the merged result set R_all sorted by
-// descending probability (ties broken by value for determinism).
+// descending probability (ties broken by value for determinism). It is the
+// context-free form of ExecuteContext; source failures surface only
+// through the degraded report, which Execute discards, so in-memory
+// callers see the historical all-or-nothing behavior.
 func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
+	res, err := ex.ExecuteContext(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tuples, nil
+}
+
+// ExecuteContext runs the query with cancellation: every source fetch is
+// dispatched concurrently under ctx (and the resilience policy, when one
+// is installed). Sources that fail or are skipped by an open breaker are
+// reported in Result.Failures while the healthy sources' tuples are
+// consolidated and returned — a degraded answer, not an error. The only
+// errors are malformed queries and a dead ctx.
+func (ex *DomainExecutor) ExecuteContext(ctx context.Context, q Query) (*Result, error) {
 	selIdx := make([]int, len(q.Select))
 	for i, name := range q.Select {
 		selIdx[i] = ex.med.AttrIndex(name)
@@ -151,6 +237,11 @@ func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
 		whereIdx[mi] = strings.ToLower(val)
 	}
 
+	fetched, failures, err := ex.fetchAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+
 	type agg struct {
 		values   []string
 		oneMinus float64 // Π(1−p) across sources
@@ -158,16 +249,16 @@ func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
 	}
 	results := make(map[string]*agg)
 
-	for si := range ex.sources {
-		src := &ex.sources[si]
+	for si := range ex.fetchers {
 		memberP := ex.memberProb[si]
-		if memberP == 0 {
+		if memberP == 0 || fetched[si] == nil {
 			continue
 		}
-		// perTuple[t][key] accumulates the summed mapping probability of
-		// each distinct mapped tuple derived from raw tuple t
+		name := ex.fetchers[si].Name()
+		// mappedProb[key] accumulates the summed mapping probability of
+		// each distinct mapped tuple derived from one raw tuple
 		// (the same-raw-tuple consolidation rule).
-		for _, raw := range src.Tuples {
+		for _, raw := range fetched[si] {
 			mappedProb := make(map[string]float64)
 			mappedVals := make(map[string][]string)
 			for _, mp := range ex.med.Mappings[si] {
@@ -187,7 +278,7 @@ func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
 					results[key] = a
 				}
 				a.oneMinus *= 1 - tp
-				a.sources[src.Schema.Name] = true
+				a.sources[name] = true
 			}
 		}
 	}
@@ -210,7 +301,75 @@ func (ex *DomainExecutor) Execute(q Query) ([]ResultTuple, error) {
 	if q.Limit > 0 && q.Limit < len(out) {
 		out = out[:q.Limit]
 	}
-	return out, nil
+	return &Result{Tuples: out, Failures: failures}, nil
+}
+
+// fetchAll dispatches every member source's fetch concurrently under ctx
+// and the installed policy. It returns the per-source tuple slices (nil
+// for failed or zero-probability sources), the failure report in source
+// order, and a hard error only when ctx itself died.
+func (ex *DomainExecutor) fetchAll(ctx context.Context) ([][]Tuple, []SourceFailure, error) {
+	fetched := make([][]Tuple, len(ex.fetchers))
+	errs := make([]error, len(ex.fetchers))
+	var wg sync.WaitGroup
+	for si := range ex.fetchers {
+		if ex.memberProb[si] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			fetched[si], errs[si] = ex.fetchOne(ctx, si)
+		}(si)
+	}
+	wg.Wait()
+	// The request itself died (client gone, deadline passed): that is an
+	// error, not a degraded answer.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	var failures []SourceFailure
+	for si, err := range errs {
+		if err == nil {
+			continue
+		}
+		fetched[si] = nil
+		failures = append(failures, SourceFailure{
+			Source:  ex.fetchers[si].Name(),
+			Err:     err.Error(),
+			Skipped: errors.Is(err, resilience.ErrBreakerOpen),
+		})
+	}
+	return fetched, failures, nil
+}
+
+// fetchOne fetches source si under the policy (if any) and validates the
+// tuple widths against the mediated domain's member schema, so a source
+// returning malformed rows degrades the answer instead of panicking the
+// mapping step.
+func (ex *DomainExecutor) fetchOne(ctx context.Context, si int) ([]Tuple, error) {
+	var tuples []Tuple
+	fetch := func(ctx context.Context) error {
+		ts, err := ex.fetchers[si].Fetch(ctx)
+		if err != nil {
+			return err
+		}
+		tuples = ts
+		return nil
+	}
+	var err error
+	if ex.policy != nil {
+		err = resilience.Do(ctx, *ex.policy, ex.breakers[si], fetch)
+	} else {
+		err = fetch(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := validateWidth(ex.fetchers[si].Name(), tuples, len(ex.med.Schemas[si].Attributes)); err != nil {
+		return nil, err
+	}
+	return tuples, nil
 }
 
 // applyMapping maps a raw tuple through one attribute mapping, evaluates the

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FlakeSource is a fault-injection TupleSource: an in-memory source
+// wrapped with a configurable error rate, latency distribution, a
+// deterministic fail-first-N mode, and a hard-down switch. It exists so
+// tests (and load experiments) can prove the resilience path — partial
+// results, breaker transitions, timeout handling — without real network
+// flakiness. All knobs may be flipped while queries are in flight.
+type FlakeSource struct {
+	mu sync.Mutex
+
+	name   string
+	tuples []Tuple
+	rng    *rand.Rand
+	calls  int
+
+	// ErrRate is the probability in [0,1] that a Fetch fails.
+	ErrRate float64
+	// Latency delays every Fetch; LatencyJitter adds a further uniform
+	// random delay in [0, LatencyJitter).
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// FailFirst makes the first N fetches fail deterministically
+	// (transient-outage simulation for retry tests).
+	FailFirst int
+	// Down simulates a dead source: every Fetch fails fast.
+	Down bool
+}
+
+// NewFlakeSource wraps tuples in a healthy flake source; configure the
+// fault knobs on the returned value. The seed makes ErrRate and
+// LatencyJitter draws reproducible.
+func NewFlakeSource(name string, tuples []Tuple, seed int64) *FlakeSource {
+	return &FlakeSource{name: name, tuples: tuples, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements TupleSource.
+func (f *FlakeSource) Name() string { return f.name }
+
+// Calls reports how many times Fetch has been invoked — breaker tests use
+// it to prove an open breaker stops traffic.
+func (f *FlakeSource) Calls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// SetDown flips the hard-down switch.
+func (f *FlakeSource) SetDown(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.Down = down
+}
+
+// Fetch implements TupleSource, applying the configured faults in order:
+// latency first (interruptible by ctx), then hard-down, fail-first, and
+// the random error rate.
+func (f *FlakeSource) Fetch(ctx context.Context) ([]Tuple, error) {
+	f.mu.Lock()
+	f.calls++
+	delay := f.Latency
+	if f.LatencyJitter > 0 {
+		delay += time.Duration(f.rng.Int63n(int64(f.LatencyJitter)))
+	}
+	down := f.Down
+	failFirst := f.calls <= f.FailFirst
+	flaky := f.ErrRate > 0 && f.rng.Float64() < f.ErrRate
+	tuples := f.tuples
+	name := f.name
+	f.mu.Unlock()
+
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	switch {
+	case down:
+		return nil, fmt.Errorf("source %q: hard down", name)
+	case failFirst:
+		return nil, fmt.Errorf("source %q: transient failure", name)
+	case flaky:
+		return nil, fmt.Errorf("source %q: injected fault", name)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return tuples, nil
+}

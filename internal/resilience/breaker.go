@@ -1,0 +1,148 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+const (
+	// Closed lets every request through; consecutive failures are counted.
+	Closed State = iota
+	// Open rejects every request until the cooldown elapses.
+	Open
+	// HalfOpen lets probe requests through; enough successes close the
+	// breaker again, any failure reopens it.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a per-dependency circuit breaker. It trips Open after a run of
+// consecutive failures, rejects work for a cooldown period, then admits
+// half-open probes until enough succeed to close it again. The zero value is
+// not usable; construct with NewBreaker. All methods are safe for concurrent
+// use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	probes    int
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       State
+	consecFails int
+	probeOKs    int
+	openedAt    time.Time
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures, stays open for cooldown, and closes again after probes
+// consecutive half-open successes. threshold and probes are clamped to at
+// least 1; a zero cooldown means the breaker re-admits a probe immediately
+// after opening.
+func NewBreaker(threshold int, cooldown time.Duration, probes int) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if probes < 1 {
+		probes = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, probes: probes, now: time.Now}
+}
+
+// WithClock replaces the breaker's time source (for tests) and returns the
+// breaker.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	return b
+}
+
+// State reports the current state, applying the open→half-open transition if
+// the cooldown has elapsed.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Allow reports whether a request may proceed right now. It is the
+// open→half-open transition point: the first Allow after the cooldown
+// elapses flips the breaker to HalfOpen and admits the caller as a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state != Open
+}
+
+// maybeHalfOpen transitions Open → HalfOpen once the cooldown has elapsed.
+// Callers must hold b.mu.
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = HalfOpen
+		b.probeOKs = 0
+	}
+}
+
+// Success records a successful request.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails = 0
+	case HalfOpen:
+		b.probeOKs++
+		if b.probeOKs >= b.probes {
+			b.state = Closed
+			b.consecFails = 0
+			b.probeOKs = 0
+		}
+	}
+}
+
+// Failure records a failed request, tripping the breaker when the
+// consecutive-failure threshold is reached and reopening it on a failed
+// half-open probe.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.trip()
+		}
+	case HalfOpen:
+		b.trip()
+	case Open:
+		// A request admitted before the trip finished late; keep the
+		// cooldown fresh.
+		b.openedAt = b.now()
+	}
+}
+
+// trip moves to Open. Callers must hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.consecFails = 0
+	b.probeOKs = 0
+}

@@ -1,0 +1,174 @@
+// Package resilience hardens calls to unreliable dependencies — the
+// slow, flaky, and dead deep-web data sources the query engine fans out
+// to. It combines three standard mechanisms behind one Policy:
+//
+//   - a per-attempt timeout, so one hung source cannot absorb the whole
+//     latency budget;
+//   - bounded retries with capped exponential backoff and jitter, so
+//     transient failures are papered over without synchronized stampedes;
+//   - a circuit breaker (closed → open → half-open), so a source that
+//     keeps failing stops being called at all until a cooldown elapses
+//     and a probe succeeds.
+//
+// The package is dependency-free and knows nothing about tuples or
+// schemas; callers wrap whatever operation they like in Do.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Do when the circuit breaker rejects the
+// call without attempting the operation.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Policy bundles the timeout, retry, and breaker parameters for calls to
+// one class of dependency. The zero value disables everything (one
+// attempt, no timeout, no breaker); DefaultPolicy returns the tuned
+// defaults used by the query engine.
+type Policy struct {
+	// Timeout bounds each individual attempt (0 = no per-attempt bound;
+	// the caller's context still applies).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// BackoffBase is the delay before the first retry; each subsequent
+	// retry doubles it, capped at BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff (0 = uncapped).
+	BackoffMax time.Duration
+	// Jitter is the fraction of each backoff delay that is randomized:
+	// the actual delay is uniform in [d·(1−Jitter), d]. 0 disables jitter.
+	Jitter float64
+	// BreakerThreshold is the number of consecutive Do-level failures
+	// that trips the breaker (0 disables the breaker entirely).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before
+	// admitting half-open probes.
+	BreakerCooldown time.Duration
+	// BreakerProbes is the number of consecutive half-open successes
+	// required to close the breaker again (min 1).
+	BreakerProbes int
+}
+
+// DefaultPolicy returns the query engine's per-source defaults: 2s
+// per-attempt timeout, 2 retries starting at 50ms backoff capped at 1s
+// with 50% jitter, and a breaker that opens after 5 consecutive failures,
+// cools down for 10s, and closes after one successful probe.
+func DefaultPolicy() Policy {
+	return Policy{
+		Timeout:          2 * time.Second,
+		MaxRetries:       2,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       time.Second,
+		Jitter:           0.5,
+		BreakerThreshold: 5,
+		BreakerCooldown:  10 * time.Second,
+		BreakerProbes:    1,
+	}
+}
+
+// NewBreaker builds a breaker from the policy's breaker parameters, or
+// nil when the policy disables breaking.
+func (p Policy) NewBreaker() *Breaker {
+	if p.BreakerThreshold <= 0 {
+		return nil
+	}
+	return NewBreaker(p.BreakerThreshold, p.BreakerCooldown, p.BreakerProbes)
+}
+
+// Backoff returns the jittered delay before retry attempt n (n ≥ 1).
+func (p Policy) Backoff(n int) time.Duration {
+	if p.BackoffBase <= 0 {
+		return 0
+	}
+	d := p.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.BackoffMax > 0 && d >= p.BackoffMax {
+			d = p.BackoffMax
+			break
+		}
+	}
+	if p.BackoffMax > 0 && d > p.BackoffMax {
+		d = p.BackoffMax
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d = time.Duration(float64(d) * (1 - j*rand.Float64()))
+	}
+	return d
+}
+
+// Do runs op under the policy: breaker admission, per-attempt timeout,
+// and bounded retries with backoff. The breaker may be nil (no breaking).
+// The final outcome — not each attempt — is recorded on the breaker, so
+// BreakerThreshold counts operations, not attempts. Retrying stops as
+// soon as the caller's context is done; the context error is returned.
+func Do(ctx context.Context, p Policy, b *Breaker, op func(context.Context) error) error {
+	if b != nil && !b.Allow() {
+		return ErrBreakerOpen
+	}
+	attempts := p.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if werr := sleep(ctx, p.Backoff(i)); werr != nil {
+				err = werr
+				break
+			}
+		}
+		err = p.attempt(ctx, op)
+		if err == nil {
+			if b != nil {
+				b.Success()
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			// The caller is gone; further retries are wasted work.
+			break
+		}
+	}
+	// Only blame the dependency while the caller is still alive: a dead
+	// parent context is the caller's timeout (or disconnect), and letting
+	// it trip the breaker would punish healthy sources for slow clients.
+	if b != nil && ctx.Err() == nil {
+		b.Failure()
+	}
+	return err
+}
+
+// attempt runs op once under the per-attempt timeout.
+func (p Policy) attempt(ctx context.Context, op func(context.Context) error) error {
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+	return op(ctx)
+}
+
+// sleep waits d or until ctx is done, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,242 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func failing(err error) func(context.Context) error {
+	return func(context.Context) error { return err }
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, time.Minute, 1).WithClock(clk.now)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if got := b.State(); got != Closed {
+			t.Fatalf("after %d failures: state %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("after 3 failures: state %v, want open", got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	b := NewBreaker(3, time.Minute, 1)
+	b.Failure()
+	b.Failure()
+	b.Success() // breaks the run
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed (non-consecutive failures)", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute, 2).WithClock(clk.now)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("breaker refused a probe after cooldown")
+	}
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v, want half-open", got)
+	}
+	b.Success()
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state %v, want half-open after 1/2 probes", got)
+	}
+	b.Success()
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed after 2/2 probes", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute, 1).WithClock(clk.now)
+	b.Failure()
+	clk.advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state %v, want open after failed probe", got)
+	}
+	// The cooldown restarts from the failed probe.
+	clk.advance(30 * time.Second)
+	if b.Allow() {
+		t.Fatal("probe admitted before the restarted cooldown elapsed")
+	}
+	clk.advance(30 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted after the restarted cooldown")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxRetries: 3, BackoffBase: time.Microsecond}
+	calls := 0
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoExhaustsRetries(t *testing.T) {
+	p := Policy{MaxRetries: 2, BackoffBase: time.Microsecond}
+	boom := errors.New("boom")
+	calls := 0
+	err := Do(context.Background(), p, nil, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (1 + 2 retries)", calls)
+	}
+}
+
+func TestDoPerAttemptTimeout(t *testing.T) {
+	p := Policy{Timeout: 5 * time.Millisecond, MaxRetries: 1, BackoffBase: time.Microsecond}
+	calls := 0
+	err := Do(context.Background(), p, nil, func(ctx context.Context) error {
+		calls++
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (timeouts are retryable)", calls)
+	}
+}
+
+func TestDoBreakerShortCircuits(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, time.Minute, 1).WithClock(clk.now)
+	p := Policy{}
+	if err := Do(context.Background(), p, b, failing(errors.New("down"))); err == nil {
+		t.Fatal("want error")
+	}
+	calls := 0
+	err := Do(context.Background(), p, b, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if calls != 0 {
+		t.Fatal("op ran despite open breaker")
+	}
+	// After the cooldown a successful probe closes the breaker again.
+	clk.advance(time.Minute)
+	if err := Do(context.Background(), p, b, func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed", got)
+	}
+}
+
+func TestDoRecordsOutcomePerCallNotPerAttempt(t *testing.T) {
+	b := NewBreaker(2, time.Minute, 1)
+	p := Policy{MaxRetries: 5, BackoffBase: time.Microsecond}
+	// One Do with 6 failing attempts = one breaker failure, not six.
+	_ = Do(context.Background(), p, b, failing(errors.New("down")))
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed after one Do-level failure", got)
+	}
+	_ = Do(context.Background(), p, b, failing(errors.New("down")))
+	if got := b.State(); got != Open {
+		t.Fatalf("state %v, want open after two Do-level failures", got)
+	}
+}
+
+func TestDoStopsRetryingOnCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxRetries: 100, BackoffBase: time.Millisecond}
+	b := NewBreaker(1, time.Minute, 1)
+	calls := 0
+	err := Do(ctx, p, b, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries after cancel)", calls)
+	}
+	// The caller died; the dependency is not to blame.
+	if got := b.State(); got != Closed {
+		t.Fatalf("state %v, want closed (dead caller must not trip the breaker)", got)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond}
+	want := []time.Duration{10, 20, 40, 40, 40}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestBackoffJitterStaysInRange(t *testing.T) {
+	p := Policy{BackoffBase: 100 * time.Millisecond, BackoffMax: 100 * time.Millisecond, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(1)
+		if d < 50*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [50ms, 100ms]", d)
+		}
+	}
+}
+
+func TestDefaultPolicyBreaker(t *testing.T) {
+	if b := DefaultPolicy().NewBreaker(); b == nil {
+		t.Fatal("default policy should enable the breaker")
+	}
+	if b := (Policy{}).NewBreaker(); b != nil {
+		t.Fatal("zero policy should disable the breaker")
+	}
+}

@@ -21,40 +21,105 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"schemaflow/internal/engine"
 	"schemaflow/payg"
 )
 
-// Server wires a built System (and optionally its data sources) to an
-// http.Handler. It is safe for concurrent use: reads share an RWMutex with
-// the feedback endpoint, which replaces the system wholesale.
-type Server struct {
-	mu      sync.RWMutex
-	sys     *payg.System
-	sources []payg.Source
-
-	mux *http.ServeMux
+// Config tunes the server's robustness envelope. The zero value of every
+// field selects a sensible default.
+type Config struct {
+	// Sources supplies one TupleSource per input schema (aligned with the
+	// system's build order). Nil means /query answers 503; classification
+	// and schema browsing still work — the system never needs data.
+	Sources []payg.TupleSource
+	// Policy is the per-source resilience policy (timeout, retries,
+	// circuit breaker) applied to query fan-out. The zero value selects
+	// payg.DefaultPolicy.
+	Policy payg.Policy
+	// RequestTimeout bounds each request's context (default 30s; negative
+	// disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps POST bodies (default 1 MiB).
+	MaxBodyBytes int64
 }
 
-// New builds the handler. sources may be nil, in which case /query answers
-// 503 (classification and schema browsing still work — the system never
-// needs data).
+func (c Config) withDefaults() Config {
+	if c.Policy == (payg.Policy{}) {
+		c.Policy = payg.DefaultPolicy()
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server wires a built System (and optionally its data sources) to an
+// http.Handler. It is safe for concurrent use: reads share an RWMutex with
+// the feedback endpoint, which replaces the system (and its query
+// executor) wholesale. Every request runs under panic recovery and a
+// request timeout, and POST bodies are size-capped.
+type Server struct {
+	mu   sync.RWMutex
+	sys  *payg.System
+	exec *payg.Executor // nil when no sources are attached
+
+	cfg     Config
+	handler http.Handler
+}
+
+// New builds the handler over in-memory sources with the default
+// resilience configuration. sources may be nil (see Config.Sources).
 func New(sys *payg.System, sources []payg.Source) *Server {
-	s := &Server{sys: sys, sources: sources, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /domains", s.handleDomains)
-	s.mux.HandleFunc("GET /classify", s.handleClassify)
-	s.mux.HandleFunc("GET /explain", s.handleExplain)
-	s.mux.HandleFunc("GET /schema", s.handleSchema)
-	s.mux.HandleFunc("POST /query", s.handleQuery)
-	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
-	return s
+	var fetchers []payg.TupleSource
+	if sources != nil {
+		fetchers = make([]payg.TupleSource, len(sources))
+		for i := range sources {
+			fetchers[i] = sources[i]
+		}
+	}
+	srv, err := NewWithConfig(sys, Config{Sources: fetchers})
+	if err != nil {
+		// Unreachable for in-memory sources aligned by the caller; keep
+		// the historical panic-free signature honest.
+		panic(err)
+	}
+	return srv
+}
+
+// NewWithConfig builds the handler with explicit sources and resilience
+// configuration.
+func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{sys: sys, cfg: cfg}
+	if cfg.Sources != nil {
+		exec, err := sys.NewExecutor(cfg.Sources, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		s.exec = exec
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /domains", s.handleDomains)
+	mux.HandleFunc("GET /classify", s.handleClassify)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /feedback", s.handleFeedback)
+	s.handler = withRecover(withRequestTimeout(cfg.RequestTimeout, mux))
+	return s, nil
 }
 
 // system returns the current system under the read lock.
@@ -64,9 +129,63 @@ func (s *Server) system() *payg.System {
 	return s.sys
 }
 
+// executor returns the current query executor under the read lock (nil
+// when no sources are attached).
+func (s *Server) executor() *payg.Executor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.exec
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
+}
+
+// withRecover converts handler panics into logged 500s instead of killing
+// the connection (and, under some servers, the process).
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withRequestTimeout bounds every request's context so a slow downstream
+// cannot pin a connection forever. d <= 0 disables the bound.
+func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// decodeStrict decodes a size-capped JSON body, rejecting unknown fields
+// and trailing garbage.
+func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -200,7 +319,7 @@ type feedbackRequest struct {
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	var req feedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -221,7 +340,19 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Rebind the query executor to the rebuilt system before swapping, so
+	// readers never observe a system/executor mismatch. Breaker state is
+	// intentionally reset: domain membership may have changed.
+	var exec *payg.Executor
+	if s.exec != nil {
+		exec, err = res.System.NewExecutor(s.cfg.Sources, s.cfg.Policy)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "rebinding sources: "+err.Error())
+			return
+		}
+	}
 	s.sys = res.System
+	s.exec = exec
 	writeJSON(w, http.StatusOK, map[string]any{
 		"domains":       res.System.NumDomains(),
 		"domain_map":    res.DomainMap,
@@ -244,13 +375,36 @@ type tupleJSON struct {
 	Sources []string `json:"sources"`
 }
 
+// sourceFailureJSON is one failed source in a degraded report.
+type sourceFailureJSON struct {
+	Source  string `json:"source"`
+	Error   string `json:"error"`
+	Skipped bool   `json:"skipped,omitempty"`
+}
+
+// degradedJSON reports the sources that contributed nothing to a query:
+// which failed and why, and how many were skipped outright by an open
+// circuit breaker.
+type degradedJSON struct {
+	Failed  []sourceFailureJSON `json:"failed"`
+	Skipped int                 `json:"skipped"`
+}
+
+// queryResponse is the /query reply: consolidated tuples plus, when some
+// sources failed, the degraded report.
+type queryResponse struct {
+	Tuples   []tupleJSON   `json:"tuples"`
+	Degraded *degradedJSON `json:"degraded,omitempty"`
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if s.sources == nil {
+	exec := s.executor()
+	if exec == nil {
 		writeError(w, http.StatusServiceUnavailable, "no data sources attached")
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := s.decodeStrict(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
@@ -258,15 +412,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty select list")
 		return
 	}
-	res, err := s.system().Execute(req.Domain,
-		engine.Query{Select: req.Select, Where: req.Where, Limit: req.Limit}, s.sources)
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "negative limit")
+		return
+	}
+	res, err := exec.Execute(r.Context(), req.Domain,
+		engine.Query{Select: req.Select, Where: req.Where, Limit: req.Limit})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, "query timed out")
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out := make([]tupleJSON, 0, len(res))
-	for _, t := range res {
-		out = append(out, tupleJSON{Values: t.Values, Prob: t.Prob, Sources: t.Sources})
+	out := queryResponse{Tuples: make([]tupleJSON, 0, len(res.Tuples))}
+	for _, t := range res.Tuples {
+		out.Tuples = append(out.Tuples, tupleJSON{Values: t.Values, Prob: t.Prob, Sources: t.Sources})
+	}
+	if res.Degraded() {
+		d := &degradedJSON{Failed: make([]sourceFailureJSON, 0, len(res.Failures))}
+		for _, f := range res.Failures {
+			d.Failed = append(d.Failed, sourceFailureJSON{Source: f.Source, Error: f.Err, Skipped: f.Skipped})
+			if f.Skipped {
+				d.Skipped++
+			}
+		}
+		out.Degraded = d
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -276,7 +448,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are gone; nothing useful left to do but note it.
-		fmt.Println("server: encoding response:", err)
+		log.Println("server: encoding response:", err)
 	}
 }
 

@@ -147,15 +147,21 @@ func TestQuery(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
 	}
-	var tuples []struct {
-		Values []string `json:"values"`
-		Prob   float64  `json:"prob"`
+	var res struct {
+		Tuples []struct {
+			Values []string `json:"values"`
+			Prob   float64  `json:"prob"`
+		} `json:"tuples"`
+		Degraded *struct{} `json:"degraded"`
 	}
-	if err := json.Unmarshal(rec.Body.Bytes(), &tuples); err != nil {
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
-	if len(tuples) == 0 || tuples[0].Values[0] != "YYZ" {
-		t.Fatalf("tuples = %v", tuples)
+	if len(res.Tuples) == 0 || res.Tuples[0].Values[0] != "YYZ" {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+	if res.Degraded != nil {
+		t.Fatal("healthy in-memory query reported degraded")
 	}
 }
 
@@ -274,12 +280,14 @@ func TestQueryLimit(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
 	}
-	var tuples []any
-	if err := json.Unmarshal(rec.Body.Bytes(), &tuples); err != nil {
+	var res struct {
+		Tuples []any `json:"tuples"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
 		t.Fatal(err)
 	}
-	if len(tuples) > 1 {
-		t.Fatalf("limit ignored: %d tuples", len(tuples))
+	if len(res.Tuples) > 1 {
+		t.Fatalf("limit ignored: %d tuples", len(res.Tuples))
 	}
 }
 

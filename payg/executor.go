@@ -1,0 +1,90 @@
+package payg
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"schemaflow/internal/engine"
+	"schemaflow/internal/resilience"
+)
+
+// Policy re-exports the resilience policy applied to per-source fetches:
+// per-attempt timeout, bounded retries with exponential backoff + jitter,
+// and a per-source circuit breaker.
+type Policy = resilience.Policy
+
+// DefaultPolicy returns the tuned per-source defaults (2s timeout, 2
+// retries, breaker opening after 5 consecutive failures).
+func DefaultPolicy() Policy { return resilience.DefaultPolicy() }
+
+// Executor binds a System to a fixed set of data sources under a
+// resilience policy. Unlike System.Execute, which builds a fresh engine
+// per call, an Executor keeps one engine per domain alive so per-source
+// circuit-breaker state persists across queries — a source that keeps
+// failing stops being fetched at all until its cooldown elapses. Safe for
+// concurrent use.
+type Executor struct {
+	sys      *System
+	fetchers []TupleSource
+	policy   Policy
+
+	mu        sync.Mutex
+	perDomain map[int]*engine.DomainExecutor
+}
+
+// NewExecutor binds the system to one TupleSource per input schema
+// (aligned with the schema order passed to Build) under the policy. Use
+// resilience.Policy{} to disable timeouts, retries, and breaking.
+func (s *System) NewExecutor(fetchers []TupleSource, policy Policy) (*Executor, error) {
+	if s.mediated == nil {
+		return nil, fmt.Errorf("payg: system built with SkipMediation")
+	}
+	if len(fetchers) != len(s.schemas) {
+		return nil, fmt.Errorf("payg: %d sources for %d schemas", len(fetchers), len(s.schemas))
+	}
+	for i, f := range fetchers {
+		if f == nil {
+			return nil, fmt.Errorf("payg: nil source for schema %d", i)
+		}
+	}
+	return &Executor{
+		sys:       s,
+		fetchers:  fetchers,
+		policy:    policy,
+		perDomain: make(map[int]*engine.DomainExecutor),
+	}, nil
+}
+
+// System returns the system the executor is bound to.
+func (e *Executor) System() *System { return e.sys }
+
+// Execute answers a structured query over one domain, fanning out to the
+// domain's member sources concurrently under ctx and the policy. Sources
+// that fail (or whose breaker is open) are reported in Result.Failures
+// while the healthy sources' consolidated tuples are returned.
+func (e *Executor) Execute(ctx context.Context, domain int, q Query) (*Result, error) {
+	ex, err := e.executor(domain)
+	if err != nil {
+		return nil, err
+	}
+	return ex.ExecuteContext(ctx, q)
+}
+
+// executor returns the lazily built, breaker-carrying engine for domain.
+func (e *Executor) executor(domain int) (*engine.DomainExecutor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ex, ok := e.perDomain[domain]; ok {
+		return ex, nil
+	}
+	ex, err := e.sys.domainExecutor(domain, func(mem int) (engine.TupleSource, error) {
+		return e.fetchers[mem], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex.SetPolicy(e.policy)
+	e.perDomain[domain] = ex
+	return ex, nil
+}

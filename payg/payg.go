@@ -19,6 +19,7 @@
 package payg
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,6 +49,17 @@ type ResultTuple = engine.ResultTuple
 
 // Source is a data source: a schema plus its tuples.
 type Source = engine.Source
+
+// TupleSource abstracts where a source's tuples come from (remote, slow,
+// failing); the in-memory Source satisfies it.
+type TupleSource = engine.TupleSource
+
+// Result is a possibly degraded query answer: consolidated tuples plus a
+// report of the sources that failed to contribute.
+type Result = engine.Result
+
+// SourceFailure describes one source that contributed nothing to a query.
+type SourceFailure = engine.SourceFailure
 
 // Tuple is one raw row of a data source.
 type Tuple = engine.Tuple
@@ -306,32 +318,60 @@ func (s *System) MediatedAttributes(domain int) ([]string, error) {
 // tuple list). Tuple probabilities combine mapping probability and domain
 // membership probability per Section 4.4 of the thesis.
 func (s *System) Execute(domain int, q Query, sources []Source) ([]ResultTuple, error) {
+	res, err := s.ExecuteContext(context.Background(), domain, q, sources)
+	if err != nil {
+		return nil, err
+	}
+	return res.Tuples, nil
+}
+
+// ExecuteContext is Execute with cancellation: the query's per-source
+// fan-out honors ctx, and the full Result — including the degraded-source
+// report — is returned. In-memory sources never fail, so the report is
+// empty here; resilient executors over remote sources come from
+// NewExecutor.
+func (s *System) ExecuteContext(ctx context.Context, domain int, q Query, sources []Source) (*Result, error) {
+	ex, err := s.domainExecutor(domain, func(mem int) (engine.TupleSource, error) {
+		if len(sources) != len(s.schemas) {
+			return nil, fmt.Errorf("payg: %d sources for %d schemas", len(sources), len(s.schemas))
+		}
+		src := sources[mem]
+		if len(src.Schema.Attributes) != len(s.schemas[mem].Attributes) {
+			return nil, fmt.Errorf("payg: source %d schema has %d attributes, built schema has %d",
+				mem, len(src.Schema.Attributes), len(s.schemas[mem].Attributes))
+		}
+		if err := src.Validate(); err != nil {
+			return nil, fmt.Errorf("payg: %w", err)
+		}
+		return src, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ex.ExecuteContext(ctx, q)
+}
+
+// domainExecutor builds a per-domain engine executor, resolving each
+// member schema index to a TupleSource via pick.
+func (s *System) domainExecutor(domain int, pick func(mem int) (engine.TupleSource, error)) (*engine.DomainExecutor, error) {
 	if s.mediated == nil {
 		return nil, fmt.Errorf("payg: system built with SkipMediation")
 	}
 	if domain < 0 || domain >= len(s.mediated) {
 		return nil, fmt.Errorf("payg: no domain %d", domain)
 	}
-	if len(sources) != len(s.schemas) {
-		return nil, fmt.Errorf("payg: %d sources for %d schemas", len(sources), len(s.schemas))
-	}
 	d := &s.model.Domains[domain]
-	var srcs []Source
+	var srcs []engine.TupleSource
 	var probs []float64
 	for _, mem := range d.Members {
-		src := sources[mem.Schema]
-		if len(src.Schema.Attributes) != len(s.schemas[mem.Schema].Attributes) {
-			return nil, fmt.Errorf("payg: source %d schema has %d attributes, built schema has %d",
-				mem.Schema, len(src.Schema.Attributes), len(s.schemas[mem.Schema].Attributes))
+		src, err := pick(mem.Schema)
+		if err != nil {
+			return nil, err
 		}
 		srcs = append(srcs, src)
 		probs = append(probs, mem.Prob)
 	}
-	ex, err := engine.NewDomainExecutor(s.mediated[domain], srcs, probs)
-	if err != nil {
-		return nil, err
-	}
-	return ex.Execute(q)
+	return engine.NewFetchExecutor(s.mediated[domain], srcs, probs)
 }
 
 // Model exposes the underlying probabilistic domain model for advanced use
