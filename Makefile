@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro fuzz clean
+.PHONY: all build vet test race bench bench-ingest repro fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -26,14 +26,24 @@ bench:
 repro:
 	$(GO) run ./cmd/payg-repro -exp all
 
-# Short fuzz pass over every hand-written parser.
+# Ingest-vs-rebuild cost comparison (writes BENCH_ingest.json).
+bench-ingest:
+	$(GO) test ./payg -run TestIngestBenchArtifact -bench-artifact=true
+
+# Short fuzz pass over every hand-written parser. FUZZTIME is overridable;
+# CI's fuzz-smoke job uses 10s per target.
+FUZZTIME ?= 30s
+
 fuzz:
-	$(GO) test -fuzz=FuzzParseLine -fuzztime=30s ./internal/schema
-	$(GO) test -fuzz=FuzzReadJSON -fuzztime=30s ./internal/schema
-	$(GO) test -fuzz=FuzzTokenizeHTML -fuzztime=30s ./internal/extract
-	$(GO) test -fuzz=FuzzParseTriple -fuzztime=30s ./internal/extract
-	$(GO) test -fuzz=FuzzSpreadsheet -fuzztime=30s ./internal/extract
-	$(GO) test -fuzz=FuzzFromAttribute -fuzztime=30s ./internal/terms
+	$(GO) test -fuzz=FuzzParseLine -fuzztime=$(FUZZTIME) ./internal/schema
+	$(GO) test -fuzz=FuzzReadJSON -fuzztime=$(FUZZTIME) ./internal/schema
+	$(GO) test -fuzz=FuzzTokenizeHTML -fuzztime=$(FUZZTIME) ./internal/extract
+	$(GO) test -fuzz=FuzzParseTriple -fuzztime=$(FUZZTIME) ./internal/extract
+	$(GO) test -fuzz=FuzzSpreadsheet -fuzztime=$(FUZZTIME) ./internal/extract
+	$(GO) test -fuzz=FuzzFromAttribute -fuzztime=$(FUZZTIME) ./internal/terms
+
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 clean:
 	$(GO) clean ./...

@@ -10,14 +10,24 @@
 // connections on SIGINT/SIGTERM, recovers panics, and bounds request
 // bodies and durations.
 //
+// New schemas can arrive while the server runs (POST /schemas): each is
+// assigned to current domains immediately and journaled; when the fraction
+// of unassignable arrivals drifts past -drift-threshold (or every
+// -rebuild-interval while schemas are pending, or on POST
+// /admin/recluster) the model is fully reclustered in the background and
+// swapped in atomically — traffic never blocks on a rebuild.
+//
 // Usage:
 //
 //	payg-server -in schemas.txt [-addr :8080] [-tau 0.25] [-tuples 20]
 //	            [-source-timeout 2s] [-retries 2]
+//	            [-drift-threshold 0.5] [-rebuild-interval 0]
 //
 //	curl 'localhost:8080/classify?q=departure+toronto'
 //	curl 'localhost:8080/domains'
 //	curl -X POST localhost:8080/query -d '{"domain":0,"select":["departure"]}'
+//	curl -X POST localhost:8080/schemas -d '{"name":"cruises","attributes":["departure port","destination port","price"]}'
+//	curl -X POST localhost:8080/admin/recluster
 package main
 
 import (
@@ -44,15 +54,17 @@ func main() {
 	tuples := flag.Int("tuples", 20, "synthetic tuples per source for /query (0 disables data)")
 	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
 	retries := flag.Int("retries", 2, "retries per data-source fetch after the first failure")
+	driftThreshold := flag.Float64("drift-threshold", 0.5, "fraction of recent unassignable arrivals that triggers a background recluster (negative disables)")
+	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodically recluster while ingested schemas are pending (0 disables)")
 	flag.Parse()
 
 	log.SetPrefix("payg-server: ")
-	if err := run(*in, *addr, *tau, *tuples, *sourceTimeout, *retries); err != nil {
+	if err := run(*in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int) error {
+func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration) error {
 	set, err := cli.ReadSchemasFile(in)
 	if err != nil {
 		return err
@@ -82,10 +94,16 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 	policy := payg.DefaultPolicy()
 	policy.Timeout = sourceTimeout
 	policy.MaxRetries = retries
-	handler, err := server.NewWithConfig(sys, server.Config{Sources: sources, Policy: policy})
+	handler, err := server.NewWithConfig(sys, server.Config{
+		Sources:         sources,
+		Policy:          policy,
+		DriftThreshold:  driftThreshold,
+		RebuildInterval: rebuildInterval,
+	})
 	if err != nil {
 		return err
 	}
+	defer handler.Close()
 
 	srv := &http.Server{
 		Addr:              addr,

@@ -139,6 +139,20 @@ func (ex *DomainExecutor) SetPolicy(p resilience.Policy) {
 	}
 }
 
+// SetPolicyFunc installs a resilience policy like SetPolicy, but sources
+// each circuit breaker from breakerFor (keyed by source name) instead of
+// allocating fresh ones. It lets an owner share per-source breaker state
+// across executors — in particular across a model rebuild and swap, where
+// the sources themselves (and their failure history) are unchanged. A nil
+// breakerFor result disables breaking for that source.
+func (ex *DomainExecutor) SetPolicyFunc(p resilience.Policy, breakerFor func(source string) *resilience.Breaker) {
+	ex.policy = &p
+	ex.breakers = make([]*resilience.Breaker, len(ex.fetchers))
+	for i, f := range ex.fetchers {
+		ex.breakers[i] = breakerFor(f.Name())
+	}
+}
+
 // BreakerState reports the circuit breaker state for source i, or Closed
 // when no policy (or no breaker) is installed.
 func (ex *DomainExecutor) BreakerState(i int) resilience.State {

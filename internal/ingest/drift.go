@@ -1,0 +1,54 @@
+package ingest
+
+// Window is a fixed-size sliding window over recent arrivals recording, per
+// arrival, whether its assignment was poor (no domain passed the τ_c_sim
+// gate). The ratio of poor arrivals is the drift signal that triggers a
+// full recluster. Not safe for concurrent use; the owning manager must
+// serialize access.
+type Window struct {
+	buf  []bool
+	n    int // samples currently held (≤ len(buf))
+	pos  int // next write position
+	poor int // poor samples currently held
+}
+
+// NewWindow returns a window holding up to size samples (clamped to ≥ 1).
+func NewWindow(size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	return &Window{buf: make([]bool, size)}
+}
+
+// Record appends one arrival, evicting the oldest once the window is full.
+func (w *Window) Record(poor bool) {
+	if w.n == len(w.buf) {
+		if w.buf[w.pos] {
+			w.poor--
+		}
+	} else {
+		w.n++
+	}
+	w.buf[w.pos] = poor
+	if poor {
+		w.poor++
+	}
+	w.pos = (w.pos + 1) % len(w.buf)
+}
+
+// Samples reports how many arrivals the window currently holds.
+func (w *Window) Samples() int { return w.n }
+
+// Ratio returns the fraction of held arrivals that were poor (0 when
+// empty).
+func (w *Window) Ratio() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return float64(w.poor) / float64(w.n)
+}
+
+// Reset empties the window — called after a rebuild absorbs the drift.
+func (w *Window) Reset() {
+	w.n, w.pos, w.poor = 0, 0, 0
+}

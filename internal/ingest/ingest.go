@@ -1,0 +1,94 @@
+// Package ingest implements the online half of pay-as-you-go integration:
+// source schemas keep arriving after the system is built, and each arrival
+// must be routed to its domains immediately — without re-running clustering,
+// classifier setup, or mediation.
+//
+// The package supplies the three mechanisms the online pipeline composes:
+//
+//   - Assign places one new schema against the *current* probabilistic
+//     domain model using exactly the gates of Algorithm 3 (Section 4.3):
+//     the schema's feature vector is compared to every cluster; clusters
+//     passing both the absolute τ_c_sim gate and the relative θ gate share
+//     the schema with probabilities proportional to similarity. Nothing in
+//     the model — in particular the classifier's precomputed tables — is
+//     touched.
+//   - Window tracks assignment-quality drift: the fraction of recent
+//     arrivals that no existing domain could claim. A high ratio means the
+//     model no longer covers the incoming schema distribution and a full
+//     recluster is warranted.
+//   - Journal holds the pending arrivals between rebuilds so they can be
+//     folded into the next full Build (and persisted across restarts).
+//
+// The lifecycle that ties these together — background rebuild, single
+// flight, copy-on-write atomic swap — lives in payg.Manager; this package
+// is pure model-level mechanism with no locking of its own.
+package ingest
+
+import (
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+// Assignment is the outcome of routing one new schema against an existing
+// domain model.
+type Assignment struct {
+	// Domains lists the domains that claimed the schema. As in
+	// core.Model.DomainsOf, the Membership.Schema field holds the domain
+	// id; probabilities sum to 1. Empty iff Fresh.
+	Domains []core.Membership
+	// Best is the id of the most similar domain (-1 when the model has no
+	// domains), whether or not it passed the gate.
+	Best int
+	// BestSim is s_c_sim against the Best domain.
+	BestSim float64
+	// Fresh is true when no domain passed the τ_c_sim gate: the schema
+	// belongs to none of the current domains and will seed a new one at
+	// the next rebuild.
+	Fresh bool
+}
+
+// Assign routes one new schema against the model's current clusters using
+// Algorithm 3's gates (m.Opts.TauCSim and m.Opts.Theta). The extended
+// feature space is rebuilt lite (vocabulary + vectors, no O(n²) memo) so
+// the new schema's novel terms count toward the Jaccard denominators; the
+// model itself is read, never written.
+func Assign(m *core.Model, cfg feature.Config, s schema.Schema) (*Assignment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	extended := make(schema.Set, 0, len(m.Schemas)+1)
+	extended = append(extended, m.Schemas...)
+	extended = append(extended, s)
+	sp := feature.BuildLite(extended, cfg)
+	newIdx := len(extended) - 1
+
+	nD := m.NumDomains()
+	sims := make([]float64, nD)
+	a := &Assignment{Best: -1}
+	for r := 0; r < nD; r++ {
+		sims[r] = cluster.SchemaClusterSim(sp, newIdx, m.Clustering.Members[r])
+		if sims[r] > a.BestSim {
+			a.BestSim, a.Best = sims[r], r
+		}
+	}
+
+	// D(S_i): every cluster passing the absolute and relative gates.
+	var ds []int
+	total := 0.0
+	for r := 0; r < nD; r++ {
+		if sims[r] >= m.Opts.TauCSim && a.BestSim > 0 && sims[r]/a.BestSim >= 1-m.Opts.Theta {
+			ds = append(ds, r)
+			total += sims[r]
+		}
+	}
+	if len(ds) == 0 {
+		a.Fresh = true
+		return a, nil
+	}
+	for _, r := range ds {
+		a.Domains = append(a.Domains, core.Membership{Schema: r, Prob: sims[r] / total})
+	}
+	return a, nil
+}

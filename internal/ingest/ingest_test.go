@@ -1,0 +1,171 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+var flightSchemas = schema.Set{
+	{Name: "air1", Attributes: []string{"departure airport", "arrival airport", "airline", "flight number"}},
+	{Name: "air2", Attributes: []string{"departure city", "arrival city", "airline", "price"}},
+	{Name: "air3", Attributes: []string{"departure airport", "arrival city", "flight number", "price"}},
+}
+
+var bookSchemas = schema.Set{
+	{Name: "book1", Attributes: []string{"book title", "author", "isbn", "publisher"}},
+	{Name: "book2", Attributes: []string{"title", "author name", "isbn", "price"}},
+	{Name: "book3", Attributes: []string{"book title", "author name", "publisher", "year"}},
+}
+
+// buildModel runs the offline pipeline over the union of the two corpora.
+func buildModel(t *testing.T, theta float64) *core.Model {
+	t.Helper()
+	set := append(append(schema.Set{}, flightSchemas...), bookSchemas...)
+	cfg := feature.DefaultConfig()
+	sp := feature.Build(set, cfg)
+	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.25)
+	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: 0.25, Theta: theta})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAssignClearSchema(t *testing.T) {
+	m := buildModel(t, 0.02)
+	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+		Name:       "air-new",
+		Attributes: []string{"departure airport", "arrival airport", "airline"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fresh {
+		t.Fatalf("clear flight schema marked fresh (best sim %v)", a.BestSim)
+	}
+	if len(a.Domains) != 1 {
+		t.Fatalf("clear schema got %d domains, want 1: %+v", len(a.Domains), a.Domains)
+	}
+	if a.Domains[0].Schema != m.Clustering.Assign[0] {
+		t.Errorf("assigned to domain %d, want flights' domain %d", a.Domains[0].Schema, m.Clustering.Assign[0])
+	}
+	if a.Domains[0].Prob < 0.25 {
+		t.Errorf("probability %v below the τ_c_sim gate", a.Domains[0].Prob)
+	}
+	if a.BestSim < 0.25 {
+		t.Errorf("best sim %v below τ_c_sim", a.BestSim)
+	}
+}
+
+func TestAssignBoundarySchema(t *testing.T) {
+	// A wide θ makes the relative gate permissive, so a schema straddling
+	// flights and books joins both probabilistically.
+	m := buildModel(t, 0.5)
+	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+		Name:       "travel-books",
+		Attributes: []string{"departure airport", "arrival airport", "airline", "book title", "author name", "isbn"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fresh {
+		t.Fatal("boundary schema marked fresh")
+	}
+	if len(a.Domains) < 2 {
+		t.Fatalf("boundary schema got %d domains, want ≥ 2: %+v", len(a.Domains), a.Domains)
+	}
+	sum := 0.0
+	for _, d := range a.Domains {
+		if d.Prob <= 0 || d.Prob >= 1 {
+			t.Errorf("boundary membership prob %v outside (0,1)", d.Prob)
+		}
+		sum += d.Prob
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("membership probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestAssignFreshSchema(t *testing.T) {
+	m := buildModel(t, 0.02)
+	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+		Name:       "minerals",
+		Attributes: []string{"specimen hardness", "crystal lattice", "refractive index"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fresh {
+		t.Fatalf("unrelated schema not fresh: %+v", a.Domains)
+	}
+	if len(a.Domains) != 0 {
+		t.Errorf("fresh assignment carries domains: %+v", a.Domains)
+	}
+	if a.BestSim >= 0.25 {
+		t.Errorf("fresh schema best sim %v above the gate", a.BestSim)
+	}
+}
+
+func TestAssignRejectsInvalidSchema(t *testing.T) {
+	m := buildModel(t, 0.02)
+	if _, err := Assign(m, feature.DefaultConfig(), schema.Schema{Name: "empty"}); err == nil {
+		t.Fatal("no error for schema without attributes")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	w := NewWindow(4)
+	if w.Ratio() != 0 || w.Samples() != 0 {
+		t.Fatal("fresh window not empty")
+	}
+	w.Record(true)
+	w.Record(false)
+	if got := w.Ratio(); got != 0.5 {
+		t.Fatalf("ratio %v, want 0.5", got)
+	}
+	w.Record(true)
+	w.Record(true)
+	if got := w.Ratio(); got != 0.75 {
+		t.Fatalf("ratio %v, want 0.75", got)
+	}
+	// Fifth sample evicts the first (poor) one: window now F,T,T,F.
+	w.Record(false)
+	if got := w.Ratio(); got != 0.5 {
+		t.Fatalf("ratio after eviction %v, want 0.5", got)
+	}
+	if w.Samples() != 4 {
+		t.Fatalf("samples %d, want 4", w.Samples())
+	}
+	w.Reset()
+	if w.Ratio() != 0 || w.Samples() != 0 {
+		t.Fatal("reset window not empty")
+	}
+}
+
+func TestJournal(t *testing.T) {
+	var j Journal
+	j.Append(Entry{Schema: schema.Schema{Name: "a", Attributes: []string{"x"}}})
+	j.Append(Entry{Schema: schema.Schema{Name: "b", Attributes: []string{"y"}}})
+	j.Append(Entry{Schema: schema.Schema{Name: "c", Attributes: []string{"z"}}})
+	if j.Len() != 3 {
+		t.Fatalf("len %d, want 3", j.Len())
+	}
+	snap := j.Snapshot()
+	j.Append(Entry{Schema: schema.Schema{Name: "d", Attributes: []string{"w"}}})
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len %d, want 3 (must not see later appends)", len(snap))
+	}
+	j.DrainFirst(len(snap))
+	if j.Len() != 1 || j.Schemas()[0].Name != "d" {
+		t.Fatalf("drain left %v, want just d", j.Schemas())
+	}
+	j.DrainFirst(10)
+	if j.Len() != 0 {
+		t.Fatalf("over-drain left %d entries", j.Len())
+	}
+}

@@ -1,0 +1,56 @@
+package ingest
+
+import "schemaflow/internal/schema"
+
+// Entry is one journaled arrival: the schema plus the assignment it was
+// given on arrival (kept for reporting; the authoritative assignment is
+// recomputed by the next full rebuild).
+type Entry struct {
+	Schema     schema.Schema
+	Assignment Assignment
+}
+
+// Journal is the ordered list of schemas accepted since the last rebuild.
+// Entries are appended on ingest and drained (oldest first) when a rebuild
+// that included them is published. Not safe for concurrent use; the owning
+// manager must serialize access.
+type Journal struct {
+	entries []Entry
+}
+
+// Append records one arrival.
+func (j *Journal) Append(e Entry) { j.entries = append(j.entries, e) }
+
+// Len reports the number of pending arrivals.
+func (j *Journal) Len() int { return len(j.entries) }
+
+// Snapshot returns a copy of the pending entries in arrival order. A
+// rebuild captures a snapshot, builds over it, and drains exactly that many
+// entries on success — arrivals during the rebuild stay pending.
+func (j *Journal) Snapshot() []Entry {
+	out := make([]Entry, len(j.entries))
+	copy(out, j.entries)
+	return out
+}
+
+// Schemas returns the pending schemas in arrival order.
+func (j *Journal) Schemas() schema.Set {
+	out := make(schema.Set, 0, len(j.entries))
+	for _, e := range j.entries {
+		out = append(out, e.Schema)
+	}
+	return out
+}
+
+// DrainFirst removes the oldest n entries (clamped to the journal length).
+func (j *Journal) DrainFirst(n int) {
+	if n > len(j.entries) {
+		n = len(j.entries)
+	}
+	if n <= 0 {
+		return
+	}
+	rest := make([]Entry, len(j.entries)-n)
+	copy(rest, j.entries[n:])
+	j.entries = rest
+}

@@ -13,11 +13,20 @@
 //	GET  /schema?domain=r         one domain's mediated schema
 //	POST /query                   {"domain": r, "select": [...], "where": {...}, "limit": k}
 //	POST /feedback                {"moves": [...], "merges": [...], "splits": [...]}
-//	GET  /healthz                 liveness
+//	POST /schemas                 {"name": "...", "attributes": [...]} — online ingestion
+//	POST /admin/recluster         force a full recluster over serving + pending schemas
+//	GET  /healthz                 liveness + ingestion status
 //
 // POST /feedback applies explicit user corrections and atomically swaps in
 // the rebuilt system — the live pay-as-you-go loop. Domain ids may change
 // across a feedback application; the response carries the id mapping.
+//
+// POST /schemas is the online half of pay-as-you-go: the new schema is
+// assigned to current domains immediately (returned as domain
+// probabilities), journaled, and folded into the serving model by the next
+// drift-triggered, interval, or forced recluster — all without blocking
+// classify/query traffic, which keeps reading the previous generation
+// until the rebuilt one is atomically swapped in.
 package server
 
 import (
@@ -27,7 +36,6 @@ import (
 	"log"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"schemaflow/internal/engine"
@@ -50,6 +58,15 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps POST bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// DriftThreshold is the fresh-arrival fraction that triggers a
+	// background recluster (payg.ManagerOptions.DriftThreshold: 0 means
+	// the default 0.5, negative disables drift-triggered rebuilds).
+	DriftThreshold float64
+	// DriftWindow is the drift sliding-window size (0 = default 16).
+	DriftWindow int
+	// RebuildInterval, when positive, periodically rebuilds while schemas
+	// are pending.
+	RebuildInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -66,14 +83,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Server wires a built System (and optionally its data sources) to an
-// http.Handler. It is safe for concurrent use: reads share an RWMutex with
-// the feedback endpoint, which replaces the system (and its query
-// executor) wholesale. Every request runs under panic recovery and a
-// request timeout, and POST bodies are size-capped.
+// http.Handler. It is safe for concurrent use: a payg.Manager owns the
+// serving state, and both the feedback endpoint and the online ingestion
+// pipeline replace it by copy-on-write atomic swap, so reads never block
+// on a rebuild. Every request runs under panic recovery and a request
+// timeout, and POST bodies are size-capped.
 type Server struct {
-	mu   sync.RWMutex
-	sys  *payg.System
-	exec *payg.Executor // nil when no sources are attached
+	mgr *payg.Manager
 
 	cfg     Config
 	handler http.Handler
@@ -102,14 +118,17 @@ func New(sys *payg.System, sources []payg.Source) *Server {
 // configuration.
 func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	s := &Server{sys: sys, cfg: cfg}
-	if cfg.Sources != nil {
-		exec, err := sys.NewExecutor(cfg.Sources, cfg.Policy)
-		if err != nil {
-			return nil, err
-		}
-		s.exec = exec
+	mgr, err := payg.NewManager(sys, cfg.Sources, payg.ManagerOptions{
+		Policy:          cfg.Policy,
+		DriftThreshold:  cfg.DriftThreshold,
+		DriftWindow:     cfg.DriftWindow,
+		RebuildInterval: cfg.RebuildInterval,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		return nil, err
 	}
+	s := &Server{mgr: mgr, cfg: cfg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /domains", s.handleDomains)
@@ -118,24 +137,26 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /schema", s.handleSchema)
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /feedback", s.handleFeedback)
+	mux.HandleFunc("POST /schemas", s.handleIngest)
+	mux.HandleFunc("POST /admin/recluster", s.handleRecluster)
 	s.handler = withRecover(withRequestTimeout(cfg.RequestTimeout, mux))
 	return s, nil
 }
 
-// system returns the current system under the read lock.
-func (s *Server) system() *payg.System {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sys
-}
+// Manager exposes the ingestion manager (snapshotting, programmatic
+// ingestion).
+func (s *Server) Manager() *payg.Manager { return s.mgr }
 
-// executor returns the current query executor under the read lock (nil
-// when no sources are attached).
-func (s *Server) executor() *payg.Executor {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.exec
-}
+// Close stops the manager's background work (interval loop, in-flight
+// rebuild). The handler keeps answering reads.
+func (s *Server) Close() { s.mgr.Close() }
+
+// system returns the current serving system (lock-free atomic load).
+func (s *Server) system() *payg.System { return s.mgr.System() }
+
+// executor returns the current query executor (nil when no sources are
+// attached).
+func (s *Server) executor() *payg.Executor { return s.mgr.Executor() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -189,11 +210,13 @@ func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) err
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	sys := s.system()
+	st := s.mgr.Status()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"schemas": sys.NumSchemas(),
-		"domains": sys.NumDomains(),
+		"status":          "ok",
+		"schemas":         st.Schemas,
+		"domains":         st.Domains,
+		"rebuilding":      st.Rebuilding,
+		"pending_schemas": st.Pending,
 	})
 }
 
@@ -331,32 +354,94 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty feedback")
 		return
 	}
-	// Serialize rebuilds: take the write lock for the whole apply so two
-	// concurrent corrections compose rather than racing on the same base.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res, err := s.sys.ApplyFeedback(fb)
+	// The manager serializes feedback against rebuild publication and
+	// swaps the corrected system (with a rebound executor whose breaker
+	// state carries over) in atomically.
+	res, err := s.mgr.ApplyFeedback(fb)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// Rebind the query executor to the rebuilt system before swapping, so
-	// readers never observe a system/executor mismatch. Breaker state is
-	// intentionally reset: domain membership may have changed.
-	var exec *payg.Executor
-	if s.exec != nil {
-		exec, err = res.System.NewExecutor(s.cfg.Sources, s.cfg.Policy)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "rebinding sources: "+err.Error())
-			return
-		}
-	}
-	s.sys = res.System
-	s.exec = exec
 	writeJSON(w, http.StatusOK, map[string]any{
 		"domains":       res.System.NumDomains(),
 		"domain_map":    res.DomainMap,
 		"new_domain_of": res.NewDomainOf,
+	})
+}
+
+// ingestRequest is the /schemas body: one new source schema.
+type ingestRequest struct {
+	Name       string   `json:"name"`
+	Attributes []string `json:"attributes"`
+}
+
+// domainProbJSON is one (domain, probability) entry of an assignment.
+type domainProbJSON struct {
+	Domain int     `json:"domain"`
+	Prob   float64 `json:"prob"`
+}
+
+// ingestResponse reports the immediate assignment and the pipeline state.
+type ingestResponse struct {
+	Schema           string           `json:"schema"`
+	Domains          []domainProbJSON `json:"domains"`
+	BestSim          float64          `json:"best_sim"`
+	Fresh            bool             `json:"fresh"`
+	PendingRebuild   int              `json:"pending_rebuild"`
+	RebuildTriggered bool             `json:"rebuild_triggered"`
+	Rebuilding       bool             `json:"rebuilding"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing schema name")
+		return
+	}
+	if len(req.Attributes) == 0 {
+		writeError(w, http.StatusBadRequest, "empty attribute list")
+		return
+	}
+	res, err := s.mgr.Ingest(payg.Schema{Name: req.Name, Attributes: req.Attributes})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := ingestResponse{
+		Schema:           req.Name,
+		Domains:          make([]domainProbJSON, 0, len(res.Assignment.Domains)),
+		BestSim:          res.Assignment.BestSim,
+		Fresh:            res.Assignment.Fresh,
+		PendingRebuild:   res.Pending,
+		RebuildTriggered: res.RebuildTriggered,
+		Rebuilding:       res.Rebuilding,
+	}
+	for _, d := range res.Assignment.Domains {
+		out.Domains = append(out.Domains, domainProbJSON{Domain: d.Domain, Prob: d.Prob})
+	}
+	writeJSON(w, http.StatusAccepted, out)
+}
+
+func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Recluster(r.Context()); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, "recluster timed out")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	st := s.mgr.Status()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"schemas":         st.Schemas,
+		"domains":         st.Domains,
+		"pending_schemas": st.Pending,
+		"rebuilds":        st.Rebuilds,
 	})
 }
 

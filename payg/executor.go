@@ -18,6 +18,41 @@ type Policy = resilience.Policy
 // retries, breaker opening after 5 consecutive failures).
 func DefaultPolicy() Policy { return resilience.DefaultPolicy() }
 
+// BreakerPool shares per-source circuit breakers across executors, keyed
+// by source name. Successive executors bound to the same pool — e.g.
+// before and after an ingestion rebuild swaps the system — see the same
+// breaker for the same source, so a source's failure history (and an open
+// circuit) survives the swap. Safe for concurrent use.
+type BreakerPool struct {
+	policy Policy
+
+	mu     sync.Mutex
+	byName map[string]*resilience.Breaker
+}
+
+// NewBreakerPool returns an empty pool that mints breakers from the
+// policy's breaker parameters (no breakers at all when the policy disables
+// breaking).
+func NewBreakerPool(policy Policy) *BreakerPool {
+	return &BreakerPool{policy: policy, byName: make(map[string]*resilience.Breaker)}
+}
+
+// Get returns the breaker for a source name, creating it on first use.
+// Returns nil when the policy disables breaking.
+func (bp *BreakerPool) Get(name string) *resilience.Breaker {
+	if bp.policy.BreakerThreshold <= 0 {
+		return nil
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	b, ok := bp.byName[name]
+	if !ok {
+		b = bp.policy.NewBreaker()
+		bp.byName[name] = b
+	}
+	return b
+}
+
 // Executor binds a System to a fixed set of data sources under a
 // resilience policy. Unlike System.Execute, which builds a fresh engine
 // per call, an Executor keeps one engine per domain alive so per-source
@@ -28,6 +63,7 @@ type Executor struct {
 	sys      *System
 	fetchers []TupleSource
 	policy   Policy
+	pool     *BreakerPool // nil: each executor allocates fresh breakers
 
 	mu        sync.Mutex
 	perDomain map[int]*engine.DomainExecutor
@@ -37,6 +73,15 @@ type Executor struct {
 // (aligned with the schema order passed to Build) under the policy. Use
 // resilience.Policy{} to disable timeouts, retries, and breaking.
 func (s *System) NewExecutor(fetchers []TupleSource, policy Policy) (*Executor, error) {
+	return s.NewExecutorShared(fetchers, policy, nil)
+}
+
+// NewExecutorShared is NewExecutor with a shared breaker pool: per-source
+// circuit breakers are taken from pool (keyed by source name) instead of
+// allocated fresh, so breaker state carries across executors bound to the
+// same pool — the mechanism behind zero-downtime model swaps that keep
+// failure history. A nil pool behaves like NewExecutor.
+func (s *System) NewExecutorShared(fetchers []TupleSource, policy Policy, pool *BreakerPool) (*Executor, error) {
 	if s.mediated == nil {
 		return nil, fmt.Errorf("payg: system built with SkipMediation")
 	}
@@ -52,6 +97,7 @@ func (s *System) NewExecutor(fetchers []TupleSource, policy Policy) (*Executor, 
 		sys:       s,
 		fetchers:  fetchers,
 		policy:    policy,
+		pool:      pool,
 		perDomain: make(map[int]*engine.DomainExecutor),
 	}, nil
 }
@@ -84,7 +130,11 @@ func (e *Executor) executor(domain int) (*engine.DomainExecutor, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex.SetPolicy(e.policy)
+	if e.pool != nil {
+		ex.SetPolicyFunc(e.policy, e.pool.Get)
+	} else {
+		ex.SetPolicy(e.policy)
+	}
 	e.perDomain[domain] = ex
 	return ex, nil
 }

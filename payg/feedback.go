@@ -3,9 +3,7 @@ package payg
 import (
 	"schemaflow/internal/classify"
 	"schemaflow/internal/core"
-	"schemaflow/internal/feature"
 	"schemaflow/internal/feedback"
-	"schemaflow/internal/terms"
 )
 
 // Feedback is a batch of explicit user corrections to apply to a built
@@ -74,13 +72,9 @@ func (s *System) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
 // untouched, and the classifier and mediation are rebuilt over the extended
 // corpus. It returns the new system and the new schema's domain id.
 func (s *System) AddSchema(sch Schema) (*System, int, error) {
-	ts, err := s.opts.termSim()
+	cfg, err := s.opts.featureConfig()
 	if err != nil {
 		return nil, 0, err
-	}
-	cfg := feature.Config{TermOpts: terms.DefaultOptions(), Sim: ts, Tau: s.opts.TauTSim}
-	if s.opts.TermFrequencyFeatures {
-		cfg.Mode = feature.TermFrequency
 	}
 	model, domain, err := feedback.AddSchema(s.model, sch, cfg)
 	if err != nil {

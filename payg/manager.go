@@ -1,0 +1,440 @@
+package payg
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schemaflow/internal/core"
+	"schemaflow/internal/ingest"
+)
+
+// ManagerOptions tunes the online ingestion pipeline. The zero value of
+// every field selects a sensible default.
+type ManagerOptions struct {
+	// DriftThreshold is the fraction of recent arrivals that must be
+	// "fresh" (claimed by no existing domain) to trigger a background
+	// recluster. Default 0.5; negative disables drift-triggered rebuilds
+	// (forced and interval rebuilds still work).
+	DriftThreshold float64
+	// DriftWindow is the sliding-window size over which drift is measured
+	// (default 16 arrivals).
+	DriftWindow int
+	// DriftMinSamples is the minimum number of windowed arrivals before
+	// drift can trigger at all (default 4), so one unlucky first arrival
+	// does not recluster the world.
+	DriftMinSamples int
+	// RebuildInterval, when positive, rebuilds periodically whenever
+	// schemas are pending — a backstop for workloads whose arrivals are
+	// in-domain (never fresh, so drift stays low) but should still join
+	// the serving model eventually.
+	RebuildInterval time.Duration
+	// Policy is the per-source resilience policy for the query executor.
+	// The zero value selects DefaultPolicy.
+	Policy Policy
+	// MakeSource supplies the TupleSource for an ingested schema when the
+	// manager serves data. Nil means an empty in-memory source (the
+	// schema is classifiable and mediated, but contributes no tuples
+	// until real data is attached).
+	MakeSource func(Schema) TupleSource
+	// Logf receives lifecycle messages (rebuild started/finished/
+	// discarded). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o ManagerOptions) withDefaults() ManagerOptions {
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = 0.5
+	}
+	if o.DriftWindow == 0 {
+		o.DriftWindow = 16
+	}
+	if o.DriftMinSamples == 0 {
+		o.DriftMinSamples = 4
+	}
+	if o.Policy == (Policy{}) {
+		o.Policy = DefaultPolicy()
+	}
+	if o.MakeSource == nil {
+		o.MakeSource = func(sch Schema) TupleSource { return Source{Schema: sch} }
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// managedState is one immutable serving generation: a built system, its
+// query executor, and the sources the executor is bound to. Readers load
+// it atomically and never see a half-built model.
+type managedState struct {
+	sys     *System
+	exec    *Executor     // nil when serving without data
+	sources []TupleSource // aligned with sys.Schemas(); nil when no data
+}
+
+// flight is one in-progress background rebuild (single-flight: at most one
+// exists at a time). err is written before done is closed and must only be
+// read after <-done.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// Manager owns a serving System and grows it online — the pay-as-you-go
+// loop as a subsystem. Arriving schemas are assigned to current domains
+// immediately (Ingest, read-only against the serving model), journaled,
+// and folded into a full recluster+rebuild that runs in a background
+// goroutine when assignment quality drifts, when a rebuild interval
+// elapses, or on demand (Recluster). The rebuilt system is published by a
+// copy-on-write atomic swap: Classify/Execute traffic keeps hitting the
+// old generation, un-blocked, until the new one is complete, and
+// per-source circuit-breaker state carries across the swap via a shared
+// BreakerPool. All methods are safe for concurrent use.
+type Manager struct {
+	opts ManagerOptions
+	cur  atomic.Pointer[managedState]
+	pool *BreakerPool // nil when serving without data
+
+	mu        sync.Mutex
+	journal   ingest.Journal
+	drift     *ingest.Window
+	gen       int     // bumped on every swap; a rebuild whose base generation is stale is discarded
+	inflight  *flight // non-nil while a background rebuild runs
+	cancel    context.CancelFunc
+	rebuilds  int // completed, swapped-in rebuilds
+	discarded int // rebuilds discarded because the base changed mid-flight
+	closed    bool
+
+	stopInterval context.CancelFunc
+	wg           sync.WaitGroup
+}
+
+// NewManager wraps a built system for online ingestion. sources, when
+// non-nil, must supply one TupleSource per schema in build order (as for
+// NewExecutor) and enables the query path; ingested schemas get sources
+// from opts.MakeSource at rebuild time. Call Close to stop background
+// work.
+func NewManager(sys *System, sources []TupleSource, opts ManagerOptions) (*Manager, error) {
+	opts = opts.withDefaults()
+	m := &Manager{opts: opts, drift: ingest.NewWindow(opts.DriftWindow)}
+	st := &managedState{sys: sys}
+	if sources != nil {
+		m.pool = NewBreakerPool(opts.Policy)
+		exec, err := sys.NewExecutorShared(sources, opts.Policy, m.pool)
+		if err != nil {
+			return nil, err
+		}
+		st.exec = exec
+		st.sources = sources
+	}
+	m.cur.Store(st)
+	if opts.RebuildInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		m.stopInterval = cancel
+		m.wg.Add(1)
+		go m.intervalLoop(ctx, opts.RebuildInterval)
+	}
+	return m, nil
+}
+
+// LoadManager reconstructs a manager from a snapshot written by
+// Manager.Save: the system is rebuilt as by Load, and every journaled
+// pending schema is re-assigned against it and restored to the journal —
+// a restart loses nothing. sources and opts are as for NewManager.
+func LoadManager(r io.Reader, sources []TupleSource, opts ManagerOptions) (*Manager, error) {
+	sys, pending, err := LoadWithPending(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewManager(sys, sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, sch := range pending {
+		a, err := sys.Ingest(sch)
+		if err != nil {
+			return nil, fmt.Errorf("payg: re-assigning journaled schema %q: %w", sch.Name, err)
+		}
+		m.journal.Append(journalEntry(sch, a))
+	}
+	return m, nil
+}
+
+// journalEntry converts a public Assignment back to the journal's form.
+func journalEntry(sch Schema, a *Assignment) ingest.Entry {
+	e := ingest.Entry{Schema: sch, Assignment: ingest.Assignment{
+		Best:    a.BestDomain,
+		BestSim: a.BestSim,
+		Fresh:   a.Fresh,
+	}}
+	for _, d := range a.Domains {
+		e.Assignment.Domains = append(e.Assignment.Domains, core.Membership{Schema: d.Domain, Prob: d.Prob})
+	}
+	return e
+}
+
+// System returns the current serving system (lock-free).
+func (m *Manager) System() *System { return m.cur.Load().sys }
+
+// Executor returns the current query executor, or nil when the manager
+// serves without data (lock-free).
+func (m *Manager) Executor() *Executor { return m.cur.Load().exec }
+
+// IngestResult reports what happened to one arrival.
+type IngestResult struct {
+	// Assignment is the immediate routing decision against the serving
+	// model.
+	Assignment *Assignment
+	// Pending is the journal length after this arrival — schemas accepted
+	// but not yet part of the serving model.
+	Pending int
+	// DriftRatio is the current fraction of fresh arrivals in the window.
+	DriftRatio float64
+	// RebuildTriggered is true when this arrival pushed drift over the
+	// threshold and started a background rebuild.
+	RebuildTriggered bool
+	// Rebuilding is true while a background rebuild is in flight.
+	Rebuilding bool
+}
+
+// Ingest accepts one new schema: it is assigned to current domains
+// immediately (without touching the serving model), journaled for the next
+// rebuild, and counted toward drift. If the drift ratio crosses the
+// threshold a background recluster starts (single-flight). Ingest never
+// blocks on a rebuild.
+func (m *Manager) Ingest(sch Schema) (*IngestResult, error) {
+	st := m.cur.Load()
+	a, err := st.sys.Ingest(sch)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("payg: manager closed")
+	}
+	m.journal.Append(journalEntry(sch, a))
+	m.drift.Record(a.Fresh)
+	res := &IngestResult{
+		Assignment: a,
+		Pending:    m.journal.Len(),
+		DriftRatio: m.drift.Ratio(),
+	}
+	if m.inflight == nil &&
+		m.opts.DriftThreshold >= 0 &&
+		m.drift.Samples() >= m.opts.DriftMinSamples &&
+		m.drift.Ratio() >= m.opts.DriftThreshold {
+		m.startRebuildLocked("drift")
+		res.RebuildTriggered = true
+	}
+	res.Rebuilding = m.inflight != nil
+	return res, nil
+}
+
+// Recluster forces a full recluster+rebuild over the serving schemas plus
+// everything pending, and waits for it to be published (or for ctx). If a
+// background rebuild is already in flight it joins that one instead of
+// starting another.
+func (m *Manager) Recluster(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("payg: manager closed")
+	}
+	f := m.inflight
+	if f == nil {
+		f = m.startRebuildLocked("forced")
+	}
+	m.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// startRebuildLocked launches the single background rebuild flight.
+// Callers must hold m.mu and have checked that no flight is running.
+func (m *Manager) startRebuildLocked(reason string) *flight {
+	st := m.cur.Load()
+	entries := m.journal.Snapshot()
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{})}
+	m.inflight = f
+	m.cancel = cancel
+	startGen := m.gen
+	m.opts.Logf("payg: %s rebuild started (%d schemas + %d pending)",
+		reason, st.sys.NumSchemas(), len(entries))
+	m.wg.Add(1)
+	go m.runRebuild(ctx, cancel, st, entries, startGen, f)
+	return f
+}
+
+// runRebuild builds a complete system over the union of the serving
+// schemas and the journaled pending schemas, then publishes it with an
+// atomic swap — unless the serving generation changed underneath it (a
+// feedback apply), in which case the result is discarded and the journal
+// kept for the next flight.
+func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st *managedState, entries []ingest.Entry, startGen int, f *flight) {
+	defer m.wg.Done()
+	defer close(f.done)
+	defer cancel()
+
+	union := make([]Schema, 0, st.sys.NumSchemas()+len(entries))
+	union = append(union, st.sys.Schemas()...)
+	for _, e := range entries {
+		union = append(union, e.Schema)
+	}
+	newSys, err := BuildContext(ctx, union, st.sys.opts)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight = nil
+	m.cancel = nil
+	if err != nil {
+		f.err = err
+		m.opts.Logf("payg: rebuild failed: %v", err)
+		return
+	}
+	if m.gen != startGen {
+		// The serving system changed mid-flight (feedback swap): this
+		// result is based on a stale generation. Keep the journal; the
+		// next trigger rebuilds over the fresh base.
+		m.discarded++
+		f.err = fmt.Errorf("payg: rebuild discarded: serving system changed during rebuild")
+		m.opts.Logf("payg: rebuild discarded (base generation changed)")
+		return
+	}
+	next := &managedState{sys: newSys}
+	if st.sources != nil {
+		sources := make([]TupleSource, 0, len(union))
+		sources = append(sources, st.sources...)
+		for _, e := range entries {
+			sources = append(sources, m.opts.MakeSource(e.Schema))
+		}
+		exec, err := newSys.NewExecutorShared(sources, m.opts.Policy, m.pool)
+		if err != nil {
+			f.err = fmt.Errorf("payg: rebinding sources after rebuild: %w", err)
+			m.opts.Logf("payg: %v", f.err)
+			return
+		}
+		next.exec = exec
+		next.sources = sources
+	}
+	m.journal.DrainFirst(len(entries))
+	m.drift.Reset()
+	m.gen++
+	m.rebuilds++
+	m.cur.Store(next)
+	m.opts.Logf("payg: rebuild published: %d schemas, %d domains (%d still pending)",
+		newSys.NumSchemas(), newSys.NumDomains(), m.journal.Len())
+}
+
+// ApplyFeedback applies explicit user corrections to the serving system
+// and swaps the corrected system in, serialized against rebuild
+// publication. Pending (journaled) schemas are unaffected — they join at
+// the next rebuild over the corrected base; an in-flight background
+// rebuild is invalidated and will be discarded on completion.
+func (m *Manager) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("payg: manager closed")
+	}
+	st := m.cur.Load()
+	res, err := st.sys.ApplyFeedback(fb)
+	if err != nil {
+		return nil, err
+	}
+	next := &managedState{sys: res.System, sources: st.sources}
+	if st.sources != nil {
+		exec, err := res.System.NewExecutorShared(st.sources, m.opts.Policy, m.pool)
+		if err != nil {
+			return nil, fmt.Errorf("payg: rebinding sources: %w", err)
+		}
+		next.exec = exec
+	}
+	m.gen++
+	m.cur.Store(next)
+	return res, nil
+}
+
+// ManagerStatus is a point-in-time view of the ingestion pipeline.
+type ManagerStatus struct {
+	// Schemas and Domains describe the serving system.
+	Schemas int
+	Domains int
+	// Pending is the journal length (accepted, not yet reclustered).
+	Pending int
+	// Rebuilding is true while a background rebuild is in flight.
+	Rebuilding bool
+	// DriftRatio is the fresh fraction of the current drift window.
+	DriftRatio float64
+	// Rebuilds counts published rebuilds; Discarded counts rebuilds
+	// thrown away because the serving system changed mid-flight.
+	Rebuilds  int
+	Discarded int
+}
+
+// Status reports the pipeline's current state.
+func (m *Manager) Status() ManagerStatus {
+	st := m.cur.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManagerStatus{
+		Schemas:    st.sys.NumSchemas(),
+		Domains:    st.sys.NumDomains(),
+		Pending:    m.journal.Len(),
+		Rebuilding: m.inflight != nil,
+		DriftRatio: m.drift.Ratio(),
+		Rebuilds:   m.rebuilds,
+		Discarded:  m.discarded,
+	}
+}
+
+// intervalLoop periodically rebuilds while schemas are pending.
+func (m *Manager) intervalLoop(ctx context.Context, every time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.mu.Lock()
+			if !m.closed && m.inflight == nil && m.journal.Len() > 0 {
+				m.startRebuildLocked("interval")
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the interval loop, cancels any in-flight rebuild, and waits
+// for background goroutines to finish. The manager keeps serving reads
+// (System/Executor) but rejects further Ingest/Recluster/ApplyFeedback.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	if m.stopInterval != nil {
+		m.stopInterval()
+	}
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

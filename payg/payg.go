@@ -169,13 +169,18 @@ type System struct {
 // Build runs the full pipeline: feature vectors → hierarchical clustering →
 // probabilistic domains → per-domain mediation → classifier construction.
 func Build(schemas []Schema, opts Options) (*System, error) {
+	return BuildContext(context.Background(), schemas, opts)
+}
+
+// BuildContext is Build with cooperative cancellation: ctx is checked
+// between pipeline stages (feature-space construction, clustering, domain
+// assignment, classifier setup, and each domain's mediation), so a caller
+// abandoning a long rebuild — e.g. the ingestion manager shutting down —
+// gets ctx.Err() back promptly instead of paying for the whole pipeline.
+func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System, error) {
 	opts = opts.withDefaults()
 	if len(schemas) == 0 {
 		return nil, fmt.Errorf("payg: no schemas")
-	}
-	ts, err := opts.termSim()
-	if err != nil {
-		return nil, err
 	}
 	set := schema.Set(schemas)
 	for i := range set {
@@ -187,22 +192,30 @@ func Build(schemas []Schema, opts Options) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	fcfg := feature.Config{
-		TermOpts: terms.DefaultOptions(),
-		Sim:      ts,
-		Tau:      opts.TauTSim,
+	fcfg, err := opts.featureConfig()
+	if err != nil {
+		return nil, err
 	}
-	if opts.TermFrequencyFeatures {
-		fcfg.Mode = feature.TermFrequency
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sp := feature.Build(set, fcfg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cl := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	model, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
 	if err != nil {
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ccfg := classify.Config{}
 	if opts.ApproximateClassifier {
 		ccfg.Mode = classify.Approximate
@@ -217,14 +230,36 @@ func Build(schemas []Schema, opts Options) (*System, error) {
 
 	sys := &System{opts: opts, schemas: set, space: sp, model: model, classifier: cls}
 	if !opts.SkipMediation {
-		if err := sys.buildMediation(); err != nil {
+		if err := sys.buildMediationContext(ctx); err != nil {
 			return nil, err
 		}
 	}
 	return sys, nil
 }
 
+// featureConfig translates the options into the feature-space config used
+// by Build, AddSchema, and incremental ingestion.
+func (o Options) featureConfig() (feature.Config, error) {
+	ts, err := o.termSim()
+	if err != nil {
+		return feature.Config{}, err
+	}
+	cfg := feature.Config{
+		TermOpts: terms.DefaultOptions(),
+		Sim:      ts,
+		Tau:      o.TauTSim,
+	}
+	if o.TermFrequencyFeatures {
+		cfg.Mode = feature.TermFrequency
+	}
+	return cfg, nil
+}
+
 func (s *System) buildMediation() error {
+	return s.buildMediationContext(context.Background())
+}
+
+func (s *System) buildMediationContext(ctx context.Context) error {
 	mopts := mediate.DefaultOptions()
 	mopts.FreqThreshold = s.opts.MediationFreqThreshold
 	ts, err := s.opts.termSim()
@@ -236,6 +271,9 @@ func (s *System) buildMediation() error {
 
 	s.mediated = make([]*mediate.Mediated, s.model.NumDomains())
 	for r := range s.model.Domains {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var members schema.Set
 		for _, mem := range s.model.Domains[r].Members {
 			members = append(members, s.schemas[mem.Schema])

@@ -19,6 +19,10 @@ import (
 // expensive. The feature space and mediated schemas are rebuilt
 // deterministically on load (cheap relative to clustering and exact
 // classifier setup).
+//
+// Version 2 adds Pending: schemas accepted by the online ingestion
+// pipeline but not yet folded into the model by a recluster, so a restart
+// keeps the journal. Version-1 snapshots decode with an empty journal.
 type snapshot struct {
 	Version     int
 	Opts        Options
@@ -26,13 +30,33 @@ type snapshot struct {
 	Assign      []int
 	Memberships [][]core.Membership
 	Classifier  *classify.Snapshot
+	Pending     schema.Set
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save serializes the system so that Load can reconstruct it without
-// re-running clustering or classifier setup.
+// re-running clustering or classifier setup. The snapshot carries no
+// pending ingestion journal; to persist a live ingestion pipeline use
+// Manager.Save.
 func (s *System) Save(w io.Writer) error {
+	return s.saveWithPending(w, nil)
+}
+
+// Save serializes the manager's serving system together with its pending
+// ingestion journal. LoadManager restores both.
+func (m *Manager) Save(w io.Writer) error {
+	// Hold the swap lock so the (system, journal) pair is consistent: a
+	// rebuild publishing mid-save could otherwise drain schemas into the
+	// system while we snapshot the old journal (duplicating them) or vice
+	// versa.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.cur.Load()
+	return st.sys.saveWithPending(w, m.journal.Schemas())
+}
+
+func (s *System) saveWithPending(w io.Writer, pending schema.Set) error {
 	snap := snapshot{
 		Version:     snapshotVersion,
 		Opts:        s.opts,
@@ -40,6 +64,7 @@ func (s *System) Save(w io.Writer) error {
 		Assign:      s.model.Clustering.Assign,
 		Memberships: make([][]core.Membership, len(s.schemas)),
 		Classifier:  s.classifier.Snapshot(),
+		Pending:     pending,
 	}
 	for i := range s.schemas {
 		snap.Memberships[i] = s.model.DomainsOf(i)
@@ -52,19 +77,29 @@ func (s *System) Save(w io.Writer) error {
 
 // Load reconstructs a System previously written by Save. The feature space
 // is rebuilt (vocabulary and vectors are deterministic given the schemas and
-// options); clustering and classifier tables come from the snapshot.
+// options); clustering and classifier tables come from the snapshot. Any
+// pending ingestion journal in the snapshot is dropped — use LoadWithPending
+// or LoadManager to recover it.
 func Load(r io.Reader) (*System, error) {
+	sys, _, err := LoadWithPending(r)
+	return sys, err
+}
+
+// LoadWithPending is Load plus the snapshot's pending ingestion journal:
+// schemas accepted online but not yet reclustered into the model when the
+// snapshot was taken. LoadManager re-journals them automatically.
+func LoadWithPending(r io.Reader) (*System, []Schema, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("payg: decoding snapshot: %w", err)
+		return nil, nil, fmt.Errorf("payg: decoding snapshot: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("payg: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, nil, fmt.Errorf("payg: snapshot version %d, want 1–%d", snap.Version, snapshotVersion)
 	}
 	opts := snap.Opts.withDefaults()
 	ts, err := opts.termSim()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	fcfg := feature.Config{
 		TermOpts: terms.DefaultOptions(),
@@ -78,17 +113,17 @@ func Load(r io.Reader) (*System, error) {
 	cl := cluster.FromAssignment(snap.Assign)
 	model, err := core.RestoreModel(snap.Schemas, sp, cl, snap.Memberships, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cls, err := classify.Restore(model, snap.Classifier)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys := &System{opts: opts, schemas: snap.Schemas, space: sp, model: model, classifier: cls}
 	if !opts.SkipMediation {
 		if err := sys.buildMediation(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return sys, nil
+	return sys, snap.Pending, nil
 }
