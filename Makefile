@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest repro fuzz fuzz-smoke clean
+.PHONY: all build vet test race bench bench-ingest repro fuzz fuzz-smoke docs-check clean
 
 all: build vet test
 
@@ -44,6 +44,11 @@ fuzz:
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
+
+# Documentation verification: diff docs/METRICS.md against the live
+# metric registry and check every relative markdown link resolves.
+docs-check:
+	$(GO) test ./internal/docscheck -count=1
 
 clean:
 	$(GO) clean ./...

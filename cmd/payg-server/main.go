@@ -17,24 +17,34 @@
 // /admin/recluster) the model is fully reclustered in the background and
 // swapped in atomically — traffic never blocks on a rebuild.
 //
+// The server is observable in production: GET /metrics exposes the full
+// metrics registry (Prometheus text format; JSON with Accept:
+// application/json), GET /healthz reports ingestion status plus per-source
+// circuit-breaker states, every request is logged as one structured JSON
+// line on stderr, and -pprof mounts net/http/pprof under /debug/pprof/.
+// See docs/OPERATIONS.md for the runbook and docs/METRICS.md for the
+// metric reference.
+//
 // Usage:
 //
 //	payg-server -in schemas.txt [-addr :8080] [-tau 0.25] [-tuples 20]
 //	            [-source-timeout 2s] [-retries 2]
-//	            [-drift-threshold 0.5] [-rebuild-interval 0]
+//	            [-drift-threshold 0.5] [-rebuild-interval 0] [-pprof]
 //
 //	curl 'localhost:8080/classify?q=departure+toronto'
 //	curl 'localhost:8080/domains'
 //	curl -X POST localhost:8080/query -d '{"domain":0,"select":["departure"]}'
 //	curl -X POST localhost:8080/schemas -d '{"name":"cruises","attributes":["departure port","destination port","price"]}'
 //	curl -X POST localhost:8080/admin/recluster
+//	curl 'localhost:8080/metrics'
+//	curl 'localhost:8080/healthz'
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -56,15 +66,17 @@ func main() {
 	retries := flag.Int("retries", 2, "retries per data-source fetch after the first failure")
 	driftThreshold := flag.Float64("drift-threshold", 0.5, "fraction of recent unassignable arrivals that triggers a background recluster (negative disables)")
 	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodically recluster while ingested schemas are pending (0 disables)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	log.SetPrefix("payg-server: ")
-	if err := run(*in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval); err != nil {
-		log.Fatal(err)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("app", "payg-server"))
+	if err := run(logger, *in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval, *pprofOn); err != nil {
+		logger.Error("fatal", slog.Any("error", err))
+		os.Exit(1)
 	}
 }
 
-func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration) error {
+func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration, pprofOn bool) error {
 	set, err := cli.ReadSchemasFile(in)
 	if err != nil {
 		return err
@@ -74,8 +86,10 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 	if err != nil {
 		return err
 	}
-	log.Printf("built %d domains over %d schemas in %s",
-		sys.NumDomains(), sys.NumSchemas(), time.Since(start).Round(time.Millisecond))
+	logger.Info("system built",
+		slog.Int("domains", sys.NumDomains()),
+		slog.Int("schemas", sys.NumSchemas()),
+		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
 
 	var sources []payg.TupleSource
 	if tuples > 0 {
@@ -88,7 +102,7 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 			}
 			sources[i] = payg.Source{Schema: s, Tuples: ts}
 		}
-		log.Printf("attached %d synthetic tuples per source", tuples)
+		logger.Info("attached synthetic data", slog.Int("tuples_per_source", tuples))
 	}
 
 	policy := payg.DefaultPolicy()
@@ -99,6 +113,8 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 		Policy:          policy,
 		DriftThreshold:  driftThreshold,
 		RebuildInterval: rebuildInterval,
+		Logger:          logger,
+		EnablePprof:     pprofOn,
 	})
 	if err != nil {
 		return err
@@ -117,7 +133,7 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		logger.Info("listening", slog.String("addr", addr), slog.Bool("pprof", pprofOn))
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -125,7 +141,7 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 		return err
 	case <-ctx.Done():
 		stop()
-		log.Print("shutdown signal received; draining connections")
+		logger.Info("shutdown signal received; draining connections")
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(drainCtx); err != nil {
@@ -134,7 +150,7 @@ func run(in, addr string, tau float64, tuples int, sourceTimeout time.Duration, 
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		log.Print("shutdown complete")
+		logger.Info("shutdown complete")
 		return nil
 	}
 }

@@ -291,6 +291,7 @@ func (c *Classifier) Classify(keywords []string) []Score {
 	sort.SliceStable(scores, func(a, b int) bool {
 		return scores[a].LogPosterior > scores[b].LogPosterior
 	})
+	observeClassification(scores)
 	return scores
 }
 

@@ -1,0 +1,90 @@
+// Package docscheck keeps the repository's documentation verifiable: it
+// parses the metric reference table in docs/METRICS.md and the relative
+// links in the markdown docs so tests (run by `make docs-check` and CI)
+// can diff them against the live metric registry and the file tree.
+// Documentation that cannot drift silently is the only kind worth
+// shipping.
+package docscheck
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// MetricRow is one row of the METRICS.md reference table.
+type MetricRow struct {
+	Name string // metric family name, e.g. "schemaflow_queries_total"
+	Type string // declared type: "counter", "gauge", or "histogram"
+	Line int    // 1-based line in the source file, for error messages
+}
+
+// metricRowRE matches `| `name` | type | ...` table rows. The name must
+// be backtick-quoted in the first cell and the type bare in the second.
+var metricRowRE = regexp.MustCompile("^\\|\\s*`([a-zA-Z_:][a-zA-Z0-9_:]*)`\\s*\\|\\s*([a-z]+)\\s*\\|")
+
+// MetricRows extracts every metric table row from the markdown file at
+// path. Rows whose first cell is not a backtick-quoted metric name
+// (headers, separators, prose) are skipped.
+func MetricRows(path string) ([]MetricRow, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rows []MetricRow
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		if m := metricRowRE.FindStringSubmatch(sc.Text()); m != nil {
+			rows = append(rows, MetricRow{Name: m[1], Type: m[2], Line: n})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no metric table rows found", path)
+	}
+	return rows, nil
+}
+
+// Link is one markdown link found in a document.
+type Link struct {
+	Target string // raw link target as written
+	Line   int    // 1-based line number
+}
+
+// linkRE matches inline markdown links [text](target). Image links
+// (![alt](target)) match too, which is what we want.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// RelativeLinks returns the file-relative link targets in the markdown
+// file at path: external schemes (http, https, mailto) and pure
+// in-page fragments (#...) are skipped, and a trailing #fragment is
+// stripped from what remains.
+func RelativeLinks(path string) ([]Link, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var links []Link
+	for n, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			t := m[1]
+			if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") ||
+				strings.HasPrefix(t, "mailto:") || strings.HasPrefix(t, "#") {
+				continue
+			}
+			if i := strings.IndexByte(t, '#'); i >= 0 {
+				t = t[:i]
+			}
+			if t == "" {
+				continue
+			}
+			links = append(links, Link{Target: t, Line: n + 1})
+		}
+	}
+	return links, nil
+}

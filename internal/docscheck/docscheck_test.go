@@ -1,0 +1,113 @@
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schemaflow/internal/obs"
+
+	// Importing the server transitively registers every metric family in
+	// the process (engine, classify, ingest, payg, server), so the
+	// default registry below is the complete production set.
+	_ "schemaflow/internal/server"
+)
+
+const repoRoot = "../.."
+
+// TestMetricsDocMatchesRegistry diffs docs/METRICS.md against the live
+// registry: every registered family must be documented with the right
+// type, and every documented row must exist in code. This is the test
+// that makes METRICS.md a contract instead of aspiration.
+func TestMetricsDocMatchesRegistry(t *testing.T) {
+	rows, err := MetricRows(filepath.Join(repoRoot, "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := make(map[string]MetricRow, len(rows))
+	for _, row := range rows {
+		if prev, dup := documented[row.Name]; dup {
+			t.Errorf("METRICS.md documents %s twice (lines %d and %d)", row.Name, prev.Line, row.Line)
+		}
+		documented[row.Name] = row
+	}
+
+	registered := make(map[string]string) // name -> kind
+	for _, f := range obs.Default().Snapshot() {
+		registered[f.Name] = f.Kind.String()
+	}
+
+	for name, kind := range registered {
+		row, ok := documented[name]
+		if !ok {
+			t.Errorf("metric %s (%s) is registered but missing from docs/METRICS.md", name, kind)
+			continue
+		}
+		if row.Type != kind {
+			t.Errorf("metric %s: docs/METRICS.md line %d says %q, registry says %q",
+				name, row.Line, row.Type, kind)
+		}
+	}
+	for name, row := range documented {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("docs/METRICS.md line %d documents %s, which no package registers", row.Line, name)
+		}
+	}
+	if len(rows) != len(registered) && !t.Failed() {
+		t.Errorf("doc rows %d != registered families %d", len(rows), len(registered))
+	}
+}
+
+// TestMarkdownLinks checks that every relative link in the top-level
+// and docs/ markdown files points at a file that exists.
+func TestMarkdownLinks(t *testing.T) {
+	files := []string{"README.md", "DESIGN.md", "ROADMAP.md"}
+	entries, err := os.ReadDir(filepath.Join(repoRoot, "docs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".md" {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+
+	for _, rel := range files {
+		path := filepath.Join(repoRoot, rel)
+		if _, err := os.Stat(path); err != nil {
+			continue // optional top-level docs may not exist
+		}
+		links, err := RelativeLinks(path)
+		if err != nil {
+			t.Fatalf("%s: %v", rel, err)
+		}
+		for _, l := range links {
+			target := filepath.Join(filepath.Dir(path), l.Target)
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s:%d: broken link %q (%v)", rel, l.Line, l.Target, err)
+			}
+		}
+	}
+}
+
+// TestMetricRowParser pins the table-row grammar the doc must follow.
+func TestMetricRowParser(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "m.md")
+	content := "# x\n" +
+		"| Metric | Type | Labels | Meaning |\n" +
+		"|---|---|---|---|\n" +
+		"| `schemaflow_a_total` | counter | `x` | words |\n" +
+		"| not a metric | counter | | |\n" +
+		"| `schemaflow_b` | gauge | — | words |\n"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := MetricRows(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "schemaflow_a_total" || rows[0].Type != "counter" ||
+		rows[1].Name != "schemaflow_b" || rows[1].Type != "gauge" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -362,8 +362,15 @@ func (ex *DomainExecutor) fetchAll(ctx context.Context) ([][]Tuple, []SourceFail
 // returning malformed rows degrades the answer instead of panicking the
 // mapping step.
 func (ex *DomainExecutor) fetchOne(ctx context.Context, si int) ([]Tuple, error) {
+	name := ex.fetchers[si].Name()
+	attempts := 0
 	var tuples []Tuple
 	fetch := func(ctx context.Context) error {
+		attempts++
+		mFetchAttempts.With(name).Inc()
+		if attempts > 1 {
+			mFetchRetries.With(name).Inc()
+		}
 		ts, err := ex.fetchers[si].Fetch(ctx)
 		if err != nil {
 			return err
@@ -377,10 +384,15 @@ func (ex *DomainExecutor) fetchOne(ctx context.Context, si int) ([]Tuple, error)
 	} else {
 		err = fetch(ctx)
 	}
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = validateWidth(name, tuples, len(ex.med.Schemas[si].Attributes))
 	}
-	if err := validateWidth(ex.fetchers[si].Name(), tuples, len(ex.med.Schemas[si].Attributes)); err != nil {
+	if err != nil {
+		if errors.Is(err, resilience.ErrBreakerOpen) {
+			mFetchSkipped.With(name).Inc()
+		} else {
+			mFetchFailures.With(name).Inc()
+		}
 		return nil, err
 	}
 	return tuples, nil

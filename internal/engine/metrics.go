@@ -1,0 +1,26 @@
+package engine
+
+import "schemaflow/internal/obs"
+
+// Per-source fetch metrics, registered on the default registry so the
+// server's /metrics endpoint exposes them. The `source` label is the data
+// source's Name(); cardinality is bounded by the number of attached
+// sources.
+var (
+	mFetchAttempts = obs.Default().CounterVec(
+		"schemaflow_source_fetch_attempts_total",
+		"Fetch attempts against a data source, including retries.",
+		"source")
+	mFetchRetries = obs.Default().CounterVec(
+		"schemaflow_source_fetch_retries_total",
+		"Fetch attempts beyond the first within one resilience-policy call.",
+		"source")
+	mFetchFailures = obs.Default().CounterVec(
+		"schemaflow_source_fetch_failures_total",
+		"Source fetches that failed after exhausting the resilience policy (including width-validation failures).",
+		"source")
+	mFetchSkipped = obs.Default().CounterVec(
+		"schemaflow_source_fetch_skipped_total",
+		"Source fetches rejected without an attempt because the circuit breaker was open.",
+		"source")
+)

@@ -21,10 +21,15 @@
 //
 // The lifecycle that ties these together — background rebuild, single
 // flight, copy-on-write atomic swap — lives in payg.Manager; this package
-// is pure model-level mechanism with no locking of its own.
+// is pure model-level mechanism with no locking of its own. Assign times
+// itself into the schemaflow_ingest_assign_duration_seconds histogram
+// (internal/obs), the number to weigh against a full rebuild's
+// schemaflow_build_phase_duration_seconds when tuning drift thresholds.
 package ingest
 
 import (
+	"time"
+
 	"schemaflow/internal/cluster"
 	"schemaflow/internal/core"
 	"schemaflow/internal/feature"
@@ -55,6 +60,8 @@ type Assignment struct {
 // the new schema's novel terms count toward the Jaccard denominators; the
 // model itself is read, never written.
 func Assign(m *core.Model, cfg feature.Config, s schema.Schema) (*Assignment, error) {
+	start := time.Now()
+	defer func() { mAssignDuration.Observe(time.Since(start).Seconds()) }()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,13 @@
+package ingest
+
+import "schemaflow/internal/obs"
+
+// mAssignDuration times Algorithm-3 assignment of one arriving schema
+// against the serving clusters — the latency an ingest client pays before
+// its 202, and the number to compare against
+// schemaflow_build_phase_duration_seconds to see what incremental
+// assignment saves over a full rebuild.
+var mAssignDuration = obs.Default().Histogram(
+	"schemaflow_ingest_assign_duration_seconds",
+	"Duration of incremental (Algorithm 3) assignment of one arriving schema against serving clusters.",
+	obs.DurationBuckets())

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry assembles one registry with all three kinds, labeled
+// and label-less, with known values.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", "Total requests.").Add(3)
+	cv := r.CounterVec("errors_total", "Errors by kind.", "kind")
+	cv.With("timeout").Add(2)
+	cv.With("refused").Inc()
+	r.Gauge("temperature", "Current temperature.").Set(-1.5)
+	h := r.Histogram("latency_seconds", "Request latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+	return r
+}
+
+// TestWritePrometheusGolden pins the full text exposition: family order is
+// registration order, samples sort by label value, histograms emit
+// cumulative le buckets plus _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP requests_total Total requests.
+# TYPE requests_total counter
+requests_total 3
+# HELP errors_total Errors by kind.
+# TYPE errors_total counter
+errors_total{kind="refused"} 1
+errors_total{kind="timeout"} 2
+# HELP temperature Current temperature.
+# TYPE temperature gauge
+temperature -1.5
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.1"} 1
+latency_seconds_bucket{le="0.5"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 2.55
+latency_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("x_total", `Help with \ and`+"\nnewline.", "l").
+		With("quote\" slash\\ nl\n").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{
+		`# HELP x_total Help with \\ and\nnewline.`,
+		`x_total{l="quote\" slash\\ nl\n"} 1`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "\n") != 3 {
+		t.Errorf("raw newline leaked into exposition:\n%q", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Families []struct {
+			Name    string `json:"name"`
+			Type    string `json:"type"`
+			Help    string `json:"help"`
+			Metrics []struct {
+				Labels map[string]string `json:"labels"`
+				Value  *float64          `json:"value"`
+				Hist   *struct {
+					Buckets []struct {
+						LE         string `json:"le"`
+						Cumulative uint64 `json:"cumulative"`
+					} `json:"buckets"`
+					Sum   float64 `json:"sum"`
+					Count uint64  `json:"count"`
+				} `json:"histogram"`
+			} `json:"metrics"`
+		} `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &v); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(v.Families) != 4 {
+		t.Fatalf("families = %d, want 4", len(v.Families))
+	}
+	byName := map[string]int{}
+	for i, f := range v.Families {
+		byName[f.Name] = i
+	}
+
+	c := v.Families[byName["requests_total"]]
+	if c.Type != "counter" || len(c.Metrics) != 1 || c.Metrics[0].Value == nil || *c.Metrics[0].Value != 3 {
+		t.Errorf("requests_total = %+v", c)
+	}
+	e := v.Families[byName["errors_total"]]
+	if len(e.Metrics) != 2 || e.Metrics[0].Labels["kind"] == "" {
+		t.Errorf("errors_total = %+v", e)
+	}
+	h := v.Families[byName["latency_seconds"]]
+	if h.Type != "histogram" || len(h.Metrics) != 1 {
+		t.Fatalf("latency_seconds = %+v", h)
+	}
+	hist := h.Metrics[0].Hist
+	if hist == nil || hist.Count != 3 || hist.Sum != 2.55 || len(hist.Buckets) != 3 {
+		t.Fatalf("histogram = %+v", hist)
+	}
+	if hist.Buckets[2].LE != "+Inf" || hist.Buckets[2].Cumulative != 3 {
+		t.Errorf("+Inf bucket = %+v", hist.Buckets[2])
+	}
+}
+
+func TestSnapshotEmptyRegistry(t *testing.T) {
+	r := NewRegistry()
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("empty exposition: %q, %v", buf.String(), err)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	if c.Value() != 0 {
+		t.Fatalf("new counter = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_total", "help", "source")
+	v.With("a").Inc()
+	v.With("a").Inc()
+	v.With("b").Inc()
+	if v.With("a").Value() != 2 || v.With("b").Value() != 1 {
+		t.Fatalf("a=%d b=%d", v.With("a").Value(), v.With("b").Value())
+	}
+	// Same label values must resolve to the same child.
+	if v.With("a") != v.With("a") {
+		t.Fatal("With not stable for identical label values")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(1)
+	g.Add(-4)
+	if got := g.Value(); got != -0.5 {
+		t.Fatalf("gauge = %v, want -0.5", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: an observation
+// exactly equal to an upper bound lands in that bucket, not the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 5, 6, math.Inf(1)} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7 (NaN dropped)", h.Count())
+	}
+	// Per-bucket (non-cumulative): le=1 gets {0.5, 1}; le=2 gets
+	// {1.0000001, 2}; le=5 gets {5}; +Inf gets {6, Inf}.
+	cum := h.Cumulative()
+	want := []uint64{2, 4, 5, 7}
+	if len(cum) != len(want) {
+		t.Fatalf("cumulative len = %d, want %d", len(cum), len(want))
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+	if !math.IsInf(h.Sum(), +1) {
+		t.Fatalf("sum = %v, want +Inf (one +Inf observation)", h.Sum())
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	if got := h.Sum(); got != 0.75 {
+		t.Fatalf("sum = %v, want 0.75", got)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"duplicate name", func(r *Registry) {
+			r.Counter("dup_total", "a")
+			r.Counter("dup_total", "b")
+		}},
+		{"duplicate across kinds", func(r *Registry) {
+			r.Counter("dup_total", "a")
+			r.Gauge("dup_total", "b")
+		}},
+		{"invalid metric name", func(r *Registry) { r.Counter("bad-name", "a") }},
+		{"invalid label name", func(r *Registry) { r.CounterVec("ok_total", "a", "bad-label") }},
+		{"empty buckets", func(r *Registry) { r.Histogram("h", "a", nil) }},
+		{"non-increasing buckets", func(r *Registry) { r.Histogram("h", "a", []float64{1, 1}) }},
+		{"explicit +Inf bucket", func(r *Registry) { r.Histogram("h", "a", []float64{1, math.Inf(1)}) }},
+		{"wrong label arity", func(r *Registry) {
+			r.CounterVec("v_total", "a", "x", "y").With("only-one")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "")
+	r.Gauge("aa", "")
+	r.Histogram("mm_seconds", "", []float64{1})
+	got := r.Names()
+	want := []string{"aa", "mm_seconds", "zz_total"}
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentUpdates exercises every hot path under the race detector
+// and checks the totals are exact (no lost updates).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	v := r.CounterVec("v_total", "", "k")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{0.5, 1})
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b"}[w%2]
+			for i := 0; i < per; i++ {
+				c.Inc()
+				v.With(key).Inc()
+				g.Add(1)
+				h.Observe(0.75)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if tot := v.With("a").Value() + v.With("b").Value(); tot != workers*per {
+		t.Errorf("vec total = %d, want %d", tot, workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+	if h.Sum() != 0.75*workers*per {
+		t.Errorf("hist sum = %v, want %v", h.Sum(), 0.75*workers*per)
+	}
+}
+
+func TestDefaultIsSingleton(t *testing.T) {
+	if Default() != Default() {
+		t.Fatal("Default() not a singleton")
+	}
+}

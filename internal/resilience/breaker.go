@@ -42,11 +42,12 @@ type Breaker struct {
 	probes    int
 	now       func() time.Time
 
-	mu          sync.Mutex
-	state       State
-	consecFails int
-	probeOKs    int
-	openedAt    time.Time
+	mu           sync.Mutex
+	state        State
+	consecFails  int
+	probeOKs     int
+	openedAt     time.Time
+	onTransition func(from, to State)
 }
 
 // NewBreaker builds a breaker that opens after threshold consecutive
@@ -73,6 +74,29 @@ func (b *Breaker) WithClock(now func() time.Time) *Breaker {
 	return b
 }
 
+// WithTransitionHook registers f to be called on every state transition
+// with the old and new states, and returns the breaker. The hook runs with
+// the breaker's internal lock held, so it must be fast and must not call
+// back into the breaker; it exists so an owner that knows what the breaker
+// guards (e.g. a named data source) can export transition metrics the
+// breaker itself cannot name.
+func (b *Breaker) WithTransitionHook(f func(from, to State)) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = f
+	return b
+}
+
+// setState moves to a new state, firing the transition hook. Callers must
+// hold b.mu. A same-state "transition" is not reported.
+func (b *Breaker) setState(to State) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
+}
+
 // State reports the current state, applying the open→half-open transition if
 // the cooldown has elapsed.
 func (b *Breaker) State() State {
@@ -96,7 +120,7 @@ func (b *Breaker) Allow() bool {
 // Callers must hold b.mu.
 func (b *Breaker) maybeHalfOpen() {
 	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
-		b.state = HalfOpen
+		b.setState(HalfOpen)
 		b.probeOKs = 0
 	}
 }
@@ -111,7 +135,7 @@ func (b *Breaker) Success() {
 	case HalfOpen:
 		b.probeOKs++
 		if b.probeOKs >= b.probes {
-			b.state = Closed
+			b.setState(Closed)
 			b.consecFails = 0
 			b.probeOKs = 0
 		}
@@ -141,7 +165,7 @@ func (b *Breaker) Failure() {
 
 // trip moves to Open. Callers must hold b.mu.
 func (b *Breaker) trip() {
-	b.state = Open
+	b.setState(Open)
 	b.openedAt = b.now()
 	b.consecFails = 0
 	b.probeOKs = 0

@@ -11,7 +11,11 @@
 //     and a probe succeeds.
 //
 // The package is dependency-free and knows nothing about tuples or
-// schemas; callers wrap whatever operation they like in Do.
+// schemas; callers wrap whatever operation they like in Do. It is also
+// metrics-agnostic: observers subscribe to breaker state changes with
+// Breaker.WithTransitionHook instead of the package importing a metrics
+// system (payg.BreakerPool uses this to expose per-source breaker state
+// on /metrics).
 package resilience
 
 import (

@@ -34,6 +34,13 @@ type queryJSON struct {
 // injector, and resolves a departure-ish attribute of the travel domain.
 func flakyServer(t *testing.T, policy payg.Policy) (*Server, *engine.FlakeSource, string) {
 	t.Helper()
+	return flakyServerCfg(t, Config{Policy: policy, Logger: discardLogger()})
+}
+
+// flakyServerCfg is flakyServer with full control over the server config
+// (Sources is filled in here).
+func flakyServerCfg(t *testing.T, cfg Config) (*Server, *engine.FlakeSource, string) {
+	t.Helper()
 	schemas := []payg.Schema{
 		{Name: "air1", Attributes: []string{"departure", "destination", "airline"}},
 		{Name: "air2", Attributes: []string{"departure city", "destination city", "carrier"}},
@@ -51,7 +58,8 @@ func flakyServer(t *testing.T, policy payg.Policy) (*Server, *engine.FlakeSource
 		payg.Source{Schema: schemas[2]},
 		payg.Source{Schema: schemas[3]},
 	}
-	s, err := NewWithConfig(sys, Config{Sources: sources, Policy: policy})
+	cfg.Sources = sources
+	s, err := NewWithConfig(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +202,8 @@ func TestOversizedBodyRejected(t *testing.T) {
 }
 
 func TestRecoverMiddleware(t *testing.T) {
-	h := withRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+	s := &Server{logger: discardLogger()}
+	h := s.withRecover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("boom")
 	}))
 	req := httptest.NewRequest(http.MethodGet, "/x", nil)

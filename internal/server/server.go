@@ -15,7 +15,15 @@
 //	POST /feedback                {"moves": [...], "merges": [...], "splits": [...]}
 //	POST /schemas                 {"name": "...", "attributes": [...]} — online ingestion
 //	POST /admin/recluster         force a full recluster over serving + pending schemas
-//	GET  /healthz                 liveness + ingestion status
+//	GET  /healthz                 liveness + ingestion status + per-source breaker states
+//	GET  /metrics                 metrics registry (Prometheus text; JSON on Accept/?format=json)
+//	     /debug/pprof/*           runtime profiles (only with Config.EnablePprof)
+//
+// Every request carries an X-Request-ID and is logged as one structured
+// line (request id, route, status, duration, degraded flag) through
+// Config.Logger; per-route request counts and latency histograms land in
+// the metrics registry served by GET /metrics (see docs/METRICS.md and
+// docs/OPERATIONS.md).
 //
 // POST /feedback applies explicit user corrections and atomically swaps in
 // the rebuilt system — the live pay-as-you-go loop. Domain ids may change
@@ -33,12 +41,17 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"schemaflow/internal/engine"
+	"schemaflow/internal/obs"
 	"schemaflow/payg"
 )
 
@@ -67,6 +80,13 @@ type Config struct {
 	// RebuildInterval, when positive, periodically rebuilds while schemas
 	// are pending.
 	RebuildInterval time.Duration
+	// Logger receives one structured line per request plus server
+	// lifecycle events. Nil selects a JSON handler on stderr.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so an operator opts
+	// in (payg-server's -pprof flag).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 	return c
 }
@@ -92,6 +115,7 @@ type Server struct {
 	mgr *payg.Manager
 
 	cfg     Config
+	logger  *slog.Logger
 	handler http.Handler
 }
 
@@ -123,23 +147,35 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 		DriftThreshold:  cfg.DriftThreshold,
 		DriftWindow:     cfg.DriftWindow,
 		RebuildInterval: cfg.RebuildInterval,
-		Logf:            log.Printf,
+		Logf: func(format string, args ...any) {
+			cfg.Logger.Info(fmt.Sprintf(format, args...))
+		},
 	})
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{mgr: mgr, cfg: cfg}
+	s := &Server{mgr: mgr, cfg: cfg, logger: cfg.Logger}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /domains", s.handleDomains)
-	mux.HandleFunc("GET /classify", s.handleClassify)
-	mux.HandleFunc("GET /explain", s.handleExplain)
-	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /feedback", s.handleFeedback)
-	mux.HandleFunc("POST /schemas", s.handleIngest)
-	mux.HandleFunc("POST /admin/recluster", s.handleRecluster)
-	s.handler = withRecover(withRequestTimeout(cfg.RequestTimeout, mux))
+	mux.HandleFunc("GET /healthz", route("/healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", route("/metrics", s.handleMetrics))
+	mux.HandleFunc("GET /domains", route("/domains", s.handleDomains))
+	mux.HandleFunc("GET /classify", route("/classify", s.handleClassify))
+	mux.HandleFunc("GET /explain", route("/explain", s.handleExplain))
+	mux.HandleFunc("GET /schema", route("/schema", s.handleSchema))
+	mux.HandleFunc("POST /query", route("/query", s.handleQuery))
+	mux.HandleFunc("POST /feedback", route("/feedback", s.handleFeedback))
+	mux.HandleFunc("POST /schemas", route("/schemas", s.handleIngest))
+	mux.HandleFunc("POST /admin/recluster", route("/admin/recluster", s.handleRecluster))
+	if cfg.EnablePprof {
+		// No method prefix: pprof.Symbol accepts GET and POST. The request
+		// timeout exempts this subtree so long CPU/trace profiles survive.
+		mux.HandleFunc("/debug/pprof/", route("/debug/pprof", pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", route("/debug/pprof", pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", route("/debug/pprof", pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", route("/debug/pprof", pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", route("/debug/pprof", pprof.Trace))
+	}
+	s.handler = withObserve(cfg.Logger, s.withRecover(withRequestTimeout(cfg.RequestTimeout, mux)))
 	return s, nil
 }
 
@@ -165,7 +201,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // withRecover converts handler panics into logged 500s instead of killing
 // the connection (and, under some servers, the process).
-func withRecover(next http.Handler) http.Handler {
+func (s *Server) withRecover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			rec := recover()
@@ -175,7 +211,15 @@ func withRecover(next http.Handler) http.Handler {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			id := ""
+			if m := metaFrom(r.Context()); m != nil {
+				id = m.id
+			}
+			s.logger.Error("panic serving request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", rec))
 			writeError(w, http.StatusInternalServerError, "internal error")
 		}()
 		next.ServeHTTP(w, r)
@@ -183,12 +227,18 @@ func withRecover(next http.Handler) http.Handler {
 }
 
 // withRequestTimeout bounds every request's context so a slow downstream
-// cannot pin a connection forever. d <= 0 disables the bound.
+// cannot pin a connection forever. d <= 0 disables the bound. The pprof
+// subtree is exempt: a 30s CPU profile is supposed to outlive a 30s
+// request budget.
 func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
 	if d <= 0 {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
@@ -211,13 +261,52 @@ func (s *Server) decodeStrict(w http.ResponseWriter, r *http.Request, v any) err
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.mgr.Status()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":          "ok",
 		"schemas":         st.Schemas,
 		"domains":         st.Domains,
 		"rebuilding":      st.Rebuilding,
 		"pending_schemas": st.Pending,
-	})
+	}
+	// Executor health: per-source breaker states, so an operator sees a
+	// degraded source here before queries start returning degraded
+	// answers. Absent when the server runs without data sources.
+	if states := s.mgr.BreakerStates(); states != nil {
+		sources := make(map[string]string, len(states))
+		open := 0
+		for name, bs := range states {
+			sources[name] = bs.String()
+			if bs == payg.BreakerOpen {
+				open++
+			}
+		}
+		resp["sources"] = sources
+		resp["breakers_open"] = open
+		if open > 0 {
+			resp["status"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the process metrics registry: Prometheus text
+// format by default, JSON when the client asks for it (Accept:
+// application/json or ?format=json).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			s.logger.Warn("writing metrics", slog.Any("error", err))
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := reg.WritePrometheus(w); err != nil {
+		s.logger.Warn("writing metrics", slog.Any("error", err))
+	}
 }
 
 // domainJSON is the wire form of one domain.
@@ -515,7 +604,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for _, t := range res.Tuples {
 		out.Tuples = append(out.Tuples, tupleJSON{Values: t.Values, Prob: t.Prob, Sources: t.Sources})
 	}
+	mQueries.Inc()
 	if res.Degraded() {
+		mQueriesDegraded.Inc()
+		if m := metaFrom(r.Context()); m != nil {
+			m.degraded = true
+		}
 		d := &degradedJSON{Failed: make([]sourceFailureJSON, 0, len(res.Failures))}
 		for _, f := range res.Failures {
 			d.Failed = append(d.Failed, sourceFailureJSON{Source: f.Source, Error: f.Err, Skipped: f.Skipped})
@@ -533,7 +627,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Headers are gone; nothing useful left to do but note it.
-		log.Println("server: encoding response:", err)
+		slog.Warn("server: encoding response", slog.Any("error", err))
 	}
 }
 

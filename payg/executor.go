@@ -14,6 +14,17 @@ import (
 // and a per-source circuit breaker.
 type Policy = resilience.Policy
 
+// BreakerState re-exports the circuit-breaker state enum for callers
+// inspecting per-source health (Manager.BreakerStates).
+type BreakerState = resilience.State
+
+// Re-exported breaker states.
+const (
+	BreakerClosed   = resilience.Closed
+	BreakerOpen     = resilience.Open
+	BreakerHalfOpen = resilience.HalfOpen
+)
+
 // DefaultPolicy returns the tuned per-source defaults (2s timeout, 2
 // retries, breaker opening after 5 consecutive failures).
 func DefaultPolicy() Policy { return resilience.DefaultPolicy() }
@@ -38,7 +49,9 @@ func NewBreakerPool(policy Policy) *BreakerPool {
 }
 
 // Get returns the breaker for a source name, creating it on first use.
-// Returns nil when the policy disables breaking.
+// Returns nil when the policy disables breaking. New breakers export their
+// state and transitions to the default metrics registry under the source
+// name.
 func (bp *BreakerPool) Get(name string) *resilience.Breaker {
 	if bp.policy.BreakerThreshold <= 0 {
 		return nil
@@ -48,9 +61,28 @@ func (bp *BreakerPool) Get(name string) *resilience.Breaker {
 	b, ok := bp.byName[name]
 	if !ok {
 		b = bp.policy.NewBreaker()
+		source := name
+		b.WithTransitionHook(func(from, to resilience.State) {
+			mBreakerTransitions.With(source, to.String()).Inc()
+			mBreakerState.With(source).Set(float64(to))
+		})
+		mBreakerState.With(source).Set(float64(resilience.Closed))
 		bp.byName[name] = b
 	}
 	return b
+}
+
+// States reports every pooled breaker's current state, keyed by source
+// name — the per-source health view behind /healthz. Empty (never nil)
+// when no breakers exist yet.
+func (bp *BreakerPool) States() map[string]BreakerState {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make(map[string]BreakerState, len(bp.byName))
+	for name, b := range bp.byName {
+		out[name] = b.State()
+	}
+	return out
 }
 
 // Executor binds a System to a fixed set of data sources under a
@@ -91,6 +123,13 @@ func (s *System) NewExecutorShared(fetchers []TupleSource, policy Policy, pool *
 	for i, f := range fetchers {
 		if f == nil {
 			return nil, fmt.Errorf("payg: nil source for schema %d", i)
+		}
+	}
+	if pool != nil {
+		// Pre-warm one breaker per source so health and metrics report
+		// every source from startup, not only after its first query.
+		for _, f := range fetchers {
+			pool.Get(f.Name())
 		}
 	}
 	return &Executor{

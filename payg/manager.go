@@ -2,6 +2,7 @@ package payg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -93,7 +94,9 @@ type flight struct {
 // copy-on-write atomic swap: Classify/Execute traffic keeps hitting the
 // old generation, un-blocked, until the new one is complete, and
 // per-source circuit-breaker state carries across the swap via a shared
-// BreakerPool. All methods are safe for concurrent use.
+// BreakerPool. All methods are safe for concurrent use. See the package
+// documentation ("Serving online: the Manager lifecycle") for the full
+// state machine, including when a completed rebuild is discarded.
 type Manager struct {
 	opts ManagerOptions
 	cur  atomic.Pointer[managedState]
@@ -220,6 +223,12 @@ func (m *Manager) Ingest(sch Schema) (*IngestResult, error) {
 	}
 	m.journal.Append(journalEntry(sch, a))
 	m.drift.Record(a.Fresh)
+	mIngestArrivals.Inc()
+	if a.Fresh {
+		mIngestFresh.Inc()
+	}
+	mIngestPending.Set(float64(m.journal.Len()))
+	mIngestDrift.Set(m.drift.Ratio())
 	res := &IngestResult{
 		Assignment: a,
 		Pending:    m.journal.Len(),
@@ -270,6 +279,7 @@ func (m *Manager) startRebuildLocked(reason string) *flight {
 	m.inflight = f
 	m.cancel = cancel
 	startGen := m.gen
+	mRebuildsStarted.With(reason).Inc()
 	m.opts.Logf("payg: %s rebuild started (%d schemas + %d pending)",
 		reason, st.sys.NumSchemas(), len(entries))
 	m.wg.Add(1)
@@ -286,6 +296,8 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 	defer m.wg.Done()
 	defer close(f.done)
 	defer cancel()
+	start := time.Now()
+	defer func() { mRebuildDuration.Observe(time.Since(start).Seconds()) }()
 
 	union := make([]Schema, 0, st.sys.NumSchemas()+len(entries))
 	union = append(union, st.sys.Schemas()...)
@@ -300,6 +312,12 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 	m.cancel = nil
 	if err != nil {
 		f.err = err
+		// A cancellation is the owner shutting the flight down, not a
+		// rebuild that went wrong; alerting on it would page on every
+		// deploy.
+		if !errors.Is(err, context.Canceled) {
+			mRebuildsFailed.Inc()
+		}
 		m.opts.Logf("payg: rebuild failed: %v", err)
 		return
 	}
@@ -308,6 +326,7 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 		// result is based on a stale generation. Keep the journal; the
 		// next trigger rebuilds over the fresh base.
 		m.discarded++
+		mRebuildsDiscarded.Inc()
 		f.err = fmt.Errorf("payg: rebuild discarded: serving system changed during rebuild")
 		m.opts.Logf("payg: rebuild discarded (base generation changed)")
 		return
@@ -333,6 +352,10 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 	m.gen++
 	m.rebuilds++
 	m.cur.Store(next)
+	mRebuildsPublished.Inc()
+	mSwapGeneration.Set(float64(m.gen))
+	mIngestPending.Set(float64(m.journal.Len()))
+	mIngestDrift.Set(m.drift.Ratio())
 	m.opts.Logf("payg: rebuild published: %d schemas, %d domains (%d still pending)",
 		newSys.NumSchemas(), newSys.NumDomains(), m.journal.Len())
 }
@@ -363,7 +386,20 @@ func (m *Manager) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
 	}
 	m.gen++
 	m.cur.Store(next)
+	mFeedbackApplied.Inc()
+	mSwapGeneration.Set(float64(m.gen))
 	return res, nil
+}
+
+// BreakerStates reports every data source's circuit-breaker state, keyed
+// by source name — closed sources are healthy, open ones are being skipped
+// by the query path. Nil when the manager serves without data (no
+// executor, hence no breakers).
+func (m *Manager) BreakerStates() map[string]BreakerState {
+	if m.pool == nil {
+		return nil
+	}
+	return m.pool.States()
 }
 
 // ManagerStatus is a point-in-time view of the ingestion pipeline.

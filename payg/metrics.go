@@ -1,0 +1,60 @@
+package payg
+
+import "schemaflow/internal/obs"
+
+// Serving-stack metrics, registered on the default registry so /metrics
+// exposes them. Breaker metrics are labeled by source name (bounded by the
+// number of attached sources); rebuild metrics by trigger kind.
+var (
+	mBreakerTransitions = obs.Default().CounterVec(
+		"schemaflow_breaker_transitions_total",
+		"Circuit-breaker state transitions per source; `to` is the state entered (closed, open, half-open).",
+		"source", "to")
+	mBreakerState = obs.Default().GaugeVec(
+		"schemaflow_breaker_state",
+		"Current circuit-breaker state per source: 0 closed, 1 open, 2 half-open.",
+		"source")
+
+	mIngestArrivals = obs.Default().Counter(
+		"schemaflow_ingest_arrivals_total",
+		"Schemas accepted by Manager.Ingest (POST /schemas).")
+	mIngestFresh = obs.Default().Counter(
+		"schemaflow_ingest_fresh_arrivals_total",
+		"Ingested schemas no existing domain claimed (they seed new domains at the next rebuild).")
+	mIngestPending = obs.Default().Gauge(
+		"schemaflow_ingest_pending_schemas",
+		"Journaled schemas accepted but not yet folded into the serving model.")
+	mIngestDrift = obs.Default().Gauge(
+		"schemaflow_ingest_drift_ratio",
+		"Fraction of recent arrivals that were fresh (the drift-rebuild trigger signal).")
+
+	mRebuildsStarted = obs.Default().CounterVec(
+		"schemaflow_rebuilds_started_total",
+		"Background recluster+rebuild flights started, by trigger (drift, interval, forced).",
+		"trigger")
+	mRebuildsPublished = obs.Default().Counter(
+		"schemaflow_rebuilds_published_total",
+		"Rebuilds that completed and were atomically swapped into serving.")
+	mRebuildsFailed = obs.Default().Counter(
+		"schemaflow_rebuilds_failed_total",
+		"Rebuilds that ended in an error (shutdown cancellations excluded).")
+	mRebuildsDiscarded = obs.Default().Counter(
+		"schemaflow_rebuilds_discarded_total",
+		"Completed rebuilds thrown away because the serving system changed mid-flight.")
+	mRebuildDuration = obs.Default().Histogram(
+		"schemaflow_rebuild_duration_seconds",
+		"Wall-clock duration of background rebuild flights, published or not.",
+		obs.DurationBuckets())
+	mSwapGeneration = obs.Default().Gauge(
+		"schemaflow_swap_generation",
+		"Serving-state generation, bumped on every atomic swap (rebuild publication or feedback).")
+	mFeedbackApplied = obs.Default().Counter(
+		"schemaflow_feedback_applied_total",
+		"User feedback batches applied and swapped into serving.")
+
+	mBuildPhase = obs.Default().HistogramVec(
+		"schemaflow_build_phase_duration_seconds",
+		"Duration of each Build pipeline phase (features, cluster, domains, classifier, mediation).",
+		obs.DurationBuckets(),
+		"phase")
+)

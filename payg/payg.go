@@ -16,12 +16,45 @@
 // keyword query to obtain ranked domains, show the top domains' mediated
 // schemas as structured query interfaces, then Execute a structured query
 // against a chosen domain to retrieve probability-ranked tuples.
+//
+// # Serving online: the Manager lifecycle
+//
+// A System is immutable once built. Long-running deployments wrap it in a
+// Manager, which owns the current serving generation and moves it through
+// a small state machine:
+//
+//	serving(gen N) --Ingest--> serving(gen N) + pending journal
+//	      |                          |
+//	      |              drift / interval / Recluster
+//	      |                          v
+//	      |                  rebuilding(base N)        (single flight)
+//	      |                          |
+//	      |        +-----------------+------------------+
+//	      |        v                                    v
+//	serving(gen N+1), journal drained       result discarded (base ≠ gen),
+//	  [rebuild published]                     journal kept for next flight
+//
+// Ingest assigns an arriving schema against the current generation
+// (read-only, Algorithm 3) and journals it as pending. A background
+// rebuild — triggered by assignment-quality drift, a configured interval,
+// or an explicit Recluster — reclusters serving ∪ pending from scratch on
+// a copy, then publishes by an atomic pointer swap; Classify/Execute
+// traffic never blocks on it. ApplyFeedback swaps the same pointer, which
+// is why every swap bumps a generation: a rebuild whose base generation
+// went stale discards its result rather than clobber the edit, and the
+// journal survives for the next flight. Per-source circuit-breaker state
+// carries across swaps via a shared BreakerPool keyed by source name.
+//
+// Build phases, ingest/rebuild flow, breaker transitions, and query
+// outcomes are all instrumented on the internal/obs default registry,
+// which the HTTP server exposes at /metrics (see docs/METRICS.md).
 package payg
 
 import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"schemaflow/internal/classify"
 	"schemaflow/internal/cluster"
@@ -197,21 +230,30 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 		return nil, err
 	}
 
+	// Each pipeline phase reports its wall-clock cost to the metrics
+	// registry, so an operator can compare full-rebuild phases against the
+	// incremental ingest path from the same /metrics scrape.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t := time.Now()
 	sp := feature.Build(set, fcfg)
+	mBuildPhase.With("features").Observe(time.Since(t).Seconds())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t = time.Now()
 	cl := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
+	mBuildPhase.With("cluster").Observe(time.Since(t).Seconds())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	t = time.Now()
 	model, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
 	if err != nil {
 		return nil, err
 	}
+	mBuildPhase.With("domains").Observe(time.Since(t).Seconds())
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -223,10 +265,12 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 	if opts.ExactClassifier {
 		ccfg.MaxExactUncertain = -1
 	}
+	t = time.Now()
 	cls, err := classify.New(model, ccfg)
 	if err != nil {
 		return nil, err
 	}
+	mBuildPhase.With("classifier").Observe(time.Since(t).Seconds())
 
 	sys := &System{opts: opts, schemas: set, space: sp, model: model, classifier: cls}
 	if !opts.SkipMediation {
@@ -260,6 +304,8 @@ func (s *System) buildMediation() error {
 }
 
 func (s *System) buildMediationContext(ctx context.Context) error {
+	start := time.Now()
+	defer func() { mBuildPhase.With("mediation").Observe(time.Since(start).Seconds()) }()
 	mopts := mediate.DefaultOptions()
 	mopts.FreqThreshold = s.opts.MediationFreqThreshold
 	ts, err := s.opts.termSim()
