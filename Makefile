@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest repro fuzz fuzz-smoke docs-check clean
+.PHONY: all build vet test race bench bench-ingest bench-assign repro fuzz fuzz-smoke docs-check clean
 
 all: build vet test
 
@@ -29,6 +29,11 @@ repro:
 # Ingest-vs-rebuild cost comparison (writes BENCH_ingest.json).
 bench-ingest:
 	$(GO) test ./payg -run TestIngestBenchArtifact -bench-artifact=true
+
+# Per-arrival assignment: incremental feature-space extension vs full
+# rebuild, at n = 300 and 1000 (writes BENCH_assign.json).
+bench-assign:
+	$(GO) test ./internal/ingest -run TestAssignBenchArtifact -bench-assign-artifact=true
 
 # Short fuzz pass over every hand-written parser. FUZZTIME is overridable;
 # CI's fuzz-smoke job uses 10s per target.

@@ -81,6 +81,35 @@ func (v *Vector) Clone() *Vector {
 	return c
 }
 
+// WithLen returns a vector of length n ≥ v.Len() whose first v.Len() bits
+// equal v's and whose remaining bits are zero. When n fits in v's existing
+// word array the returned vector SHARES storage with v — neither may be
+// mutated afterwards; otherwise the words are copied. It panics if n < v.Len().
+//
+// This is the cheap path for growing a feature space's dimensionality: bits
+// past v.Len() are guaranteed zero because no mutator ever sets them.
+func (v *Vector) WithLen(n int) *Vector {
+	if n < v.n {
+		panic(fmt.Sprintf("bitvec: WithLen %d below current length %d", n, v.n))
+	}
+	if (n+wordBits-1)/wordBits == len(v.words) {
+		return &Vector{n: n, words: v.words}
+	}
+	return v.CloneWithLen(n)
+}
+
+// CloneWithLen returns an independent copy of v grown to n ≥ v.Len() bits,
+// with the new tail bits zero. Unlike WithLen the result never aliases v, so
+// it is safe to mutate. It panics if n < v.Len().
+func (v *Vector) CloneWithLen(n int) *Vector {
+	if n < v.n {
+		panic(fmt.Sprintf("bitvec: CloneWithLen %d below current length %d", n, v.n))
+	}
+	c := &Vector{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+	copy(c.words, v.words)
+	return c
+}
+
 // Equal reports whether v and u have the same length and the same bits.
 func (v *Vector) Equal(u *Vector) bool {
 	if v.n != u.n {

@@ -27,7 +27,10 @@ func travelBibSet() schema.Set {
 func buildModel(t *testing.T, set schema.Set, tau float64) *core.Model {
 	t.Helper()
 	sp := feature.Build(set, feature.DefaultConfig())
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: 0.02})
 	if err != nil {
 		t.Fatal(err)

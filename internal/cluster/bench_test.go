@@ -36,7 +36,7 @@ func benchAgglomerative(b *testing.B, method Method, n int) {
 	sp := benchSpace(n, 5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Agglomerative(sp, NewLinkage(method), 0.2)
+		_, _ = Agglomerative(sp, NewLinkage(method), 0.2)
 	}
 }
 
@@ -55,7 +55,7 @@ func BenchmarkTauSweepDirect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, tau := range taus {
-			_ = Agglomerative(sp, NewLinkage(AvgJaccard), tau)
+			_, _ = Agglomerative(sp, NewLinkage(AvgJaccard), tau)
 		}
 	}
 }

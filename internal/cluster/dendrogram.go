@@ -30,7 +30,10 @@ func BuildDendrogram(sp *feature.Space, method Method) (*Dendrogram, error) {
 	if !Reducible(method) {
 		return nil, fmt.Errorf("cluster: %s is not reducible; run Agglomerative per threshold", method)
 	}
-	res := Agglomerative(sp, NewLinkage(method), 0)
+	res, err := Agglomerative(sp, NewLinkage(method), 0)
+	if err != nil {
+		return nil, err
+	}
 	return &Dendrogram{n: sp.NumSchemas(), merges: res.Merges}, nil
 }
 
@@ -42,7 +45,11 @@ func (d *Dendrogram) Height(k int) float64 { return d.merges[k].Sim }
 func (d *Dendrogram) NumMerges() int { return len(d.merges) }
 
 // CutAt returns the partition a thresholded run at tau would produce: all
-// merges with similarity ≥ tau applied, the rest discarded.
+// merges with similarity ≥ tau applied, the rest discarded. Any real tau is
+// a well-defined cut height (tau > 1 applies no merges and yields all
+// singletons; tau ≤ 0 applies every merge); a NaN tau — for which every
+// comparison is false — conservatively applies no merges instead of
+// silently applying all of them.
 func (d *Dendrogram) CutAt(tau float64) *Result {
 	parent := make([]int, d.n)
 	for i := range parent {
@@ -57,7 +64,9 @@ func (d *Dendrogram) CutAt(tau float64) *Result {
 		return x
 	}
 	for _, m := range d.merges {
-		if m.Sim < tau {
+		// Written as a negated ≥ so a NaN tau stops before the first merge
+		// (all singletons) rather than applying every merge (one cluster).
+		if !(m.Sim >= tau) {
 			break
 		}
 		ra, rb := find(m.A), find(m.B)

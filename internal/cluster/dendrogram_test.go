@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestDendrogramCutMatchesThresholdedRun(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, tau := range []float64{0.1, 0.25, 0.4, 0.7} {
-				want := Agglomerative(sp, NewLinkage(method), tau)
+				want := mustAgg(t, sp, NewLinkage(method), tau)
 				got := d.CutAt(tau)
 				if !samePartition(want, got) {
 					t.Fatalf("seed %d %s tau %v: cut %v != run %v",
@@ -84,5 +85,20 @@ func TestCutAtExtremes(t *testing.T) {
 	}
 	if got := d.CutAt(1.01); got.NumClusters() != sp.NumSchemas() {
 		t.Fatalf("cut above 1: %d clusters", got.NumClusters())
+	}
+}
+
+// A NaN cut height compares false against every merge similarity; CutAt must
+// conservatively apply no merges (all singletons), not all of them.
+func TestCutAtNaNYieldsSingletons(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	d, err := BuildDendrogram(sp, AvgJaccard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.CutAt(math.NaN())
+	if res.NumClusters() != sp.NumSchemas() {
+		t.Fatalf("NaN cut produced %d clusters, want %d singletons",
+			res.NumClusters(), sp.NumSchemas())
 	}
 }

@@ -60,7 +60,7 @@ func TestTermFrequencyModeSeparates(t *testing.T) {
 		Tau:      0.8,
 		Mode:     feature.TermFrequency,
 	})
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 0.2)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 0.2)
 	if res.Assign[0] != res.Assign[1] || res.Assign[1] != res.Assign[2] {
 		t.Errorf("bibliography split under TF: %v", res.Assign)
 	}

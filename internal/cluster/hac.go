@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"schemaflow/internal/feature"
@@ -50,10 +51,19 @@ func (r *Result) Singletons() []int {
 // Agglomerative runs Algorithm 2: start from singleton clusters, repeatedly
 // merge the globally most similar pair of clusters under the linkage, and
 // stop when the best pair's similarity falls below tau (τ_c_sim).
-func Agglomerative(sp *feature.Space, link Linkage, tau float64) *Result {
+//
+// tau must be a real number in [0,1]; anything else — in particular NaN,
+// whose comparisons are all false and would silently disable the stop
+// condition, merging every schema into one cluster — is rejected with an
+// error rather than clamped, because a garbage threshold is a caller bug,
+// not a preference.
+func Agglomerative(sp *feature.Space, link Linkage, tau float64) (*Result, error) {
+	if err := validateTau(tau); err != nil {
+		return nil, err
+	}
 	n := sp.NumSchemas()
 	if n == 0 {
-		return &Result{}
+		return &Result{}, nil
 	}
 	st := newHACState(sp, link)
 
@@ -66,7 +76,7 @@ func Agglomerative(sp *feature.Space, link Linkage, tau float64) *Result {
 		merges = append(merges, Merge{A: a, B: b, Sim: s})
 		st.merge(a, b)
 	}
-	return st.result(merges)
+	return st.result(merges), nil
 }
 
 // hacState holds the active-cluster similarity matrix and per-row best
@@ -242,7 +252,14 @@ func SchemaClusterSim(sp *feature.Space, i int, members []int) float64 {
 	return sum / float64(len(members))
 }
 
+// validateTau rejects thresholds for which Algorithm 2's stop condition is
+// meaningless: values outside [0,1] and NaN (which compares false against
+// everything, so `s < tau` would never trip and every schema would merge
+// into a single cluster).
 func validateTau(tau float64) error {
+	if math.IsNaN(tau) {
+		return fmt.Errorf("cluster: tau is NaN")
+	}
 	if tau < 0 || tau > 1 {
 		return fmt.Errorf("cluster: tau %v outside [0,1]", tau)
 	}

@@ -10,6 +10,17 @@ import (
 	"schemaflow/internal/schema"
 )
 
+// mustAgg runs Agglomerative and fails the test on a validation error; the
+// fixtures in this package always use real thresholds in [0,1].
+func mustAgg(tb testing.TB, sp *feature.Space, link Linkage, tau float64) *Result {
+	tb.Helper()
+	res, err := Agglomerative(sp, link, tau)
+	if err != nil {
+		tb.Fatalf("Agglomerative: %v", err)
+	}
+	return res
+}
+
 // twoDomainSet has two obvious clusters plus one unrelated singleton.
 func twoDomainSet() schema.Set {
 	return schema.Set{
@@ -30,7 +41,7 @@ func buildSpace(t *testing.T, set schema.Set) *feature.Space {
 func TestAgglomerativeSeparatesDomains(t *testing.T) {
 	set := twoDomainSet()
 	sp := buildSpace(t, set)
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 0.2)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 0.2)
 
 	if res.NumClusters() != 3 {
 		t.Fatalf("got %d clusters, want 3: %v", res.NumClusters(), res.Members)
@@ -54,7 +65,7 @@ func TestAgglomerativeTauOneKeepsSingletons(t *testing.T) {
 	// exact duplicates.
 	set := twoDomainSet()
 	sp := buildSpace(t, set)
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 1.0)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 1.0)
 	if res.NumClusters() != len(set) {
 		t.Fatalf("τ=1.0 merged non-identical schemas: %d clusters", res.NumClusters())
 	}
@@ -63,7 +74,7 @@ func TestAgglomerativeTauOneKeepsSingletons(t *testing.T) {
 func TestAgglomerativeTauZeroMergesAll(t *testing.T) {
 	set := twoDomainSet()
 	sp := buildSpace(t, set)
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 0.0)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 0.0)
 	// τ=0 merges everything with any non-negative similarity — one cluster.
 	if res.NumClusters() != 1 {
 		t.Fatalf("τ=0 left %d clusters", res.NumClusters())
@@ -79,7 +90,7 @@ func TestAgglomerativeIdenticalSchemas(t *testing.T) {
 		{Name: "b", Attributes: []string{"title", "author"}},
 	}
 	sp := buildSpace(t, set)
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 0.99)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 0.99)
 	if res.NumClusters() != 1 {
 		t.Fatal("identical schemas did not merge at τ=0.99")
 	}
@@ -89,12 +100,12 @@ func TestAgglomerativeIdenticalSchemas(t *testing.T) {
 }
 
 func TestAgglomerativeEmptyAndSingle(t *testing.T) {
-	res := Agglomerative(feature.Build(nil, feature.DefaultConfig()), NewLinkage(AvgJaccard), 0.5)
+	res := mustAgg(t, feature.Build(nil, feature.DefaultConfig()), NewLinkage(AvgJaccard), 0.5)
 	if res.NumClusters() != 0 {
 		t.Fatal("empty input produced clusters")
 	}
 	one := schema.Set{{Name: "x", Attributes: []string{"alpha"}}}
-	res = Agglomerative(feature.Build(one, feature.DefaultConfig()), NewLinkage(AvgJaccard), 0.5)
+	res = mustAgg(t, feature.Build(one, feature.DefaultConfig()), NewLinkage(AvgJaccard), 0.5)
 	if res.NumClusters() != 1 || len(res.Members[0]) != 1 {
 		t.Fatal("single input mishandled")
 	}
@@ -103,7 +114,7 @@ func TestAgglomerativeEmptyAndSingle(t *testing.T) {
 func TestResultMembersSortedAndConsistent(t *testing.T) {
 	set := twoDomainSet()
 	sp := buildSpace(t, set)
-	res := Agglomerative(sp, NewLinkage(AvgJaccard), 0.2)
+	res := mustAgg(t, sp, NewLinkage(AvgJaccard), 0.2)
 	seen := make(map[int]bool)
 	for c, members := range res.Members {
 		for k, i := range members {
@@ -236,7 +247,7 @@ func TestPropertyGreedyMaxAndThreshold(t *testing.T) {
 		sp := feature.Build(set, feature.DefaultConfig())
 		tau := 0.05 + rng.Float64()*0.6
 		for _, method := range Methods() {
-			res := Agglomerative(sp, NewLinkage(method), tau)
+			res := mustAgg(t, sp, NewLinkage(method), tau)
 
 			// Replay.
 			clusters := make(map[int][]int)
@@ -315,6 +326,21 @@ func TestMethodString(t *testing.T) {
 	for _, m := range Methods() {
 		if m.String() == "" || NewLinkage(m).Name() != m.String() {
 			t.Errorf("method %d: String/Name mismatch", int(m))
+		}
+	}
+}
+
+func TestAgglomerativeRejectsBadTau(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	for _, tau := range []float64{math.NaN(), -0.1, 1.01, math.Inf(1), math.Inf(-1)} {
+		if _, err := Agglomerative(sp, NewLinkage(AvgJaccard), tau); err == nil {
+			t.Errorf("tau %v accepted; a NaN threshold would merge everything", tau)
+		}
+	}
+	// The boundary values are legal.
+	for _, tau := range []float64{0, 1} {
+		if _, err := Agglomerative(sp, NewLinkage(AvgJaccard), tau); err != nil {
+			t.Errorf("tau %v rejected: %v", tau, err)
 		}
 	}
 }

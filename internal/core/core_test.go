@@ -14,7 +14,10 @@ import (
 func pipeline(t *testing.T, set schema.Set, tau, theta float64) *Model {
 	t.Helper()
 	sp := feature.Build(set, feature.DefaultConfig())
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := AssignDomains(set, sp, cl, Options{TauCSim: tau, Theta: theta})
 	if err != nil {
 		t.Fatal(err)
@@ -167,7 +170,10 @@ func TestFallbackWhenNothingPassesGate(t *testing.T) {
 func TestValidation(t *testing.T) {
 	set := clusteredSet()
 	sp := feature.Build(set, feature.DefaultConfig())
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.2)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := AssignDomains(set[:2], sp, cl, DefaultOptions()); err == nil {
 		t.Fatal("mismatched set size accepted")
 	}
@@ -322,7 +328,10 @@ func TestPropertyInvariants(t *testing.T) {
 		tau := 0.1 + rng.Float64()*0.5
 		theta := rng.Float64() * 0.5
 		sp := feature.Build(set, feature.DefaultConfig())
-		cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		if err != nil {
+			return false
+		}
 		m, err := AssignDomains(set, sp, cl, Options{TauCSim: tau, Theta: theta})
 		if err != nil {
 			return false

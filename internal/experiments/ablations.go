@@ -48,7 +48,10 @@ func TermSimAblation(set schema.Set, tau float64) ([]TermSimAblationRow, error) 
 			Sim:      sim,
 			Tau:      0.8,
 		})
-		cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		if err != nil {
+			return nil, err
+		}
 		m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: DefaultTheta})
 		if err != nil {
 			return nil, err
@@ -143,7 +146,10 @@ func FeatureModeAblation(set schema.Set, tau float64) ([]FeatureModeRow, error) 
 			Tau:      0.8,
 			Mode:     mode,
 		})
-		cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
+		if err != nil {
+			return nil, err
+		}
 		m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: DefaultTheta})
 		if err != nil {
 			return nil, err
@@ -255,9 +261,12 @@ type BaselineRow struct {
 // DBSCAN, and the He–Tao–Chang-style chi-square model-based clusterer.
 func BaselineComparison(set schema.Set, tau float64, trueK int) ([]BaselineRow, error) {
 	sp := feature.Build(set, feature.DefaultConfig())
-	evalOne := func(name string, run func() *cluster.Result) (BaselineRow, error) {
+	evalOne := func(name string, run func() (*cluster.Result, error)) (BaselineRow, error) {
 		start := time.Now()
-		cl := run()
+		cl, err := run()
+		if err != nil {
+			return BaselineRow{}, err
+		}
 		elapsed := time.Since(start)
 		m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: DefaultTheta})
 		if err != nil {
@@ -273,25 +282,25 @@ func BaselineComparison(set schema.Set, tau float64, trueK int) ([]BaselineRow, 
 	var out []BaselineRow
 	runs := []struct {
 		name string
-		run  func() *cluster.Result
+		run  func() (*cluster.Result, error)
 	}{
-		{"hac-avg-jaccard", func() *cluster.Result {
+		{"hac-avg-jaccard", func() (*cluster.Result, error) {
 			return cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), tau)
 		}},
-		{fmt.Sprintf("kmeans(k=%d)", trueK), func() *cluster.Result {
-			return cluster.KMeans(sp, cluster.KMeansOptions{K: trueK, Seed: 42})
+		{fmt.Sprintf("kmeans(k=%d)", trueK), func() (*cluster.Result, error) {
+			return cluster.KMeans(sp, cluster.KMeansOptions{K: trueK, Seed: 42}), nil
 		}},
-		{"dbscan", func() *cluster.Result {
+		{"dbscan", func() (*cluster.Result, error) {
 			// eps in distance terms: neighbors at similarity ≥ 0.4. The
 			// looser 1-τ radius density-connects entire domains through
 			// boundary schemas and collapses the corpus to one cluster.
-			return cluster.DBSCAN(sp, cluster.DBSCANOptions{Eps: 0.6, MinPts: 3})
+			return cluster.DBSCAN(sp, cluster.DBSCANOptions{Eps: 0.6, MinPts: 3}), nil
 		}},
-		{"divisive", func() *cluster.Result {
-			return cluster.Divisive(sp, cluster.DivisiveOptions{MaxDiameter: 1 - tau/2})
+		{"divisive", func() (*cluster.Result, error) {
+			return cluster.Divisive(sp, cluster.DivisiveOptions{MaxDiameter: 1 - tau/2}), nil
 		}},
-		{"chi2-model", func() *cluster.Result {
-			return cluster.ModelBased(sp, 1e-4)
+		{"chi2-model", func() (*cluster.Result, error) {
+			return cluster.ModelBased(sp, 1e-4), nil
 		}},
 	}
 	for _, r := range runs {

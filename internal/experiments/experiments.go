@@ -62,7 +62,10 @@ func buildModel(set schema.Set, sp *feature.Space, method cluster.Method, tau, t
 	if sp == nil {
 		sp = feature.Build(set, feature.DefaultConfig())
 	}
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(method), tau)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(method), tau)
+	if err != nil {
+		return nil, nil, err
+	}
 	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: theta})
 	if err != nil {
 		return nil, nil, err
@@ -166,7 +169,11 @@ func LinkageSweep(set schema.Set, taus []float64, methods []cluster.Method, thet
 			if dendro != nil {
 				cl = dendro.CutAt(tau)
 			} else {
-				cl = cluster.Agglomerative(sp, cluster.NewLinkage(method), tau)
+				var err error
+				cl, err = cluster.Agglomerative(sp, cluster.NewLinkage(method), tau)
+				if err != nil {
+					return nil, err
+				}
 			}
 			m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: tau, Theta: theta})
 			if err != nil {

@@ -50,7 +50,10 @@ type Config struct {
 	// Sim is the term similarity function t_sim. Nil means strsim.LCSSim.
 	Sim strsim.TermSim
 	// Tau is the τ_t_sim threshold of Algorithm 1. Zero means 0.8, the
-	// value used throughout the thesis.
+	// value used throughout the thesis; to request a literal threshold of
+	// 0 (every pair of terms matches), pass any negative value. The zero
+	// value of this struct must select the thesis defaults, so 0 cannot
+	// mean "match everything" — the negative escape hatch disambiguates.
 	Tau float64
 	// Mode selects binary (default, the thesis' choice) or term-frequency
 	// features.
@@ -69,6 +72,8 @@ func (c Config) normalized() Config {
 	}
 	if c.Tau == 0 {
 		c.Tau = 0.8
+	} else if c.Tau < 0 {
+		c.Tau = 0
 	}
 	if c.TermOpts.MinLength == 0 {
 		c.TermOpts = terms.DefaultOptions()
@@ -96,6 +101,15 @@ type Space struct {
 	// counts[i][j] is the number of schema-i term occurrences matching
 	// vocabulary term j; populated only in TermFrequency mode.
 	counts [][]uint16
+
+	// set is the input schema set the space embeds (schema i ↔ TermSets[i]);
+	// retained so Extend can fall back to a full rebuild in TermFrequency
+	// mode.
+	set schema.Set
+	// termSchemas[j] lists, ascending, the schemas whose term set contains
+	// vocabulary term j — the inverted term→schema index Extend uses to
+	// touch only the vectors a new vocabulary term actually affects.
+	termSchemas [][]int32
 
 	matcher *matchIndex
 	sims    *SimMatrix
@@ -155,7 +169,7 @@ func (sp *Space) fillSimRow(i int) {
 // loading a persisted model).
 func BuildLite(set schema.Set, cfg Config) *Space {
 	cfg = cfg.normalized()
-	sp := &Space{cfg: cfg}
+	sp := &Space{cfg: cfg, set: set}
 
 	sp.TermSets = make([]map[string]bool, len(set))
 	vocabSet := make(map[string]bool)
@@ -174,6 +188,13 @@ func BuildLite(set schema.Set, cfg Config) *Space {
 	sp.VocabIndex = make(map[string]int, len(sp.Vocab))
 	for j, t := range sp.Vocab {
 		sp.VocabIndex[t] = j
+	}
+	sp.termSchemas = make([][]int32, len(sp.Vocab))
+	for i := range set {
+		for t := range sp.TermSets[i] {
+			j := sp.VocabIndex[t]
+			sp.termSchemas[j] = append(sp.termSchemas[j], int32(i))
+		}
 	}
 
 	sp.matcher = newMatchIndex(sp.Vocab, cfg.Sim, cfg.Tau, cfg.TermOpts.MinLength)
@@ -211,6 +232,131 @@ func BuildLite(set schema.Set, cfg Config) *Space {
 		}
 	}
 	return sp
+}
+
+// Extend embeds one additional schema into the space incrementally and
+// returns the extended space plus the new schema's index. The receiver is
+// never mutated (copy-on-write): unchanged vocabulary entries, term sets,
+// match lists, and feature vectors are shared between the two spaces, so an
+// in-flight reader of the old space is unaffected.
+//
+// Instead of re-running Algorithm 1 over all n+1 schemas, Extend
+//
+//   - extracts only the newcomer's terms and appends the novel ones to the
+//     vocabulary (after the existing entries — order is NOT re-sorted, see
+//     below);
+//   - probes the existing candidate index for cross-matches in both
+//     directions and layers the new terms onto it (no index rebuild);
+//   - sets the new vocabulary bits on only the affected existing vectors,
+//     found via the inverted term→schema index: F_i[j_new] = 1 iff T_i
+//     intersects the old-vocabulary match list of the new term;
+//   - embeds the newcomer's vector from the (extended) memoized match lists.
+//
+// Per-arrival cost is O(new terms × candidates + affected schemas + dim)
+// rather than BuildLite's O(n × total terms).
+//
+// Because novel terms are appended, vocabulary order — and therefore bit
+// positions — can differ from a from-scratch BuildLite over the extended
+// set; the embedding is identical up to that permutation (same vocabulary
+// set, same term↔schema incidence, bit-identical vectors after reordering,
+// and exactly equal pairwise similarities — Jaccard is permutation
+// invariant). The returned space carries no pairwise-similarity memo;
+// Similarity computes on demand, as after BuildLite.
+//
+// In TermFrequency mode the per-occurrence counts cannot be patched without
+// re-scanning every attribute, so Extend falls back to a full BuildLite over
+// the extended set; the binary representation — the thesis' choice and the
+// online hot path — takes the incremental route.
+func (sp *Space) Extend(s schema.Schema) (*Space, int) {
+	newIdx := len(sp.TermSets)
+	if sp.cfg.Mode == TermFrequency {
+		return BuildLite(append(sp.set[:newIdx:newIdx], s), sp.cfg), newIdx
+	}
+
+	ts := terms.Extract(s.Attributes, sp.cfg.TermOpts)
+	var newTerms []string
+	for t := range ts {
+		if _, ok := sp.VocabIndex[t]; !ok {
+			newTerms = append(newTerms, t)
+		}
+	}
+	sort.Strings(newTerms)
+	oldDim := len(sp.Vocab)
+	newDim := oldDim + len(newTerms)
+
+	ns := &Space{
+		cfg:      sp.cfg,
+		set:      append(sp.set[:newIdx:newIdx], s),
+		TermSets: append(sp.TermSets[:newIdx:newIdx], ts),
+	}
+
+	var rev [][]int32
+	if len(newTerms) == 0 {
+		// Vocabulary unchanged: every shared structure can be reused as is.
+		ns.Vocab = sp.Vocab
+		ns.VocabIndex = sp.VocabIndex
+		ns.matcher = sp.matcher
+	} else {
+		vocab := make([]string, newDim)
+		copy(vocab, sp.Vocab)
+		copy(vocab[oldDim:], newTerms)
+		ns.Vocab = vocab
+		vi := make(map[string]int, newDim)
+		for j, t := range vocab {
+			vi[t] = j
+		}
+		ns.VocabIndex = vi
+		ns.matcher, rev = sp.matcher.extended(vocab, newTerms)
+	}
+
+	// Inverted index: the newcomer joins the schema list of each of its
+	// terms (copy-on-write), and novel terms open singleton lists.
+	termSchemas := make([][]int32, newDim)
+	copy(termSchemas, sp.termSchemas)
+	for t := range ts {
+		j := ns.VocabIndex[t]
+		old := termSchemas[j]
+		list := make([]int32, 0, len(old)+1)
+		list = append(list, old...)
+		termSchemas[j] = append(list, int32(newIdx))
+	}
+	ns.termSchemas = termSchemas
+
+	// New vocabulary bits land only on the vectors of schemas that contain
+	// a term matching a new term — everyone else shares their old vector
+	// (re-headered to the new dimensionality without copying when the word
+	// count allows).
+	newBits := make(map[int32][]int)
+	for i, js := range rev {
+		bit := oldDim + i
+		for _, j := range js {
+			for _, owner := range sp.termSchemas[j] {
+				newBits[owner] = append(newBits[owner], bit)
+			}
+		}
+	}
+	vectors := make([]*bitvec.Vector, newIdx+1)
+	for i := 0; i < newIdx; i++ {
+		bits := newBits[int32(i)]
+		if len(bits) == 0 {
+			vectors[i] = sp.Vectors[i].WithLen(newDim)
+			continue
+		}
+		v := sp.Vectors[i].CloneWithLen(newDim)
+		for _, b := range bits {
+			v.Set(b)
+		}
+		vectors[i] = v
+	}
+	nv := bitvec.New(newDim)
+	for t := range ts {
+		for _, j := range ns.matcher.matchesOfVocab(ns.VocabIndex[t]) {
+			nv.Set(int(j))
+		}
+	}
+	vectors[newIdx] = nv
+	ns.Vectors = vectors
+	return ns, newIdx
 }
 
 // generalizedJaccard is Σ_j min(a_j, b_j) / Σ_j max(a_j, b_j).

@@ -346,3 +346,28 @@ func TestSimMatrixDiagonalPanics(t *testing.T) {
 	}()
 	m.get(1, 1)
 }
+
+// Config.Tau == 0 means "use the default 0.8"; a negative Tau is the escape
+// hatch for a literal threshold of 0, where every pair of terms matches and
+// every pair of schemas has similarity exactly 1. The bucketed candidate
+// prefilters are unsound at τ = 0, so this also pins the full-scan fallback.
+func TestNegativeTauMeansLiteralZero(t *testing.T) {
+	set := smallSet()
+	sp := Build(set, Config{Tau: -1})
+	for i := 0; i < sp.NumSchemas(); i++ {
+		for j := range sp.Vocab {
+			if !sp.Vectors[i].Get(j) {
+				t.Fatalf("τ=0: schema %d missing bit %d (%q)", i, j, sp.Vocab[j])
+			}
+		}
+		for j := i + 1; j < sp.NumSchemas(); j++ {
+			if s := sp.Similarity(i, j); s != 1 {
+				t.Fatalf("τ=0: Similarity(%d,%d) = %v, want 1", i, j, s)
+			}
+		}
+	}
+	// And zero still selects the default.
+	if got := Build(set, Config{}).Similarity(0, 2); got == 1 {
+		t.Fatal("zero-value Config behaved like τ=0 instead of the 0.8 default")
+	}
+}

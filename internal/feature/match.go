@@ -18,9 +18,10 @@ import (
 // similarities get their own exact-bucket indexes; any other similarity
 // function falls back to a full scan.
 type matchIndex struct {
-	vocab []string
-	sim   strsim.TermSim
-	tau   float64
+	vocab  []string
+	sim    strsim.TermSim
+	tau    float64
+	minLen int
 
 	// vocabMatches[j] caches the match list of vocabulary term j.
 	vocabMatches [][]int32
@@ -39,19 +40,186 @@ func newMatchIndex(vocab []string, sim strsim.TermSim, tau float64, minLen int) 
 		vocab:        vocab,
 		sim:          sim,
 		tau:          tau,
+		minLen:       minLen,
 		vocabMatches: make([][]int32, len(vocab)),
 	}
-	switch sim.(type) {
-	case strsim.LCSSim:
-		m.strategy = newGramStrategy(vocab, tau, minLen)
-	case strsim.StemSim:
-		m.strategy = newStemStrategy(vocab)
-	case strsim.ExactSim:
-		m.strategy = newExactStrategy(vocab)
-	default:
-		m.strategy = fullScan{n: len(vocab)}
-	}
+	m.strategy = m.newStrategy(vocab)
 	return m
+}
+
+// newStrategy builds the candidate index appropriate for the similarity
+// function over the given term list.
+func (m *matchIndex) newStrategy(vocab []string) matchStrategy {
+	if m.tau <= 0 {
+		// At τ = 0 every pair of terms matches (similarities live in [0,1]),
+		// so any bucketed prefilter would be unsound — only a full scan
+		// returns the required superset.
+		return fullScan{n: len(vocab)}
+	}
+	switch m.sim.(type) {
+	case strsim.LCSSim:
+		return newGramStrategy(vocab, m.tau, m.minLen)
+	case strsim.StemSim:
+		return newStemStrategy(vocab)
+	case strsim.ExactSim:
+		return newExactStrategy(vocab)
+	default:
+		return fullScan{n: len(vocab)}
+	}
+}
+
+// symmetricSim reports whether the similarity function is known to satisfy
+// sim(a,b) == sim(b,a), letting extension verify each candidate pair once.
+// Unknown (user-supplied) similarities are conservatively treated as
+// asymmetric and verified in both directions.
+func symmetricSim(s strsim.TermSim) bool {
+	switch s.(type) {
+	case strsim.LCSSim, strsim.StemSim, strsim.ExactSim, strsim.LCSeqSim:
+		return true
+	}
+	return false
+}
+
+// extended returns a new matchIndex over newVocab = m.vocab ++ newTerms
+// (the appended terms occupy indices len(m.vocab)...), without rebuilding
+// the base candidate index: the new terms are probed against the existing
+// index for cross-matches and layered on top of it (overlayStrategy). The
+// receiver is never mutated; shared structures are copied on write.
+//
+// The second return value rev holds, per new term, the OLD vocabulary
+// indices j with sim(vocab[j], newTerm) ≥ τ — i.e. the old-vocab match list
+// of each new term, which is exactly the set of columns whose owning
+// schemas gain the new bit (F_i[j_new] = 1 iff T_i intersects rev).
+func (m *matchIndex) extended(newVocab []string, newTerms []string) (*matchIndex, [][]int32) {
+	oldDim := len(m.vocab)
+	nm := &matchIndex{
+		vocab:        newVocab,
+		sim:          m.sim,
+		tau:          m.tau,
+		minLen:       m.minLen,
+		vocabMatches: make([][]int32, len(newVocab)),
+	}
+	copy(nm.vocabMatches, m.vocabMatches)
+	// BuildLite materializes every vocabulary term's match list, but be
+	// defensive: the extended index must be fully populated so concurrent
+	// readers never race on a lazy fill.
+	for j := 0; j < oldDim; j++ {
+		if nm.vocabMatches[j] == nil {
+			nm.vocabMatches[j] = m.matchesOfVocab(j)
+		}
+	}
+
+	sym := symmetricSim(m.sim)
+	fwd := make([][]int32, len(newTerms)) // sim(newTerm, vocab[j]) ≥ τ
+	rev := make([][]int32, len(newTerms)) // sim(vocab[j], newTerm) ≥ τ
+	for i, u := range newTerms {
+		for _, j := range m.strategy.candidates(u) {
+			v := m.vocab[j]
+			f := m.sim.Sim(u, v) >= m.tau
+			r := f
+			if !sym {
+				r = m.sim.Sim(v, u) >= m.tau
+			}
+			if f {
+				fwd[i] = append(fwd[i], j)
+			}
+			if r {
+				rev[i] = append(rev[i], j)
+			}
+		}
+	}
+
+	// Match lists of the appended terms: the forward cross-matches, the
+	// term itself, and any matching fellow newcomers (new terms arrive one
+	// schema at a time, so this pair scan is tiny).
+	for i, u := range newTerms {
+		list := make([]int32, 0, len(fwd[i])+1)
+		list = append(list, fwd[i]...)
+		for k, w := range newTerms {
+			if k == i || m.sim.Sim(u, w) >= m.tau {
+				list = append(list, int32(oldDim+k))
+			}
+		}
+		nm.vocabMatches[oldDim+i] = list
+	}
+
+	// Copy-on-write append of new indices onto affected old match lists.
+	adds := make(map[int32][]int32)
+	for i, js := range rev {
+		for _, j := range js {
+			adds[j] = append(adds[j], int32(oldDim+i))
+		}
+	}
+	for j, extra := range adds {
+		old := nm.vocabMatches[j]
+		list := make([]int32, 0, len(old)+len(extra))
+		list = append(list, old...)
+		list = append(list, extra...)
+		nm.vocabMatches[j] = list
+	}
+
+	nm.strategy = m.extendStrategy(newTerms)
+	return nm, rev
+}
+
+// extendStrategy layers the appended terms onto the base candidate index.
+func (m *matchIndex) extendStrategy(newTerms []string) matchStrategy {
+	if len(newTerms) == 0 {
+		return m.strategy
+	}
+	switch s := m.strategy.(type) {
+	case fullScan:
+		return fullScan{n: s.n + len(newTerms)}
+	case *overlayStrategy:
+		// Extension of an extension: keep the original base, grow the
+		// (small) overlay. The overlay index is rebuilt from the
+		// accumulated extra terms — O(extras since the last full build).
+		terms := make([]string, 0, len(s.extraTerms)+len(newTerms))
+		terms = append(terms, s.extraTerms...)
+		terms = append(terms, newTerms...)
+		return &overlayStrategy{
+			base:       s.base,
+			baseDim:    s.baseDim,
+			extraTerms: terms,
+			extra:      m.newStrategy(terms),
+		}
+	default:
+		terms := append([]string(nil), newTerms...)
+		return &overlayStrategy{
+			base:       s,
+			baseDim:    len(m.vocab),
+			extraTerms: terms,
+			extra:      m.newStrategy(terms),
+		}
+	}
+}
+
+// overlayStrategy answers candidate queries over a vocabulary that grew
+// after its base index was built: the immutable base index covers indices
+// [0, baseDim) and a small secondary index covers the appended terms at
+// [baseDim, baseDim+len(extraTerms)). Incremental space extension layers at
+// most one overlay — extending again grows extraTerms rather than nesting —
+// so lookups stay two probes regardless of how many schemas arrived since
+// the last full build.
+type overlayStrategy struct {
+	base       matchStrategy
+	baseDim    int
+	extraTerms []string
+	extra      matchStrategy
+}
+
+func (s *overlayStrategy) candidates(term string) []int32 {
+	bc := s.base.candidates(term)
+	ec := s.extra.candidates(term)
+	if len(ec) == 0 {
+		return bc
+	}
+	out := make([]int32, 0, len(bc)+len(ec))
+	out = append(out, bc...)
+	for _, j := range ec {
+		out = append(out, int32(s.baseDim)+j)
+	}
+	return out
 }
 
 // matchesOf returns the vocabulary indices whose terms match the given term

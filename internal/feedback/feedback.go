@@ -22,7 +22,6 @@ import (
 
 	"schemaflow/internal/cluster"
 	"schemaflow/internal/core"
-	"schemaflow/internal/feature"
 	"schemaflow/internal/schema"
 )
 
@@ -212,21 +211,21 @@ func (s *Session) Apply() (*Result, error) {
 // re-running the full clustering. The new schema joins the existing cluster
 // it is most similar to (per s_c_sim and the τ_c_sim gate of Algorithm 3),
 // or becomes a fresh singleton domain; every existing schema keeps its
-// cluster. The feature space is rebuilt over the extended vocabulary (cheap
-// relative to clustering), and memberships are recomputed so the new schema
+// cluster. The model's feature space is extended incrementally
+// (feature.Space.Extend, copy-on-write — novel terms are appended to the
+// vocabulary and only affected vectors are touched, instead of re-embedding
+// all n existing schemas), and memberships are recomputed so the new schema
 // gets a proper probabilistic assignment.
 //
 // It returns the new model and the new schema's primary domain id.
-func AddSchema(m *core.Model, s schema.Schema, cfg feature.Config) (*core.Model, int, error) {
+func AddSchema(m *core.Model, s schema.Schema) (*core.Model, int, error) {
 	if err := s.Validate(); err != nil {
 		return nil, 0, err
 	}
+	sp, newIdx := m.Space.Extend(s)
 	extended := make(schema.Set, 0, len(m.Schemas)+1)
 	extended = append(extended, m.Schemas...)
 	extended = append(extended, s)
-	sp := feature.BuildLite(extended, cfg)
-
-	newIdx := len(extended) - 1
 	best, bestSim := -1, 0.0
 	for r := 0; r < m.NumDomains(); r++ {
 		sim := cluster.SchemaClusterSim(sp, newIdx, m.Clustering.Members[r])

@@ -27,7 +27,10 @@ func testSet() schema.Set {
 func buildModel(t *testing.T, set schema.Set) *core.Model {
 	t.Helper()
 	sp := feature.Build(set, feature.DefaultConfig())
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.2)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: 0.2, Theta: 0.02})
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +172,7 @@ func TestAddSchemaJoinsSimilarDomain(t *testing.T) {
 	newModel, domain, err := AddSchema(m, schema.Schema{
 		Name:       "bib4",
 		Attributes: []string{"title", "authors", "publication year", "publisher"},
-	}, feature.DefaultConfig())
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestAddSchemaDissimilarBecomesSingleton(t *testing.T) {
 	newModel, domain, err := AddSchema(m, schema.Schema{
 		Name:       "weird",
 		Attributes: []string{"glacier thickness", "beekeeping yield"},
-	}, feature.DefaultConfig())
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +211,7 @@ func TestAddSchemaDissimilarBecomesSingleton(t *testing.T) {
 
 func TestAddSchemaValidates(t *testing.T) {
 	m := buildModel(t, testSet())
-	if _, _, err := AddSchema(m, schema.Schema{Name: "empty"}, feature.DefaultConfig()); err == nil {
+	if _, _, err := AddSchema(m, schema.Schema{Name: "empty"}); err == nil {
 		t.Fatal("invalid schema accepted")
 	}
 }
@@ -314,5 +317,38 @@ func TestCheckConsistencyNoData(t *testing.T) {
 	}
 	if _, err := CheckConsistency(med, nil, 0.5); err == nil {
 		t.Fatal("source count mismatch accepted")
+	}
+}
+
+// AddSchema renumbers the extended assignment through cluster.FromAssignment,
+// which assigns dense ids by first appearance. Because the incumbent model's
+// ids are already dense in first-appearance order and the newcomer is
+// appended last, every existing domain id must survive verbatim — for both a
+// joining arrival and a fresh singleton — so callers holding domain ids
+// (journals, UIs, click logs) are not invalidated by an incremental add.
+func TestAddSchemaPreservesDomainIDs(t *testing.T) {
+	m := buildModel(t, testSet())
+	arrivals := []schema.Schema{
+		{Name: "bib-new", Attributes: []string{"title", "authors", "publication year", "publisher"}},
+		{Name: "weird-new", Attributes: []string{"glacier thickness", "beekeeping yield"}},
+	}
+	for _, s := range arrivals {
+		newModel, domain, err := AddSchema(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range m.Schemas {
+			if got, want := newModel.Clustering.Assign[i], m.Clustering.Assign[i]; got != want {
+				t.Fatalf("%s: schema %d moved from domain %d to %d", s.Name, i, want, got)
+			}
+		}
+		for r := 0; r < m.NumDomains(); r++ {
+			if newModel.Domains[r].Members == nil {
+				t.Fatalf("%s: domain %d lost its members", s.Name, r)
+			}
+		}
+		if domain >= m.NumDomains() && domain != m.NumDomains() {
+			t.Fatalf("%s: fresh domain id %d, want %d", s.Name, domain, m.NumDomains())
+		}
 	}
 }

@@ -1,0 +1,248 @@
+package ingest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"schemaflow/internal/cluster"
+	"schemaflow/internal/core"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+// benchAssignArtifact gates TestAssignBenchArtifact, which renders the
+// incremental-vs-rebuild assignment benchmark pairs to BENCH_assign.json at
+// the repository root (make bench-assign).
+var benchAssignArtifact = flag.Bool("bench-assign-artifact", false, "write BENCH_assign.json from the Assign benchmarks")
+
+// benchSet generates a deterministic synthetic corpus: five domain templates
+// with randomly dropped attributes plus mutated suffix variants, so arriving
+// schemas carry a mix of known vocabulary and novel terms — the load profile
+// incremental extension is built for.
+func benchSet(n int, seed int64) schema.Set {
+	rng := rand.New(rand.NewSource(seed))
+	domains := [][]string{
+		{"title", "author", "publication year", "venue", "pages", "abstract"},
+		{"make", "model", "mileage", "price", "transmission", "fuel type"},
+		{"departure city", "arrival city", "airline", "flight number", "fare"},
+		{"hotel name", "check in date", "check out date", "room rate", "guests"},
+		{"song title", "artist name", "album", "duration", "genre"},
+	}
+	variants := []string{"", "s", "ing", "number", "code", "info"}
+	set := make(schema.Set, 0, n)
+	for i := 0; i < n; i++ {
+		dom := domains[i%len(domains)]
+		var attrs []string
+		for _, a := range dom {
+			if rng.Intn(10) < 7 {
+				attrs = append(attrs, a)
+			}
+		}
+		for k := 0; k < 2; k++ {
+			base := dom[rng.Intn(len(dom))]
+			attrs = append(attrs, fmt.Sprintf("%s %s%02d", base, variants[rng.Intn(len(variants))], rng.Intn(30)))
+		}
+		if len(attrs) == 0 {
+			attrs = dom[:1]
+		}
+		set = append(set, schema.Schema{Name: fmt.Sprintf("s%04d", i), Attributes: attrs})
+	}
+	return set
+}
+
+// benchModel builds a model over n synthetic schemas. The clustering comes
+// from the generator's known template labels rather than HAC — Assign's cost
+// does not depend on how the partition was found, and this keeps setup
+// linear in n.
+func benchModel(tb testing.TB, n int) (*core.Model, schema.Set, feature.Config) {
+	tb.Helper()
+	set := benchSet(n, 1)
+	cfg := feature.DefaultConfig()
+	sp := feature.BuildLite(set, cfg)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % 5
+	}
+	m, err := core.AssignDomains(set, sp, cluster.FromAssignment(assign), core.Options{TauCSim: 0.2, Theta: 0.02})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, set, cfg
+}
+
+// benchArrival is a held-out schema of the first template carrying two novel
+// suffixed terms, matching the generator's arrival profile.
+func benchArrival() schema.Schema {
+	return schema.Schema{
+		Name:       "arrival",
+		Attributes: []string{"title", "author", "venue", "pages rev99", "abstract draft98"},
+	}
+}
+
+// assignByRebuild is the pre-incremental Assign: rebuild the feature space
+// over all n+1 schemas for every arrival, then run the same Algorithm 3
+// gates. Kept as the benchmark baseline the incremental path is measured
+// against.
+func assignByRebuild(m *core.Model, set schema.Set, cfg feature.Config, s schema.Schema) *Assignment {
+	union := append(append(schema.Set{}, set...), s)
+	sp := feature.BuildLite(union, cfg)
+	newIdx := len(union) - 1
+
+	nD := m.NumDomains()
+	sims := make([]float64, nD)
+	a := &Assignment{Best: -1}
+	for r := 0; r < nD; r++ {
+		sims[r] = cluster.SchemaClusterSim(sp, newIdx, m.Clustering.Members[r])
+		if sims[r] > a.BestSim {
+			a.BestSim, a.Best = sims[r], r
+		}
+	}
+	var ds []int
+	total := 0.0
+	for r := 0; r < nD; r++ {
+		if sims[r] >= m.Opts.TauCSim && a.BestSim > 0 && sims[r]/a.BestSim >= 1-m.Opts.Theta {
+			ds = append(ds, r)
+			total += sims[r]
+		}
+	}
+	if len(ds) == 0 {
+		a.Fresh = true
+		return a
+	}
+	for _, r := range ds {
+		a.Domains = append(a.Domains, core.Membership{Schema: r, Prob: sims[r] / total})
+	}
+	return a
+}
+
+func benchAssignIncremental(b *testing.B, n int) {
+	m, _, _ := benchModel(b, n)
+	s := benchArrival()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := Assign(m, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Fresh {
+			b.Fatal("arrival unexpectedly fresh")
+		}
+	}
+}
+
+func benchAssignRebuild(b *testing.B, n int) {
+	m, set, cfg := benchModel(b, n)
+	s := benchArrival()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := assignByRebuild(m, set, cfg, s)
+		if a.Fresh {
+			b.Fatal("arrival unexpectedly fresh")
+		}
+	}
+}
+
+func BenchmarkAssignIncremental300(b *testing.B)  { benchAssignIncremental(b, 300) }
+func BenchmarkAssignRebuild300(b *testing.B)      { benchAssignRebuild(b, 300) }
+func BenchmarkAssignIncremental1000(b *testing.B) { benchAssignIncremental(b, 1000) }
+func BenchmarkAssignRebuild1000(b *testing.B)     { benchAssignRebuild(b, 1000) }
+
+// TestAssignEquivalentToRebuild pins that the benchmark pair measures the
+// same computation: for a stream of arrivals, the incremental path and the
+// rebuild-per-arrival path produce identical assignments.
+func TestAssignEquivalentToRebuild(t *testing.T) {
+	m, set, cfg := benchModel(t, 100)
+	arrivals := append(schema.Set{benchArrival()}, benchSet(10, 42)...)
+	for _, s := range arrivals {
+		inc, err := Assign(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reb := assignByRebuild(m, set, cfg, s)
+		if inc.Best != reb.Best || inc.BestSim != reb.BestSim || inc.Fresh != reb.Fresh {
+			t.Fatalf("%s: incremental %+v != rebuild %+v", s.Name, inc, reb)
+		}
+		if len(inc.Domains) != len(reb.Domains) {
+			t.Fatalf("%s: domains %+v != %+v", s.Name, inc.Domains, reb.Domains)
+		}
+		for k := range inc.Domains {
+			if inc.Domains[k] != reb.Domains[k] {
+				t.Fatalf("%s: membership %d: %+v != %+v", s.Name, k, inc.Domains[k], reb.Domains[k])
+			}
+		}
+	}
+}
+
+// TestAssignBenchArtifact runs the benchmark pairs via testing.Benchmark and
+// writes the comparison to BENCH_assign.json (repo root) when
+// -bench-assign-artifact is set:
+//
+//	go test ./internal/ingest -run TestAssignBenchArtifact -bench-assign-artifact=true
+func TestAssignBenchArtifact(t *testing.T) {
+	if !*benchAssignArtifact {
+		t.Skip("set -bench-assign-artifact to regenerate BENCH_assign.json")
+	}
+	type row struct {
+		Name        string `json:"name"`
+		Iterations  int    `json:"iterations"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+	}
+	toRow := func(name string, r testing.BenchmarkResult) row {
+		return row{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+	type pair struct {
+		N           int     `json:"n"`
+		Incremental row     `json:"incremental"`
+		Rebuild     row     `json:"rebuild"`
+		Speedup     float64 `json:"speedup"`
+	}
+	var pairs []pair
+	for _, n := range []int{300, 1000} {
+		n := n
+		inc := testing.Benchmark(func(b *testing.B) { benchAssignIncremental(b, n) })
+		reb := testing.Benchmark(func(b *testing.B) { benchAssignRebuild(b, n) })
+		pairs = append(pairs, pair{
+			N:           n,
+			Incremental: toRow(fmt.Sprintf("BenchmarkAssignIncremental%d", n), inc),
+			Rebuild:     toRow(fmt.Sprintf("BenchmarkAssignRebuild%d", n), reb),
+			Speedup:     float64(reb.NsPerOp()) / float64(inc.NsPerOp()),
+		})
+	}
+	artifact := struct {
+		Description string `json:"description"`
+		GoVersion   string `json:"go_version"`
+		Corpus      string `json:"corpus"`
+		Pairs       []pair `json:"pairs"`
+	}{
+		Description: "Per-arrival schema assignment: incremental feature-space extension (Space.Extend) vs full BuildLite over n+1 schemas",
+		GoVersion:   runtime.Version(),
+		Corpus:      "synthetic 5-template corpus (seed 1), one held-out arrival with 2 novel terms",
+		Pairs:       pairs,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_assign.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		t.Logf("n=%d: incremental %d ns/op vs rebuild %d ns/op (%.0fx)",
+			p.N, p.Incremental.NsPerOp, p.Rebuild.NsPerOp, p.Speedup)
+	}
+}

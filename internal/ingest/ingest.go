@@ -32,7 +32,6 @@ import (
 
 	"schemaflow/internal/cluster"
 	"schemaflow/internal/core"
-	"schemaflow/internal/feature"
 	"schemaflow/internal/schema"
 )
 
@@ -43,10 +42,13 @@ type Assignment struct {
 	// core.Model.DomainsOf, the Membership.Schema field holds the domain
 	// id; probabilities sum to 1. Empty iff Fresh.
 	Domains []core.Membership
-	// Best is the id of the most similar domain (-1 when the model has no
-	// domains), whether or not it passed the gate.
+	// Best is the id of the most similar domain, whether or not it passed
+	// the gate. It is -1 when the model has no domains, and also when every
+	// schema-to-cluster similarity is exactly 0 — an arrival sharing no
+	// matched term with any cluster has no meaningful "most similar" domain
+	// to report (such an arrival is always Fresh).
 	Best int
-	// BestSim is s_c_sim against the Best domain.
+	// BestSim is s_c_sim against the Best domain (0 when Best is -1).
 	BestSim float64
 	// Fresh is true when no domain passed the τ_c_sim gate: the schema
 	// belongs to none of the current domains and will seed a new one at
@@ -55,21 +57,21 @@ type Assignment struct {
 }
 
 // Assign routes one new schema against the model's current clusters using
-// Algorithm 3's gates (m.Opts.TauCSim and m.Opts.Theta). The extended
-// feature space is rebuilt lite (vocabulary + vectors, no O(n²) memo) so
-// the new schema's novel terms count toward the Jaccard denominators; the
-// model itself is read, never written.
-func Assign(m *core.Model, cfg feature.Config, s schema.Schema) (*Assignment, error) {
+// Algorithm 3's gates (m.Opts.TauCSim and m.Opts.Theta). The model's
+// feature space is extended incrementally (feature.Space.Extend,
+// copy-on-write — the newcomer's novel terms still count toward the Jaccard
+// denominators exactly as in a full rebuild) rather than rebuilt over all
+// n+1 schemas, so per-arrival cost is O(new terms × candidates + affected
+// schemas) instead of O(n × total terms). The model itself is read, never
+// written.
+func Assign(m *core.Model, s schema.Schema) (*Assignment, error) {
 	start := time.Now()
 	defer func() { mAssignDuration.Observe(time.Since(start).Seconds()) }()
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	extended := make(schema.Set, 0, len(m.Schemas)+1)
-	extended = append(extended, m.Schemas...)
-	extended = append(extended, s)
-	sp := feature.BuildLite(extended, cfg)
-	newIdx := len(extended) - 1
+	sp, newIdx := m.Space.Extend(s)
+	mExtendNewTerms.Observe(float64(sp.Dim() - m.Space.Dim()))
 
 	nD := m.NumDomains()
 	sims := make([]float64, nD)

@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"schemaflow/internal/cluster"
@@ -28,7 +29,10 @@ func buildModel(t *testing.T, theta float64) *core.Model {
 	set := append(append(schema.Set{}, flightSchemas...), bookSchemas...)
 	cfg := feature.DefaultConfig()
 	sp := feature.Build(set, cfg)
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.25)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(cluster.AvgJaccard), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: 0.25, Theta: theta})
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +42,7 @@ func buildModel(t *testing.T, theta float64) *core.Model {
 
 func TestAssignClearSchema(t *testing.T) {
 	m := buildModel(t, 0.02)
-	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+	a, err := Assign(m, schema.Schema{
 		Name:       "air-new",
 		Attributes: []string{"departure airport", "arrival airport", "airline"},
 	})
@@ -66,7 +70,7 @@ func TestAssignBoundarySchema(t *testing.T) {
 	// A wide θ makes the relative gate permissive, so a schema straddling
 	// flights and books joins both probabilistically.
 	m := buildModel(t, 0.5)
-	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+	a, err := Assign(m, schema.Schema{
 		Name:       "travel-books",
 		Attributes: []string{"departure airport", "arrival airport", "airline", "book title", "author name", "isbn"},
 	})
@@ -93,7 +97,7 @@ func TestAssignBoundarySchema(t *testing.T) {
 
 func TestAssignFreshSchema(t *testing.T) {
 	m := buildModel(t, 0.02)
-	a, err := Assign(m, feature.DefaultConfig(), schema.Schema{
+	a, err := Assign(m, schema.Schema{
 		Name:       "minerals",
 		Attributes: []string{"specimen hardness", "crystal lattice", "refractive index"},
 	})
@@ -113,7 +117,7 @@ func TestAssignFreshSchema(t *testing.T) {
 
 func TestAssignRejectsInvalidSchema(t *testing.T) {
 	m := buildModel(t, 0.02)
-	if _, err := Assign(m, feature.DefaultConfig(), schema.Schema{Name: "empty"}); err == nil {
+	if _, err := Assign(m, schema.Schema{Name: "empty"}); err == nil {
 		t.Fatal("no error for schema without attributes")
 	}
 }
@@ -167,5 +171,83 @@ func TestJournal(t *testing.T) {
 	j.DrainFirst(10)
 	if j.Len() != 0 {
 		t.Fatalf("over-drain left %d entries", j.Len())
+	}
+}
+
+// An arrival sharing no vocabulary with any domain has similarity exactly 0
+// everywhere. Best must stay -1 — there is no meaningful "most similar"
+// domain to report — rather than arbitrarily naming domain 0.
+func TestAssignAllZeroSimilarity(t *testing.T) {
+	m := buildModel(t, 0.02)
+	a, err := Assign(m, schema.Schema{
+		Name:       "alien",
+		Attributes: []string{"telescope aperture", "seismograph reading"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != -1 {
+		t.Errorf("Best = %d, want -1 for an all-zero-similarity arrival", a.Best)
+	}
+	if a.BestSim != 0 {
+		t.Errorf("BestSim = %v, want 0", a.BestSim)
+	}
+	if !a.Fresh {
+		t.Error("all-zero-similarity arrival not marked Fresh")
+	}
+	if len(a.Domains) != 0 {
+		t.Errorf("Domains = %+v, want empty", a.Domains)
+	}
+}
+
+// TestWindowAgainstReferenceModel drives Window through a long random
+// sequence of records, resets, and re-creations, checking Samples and Ratio
+// after every step against a trivially correct slice-backed model. This pins
+// the eviction accounting across wraparound, where an off-by-one in the
+// circular-buffer arithmetic would silently skew the drift signal.
+func TestWindowAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{1, 2, 3, 7, 16} {
+		w := NewWindow(size)
+		var ref []bool // last ≤ size samples, oldest first
+		for step := 0; step < 500; step++ {
+			switch op := rng.Intn(10); {
+			case op == 0:
+				w.Reset()
+				ref = ref[:0]
+			default:
+				poor := rng.Intn(3) == 0
+				w.Record(poor)
+				ref = append(ref, poor)
+				if len(ref) > size {
+					ref = ref[1:]
+				}
+			}
+			if w.Samples() != len(ref) {
+				t.Fatalf("size %d step %d: Samples = %d, want %d", size, step, w.Samples(), len(ref))
+			}
+			poor := 0
+			for _, p := range ref {
+				if p {
+					poor++
+				}
+			}
+			want := 0.0
+			if len(ref) > 0 {
+				want = float64(poor) / float64(len(ref))
+			}
+			if got := w.Ratio(); got != want {
+				t.Fatalf("size %d step %d: Ratio = %v, want %v (window %v)", size, step, got, want, ref)
+			}
+		}
+	}
+}
+
+func TestWindowSizeClamped(t *testing.T) {
+	w := NewWindow(0)
+	w.Record(true)
+	w.Record(false)
+	if w.Samples() != 1 || w.Ratio() != 0 {
+		t.Fatalf("size-clamped window: Samples = %d, Ratio = %v; want 1, 0", w.Samples(), w.Ratio())
 	}
 }

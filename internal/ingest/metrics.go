@@ -11,3 +11,14 @@ var mAssignDuration = obs.Default().Histogram(
 	"schemaflow_ingest_assign_duration_seconds",
 	"Duration of incremental (Algorithm 3) assignment of one arriving schema against serving clusters.",
 	obs.DurationBuckets())
+
+// mExtendNewTerms tracks how many novel vocabulary terms each arrival
+// appends during incremental feature-space extension. A mostly-zero
+// distribution means arrivals speak the vocabulary the model already knows
+// (cheapest path: every existing vector is shared); a fat tail means the
+// corpus vocabulary is still growing and rebuilds will keep shifting the
+// space.
+var mExtendNewTerms = obs.Default().Histogram(
+	"schemaflow_ingest_extend_new_terms",
+	"Novel vocabulary terms appended by incremental feature-space extension, per arriving schema.",
+	[]float64{0, 1, 2, 4, 8, 16, 32, 64, 128})

@@ -69,14 +69,11 @@ func (s *System) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
 
 // AddSchema integrates one new source incrementally: the schema joins its
 // most similar existing domain (or a fresh singleton), existing domains are
-// untouched, and the classifier and mediation are rebuilt over the extended
-// corpus. It returns the new system and the new schema's domain id.
+// untouched — the serving feature space is extended copy-on-write rather
+// than rebuilt — and the classifier and mediation are rebuilt over the
+// extended corpus. It returns the new system and the new schema's domain id.
 func (s *System) AddSchema(sch Schema) (*System, int, error) {
-	cfg, err := s.opts.featureConfig()
-	if err != nil {
-		return nil, 0, err
-	}
-	model, domain, err := feedback.AddSchema(s.model, sch, cfg)
+	model, domain, err := feedback.AddSchema(s.model, sch)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -21,10 +21,12 @@ type DomainProb struct {
 type Assignment struct {
 	// Domains lists the claiming domains, or is empty when Fresh.
 	Domains []DomainProb
-	// BestDomain is the most similar domain regardless of gates (-1 when
-	// the system has no domains to compare against).
+	// BestDomain is the most similar domain regardless of gates. It is -1
+	// when the system has no domains to compare against, and also when the
+	// arrival's similarity to every domain is exactly 0 (no matched term in
+	// common with any cluster — such an arrival is always Fresh).
 	BestDomain int
-	// BestSim is s_c_sim against BestDomain.
+	// BestSim is s_c_sim against BestDomain (0 when BestDomain is -1).
 	BestSim float64
 	// Fresh is true when no domain passed the τ_c_sim gate; the schema
 	// matches nothing the system currently knows and will seed a new
@@ -33,19 +35,16 @@ type Assignment struct {
 }
 
 // Ingest computes the incremental assignment of one new schema against the
-// system's current domains: its feature vector is compared to every
-// cluster, gated by τ_c_sim and θ exactly as Algorithm 3 does at build
-// time. The system is read, never modified — in particular the
-// classifier's precomputed tables are untouched — so Ingest is safe to
-// call concurrently with Classify and Execute. To actually grow a serving
-// system use Manager.Ingest, which journals the schema and folds it into
-// the next background rebuild.
+// system's current domains: its feature vector is embedded by extending the
+// serving feature space incrementally (copy-on-write — no per-request
+// rebuild over the existing corpus) and compared to every cluster, gated by
+// τ_c_sim and θ exactly as Algorithm 3 does at build time. The system is
+// read, never modified — in particular the classifier's precomputed tables
+// are untouched — so Ingest is safe to call concurrently with Classify and
+// Execute. To actually grow a serving system use Manager.Ingest, which
+// journals the schema and folds it into the next background rebuild.
 func (s *System) Ingest(sch Schema) (*Assignment, error) {
-	cfg, err := s.opts.featureConfig()
-	if err != nil {
-		return nil, err
-	}
-	a, err := ingest.Assign(s.model, cfg, sch)
+	a, err := ingest.Assign(s.model, sch)
 	if err != nil {
 		return nil, fmt.Errorf("payg: %w", err)
 	}

@@ -98,19 +98,30 @@ type SourceFailure = engine.SourceFailure
 type Tuple = engine.Tuple
 
 // Options configures Build. The zero value selects the thesis' defaults.
+//
+// For the float thresholds (TauTSim, TauCSim, Theta,
+// MediationFreqThreshold) a value of 0 means "use the default", because the
+// zero value of this struct must behave like DefaultOptions. A literal
+// threshold of 0 is nonetheless meaningful (τ_c_sim = 0 merges every
+// schema; θ = 0 disables the uncertainty band); to request it, pass any
+// negative value — withDefaults clamps negatives to exactly 0 instead of
+// substituting the default.
 type Options struct {
-	// TauTSim is the term-similarity threshold τ_t_sim (default 0.8).
+	// TauTSim is the term-similarity threshold τ_t_sim (default 0.8;
+	// negative means a literal 0 — every pair of terms matches).
 	TauTSim float64
 	// TermSimilarity selects t_sim: "lcs" (default), "stem", "exact", or
 	// "lcsubsequence".
 	TermSimilarity string
 	// TauCSim is the clustering stop / membership threshold τ_c_sim
-	// (default 0.25; the thesis recommends 0.2–0.3).
+	// (default 0.25; the thesis recommends 0.2–0.3; negative means a
+	// literal 0 — agglomeration runs until a single cluster remains).
 	TauCSim float64
 	// Linkage selects c_sim: "avg-jaccard" (default), "min-jaccard",
 	// "max-jaccard", or "total-jaccard".
 	Linkage string
-	// Theta is the membership uncertainty width θ (default 0.02).
+	// Theta is the membership uncertainty width θ (default 0.02; negative
+	// means a literal 0 — no membership is treated as uncertain).
 	Theta float64
 	// ExactClassifier forces the exact subset-enumeration classifier;
 	// by default domains with more than 20 uncertain schemas fall back to
@@ -131,24 +142,30 @@ type Options struct {
 	MediationFreqThreshold float64
 }
 
+// withDefaults resolves the zero-value sentinels: 0 becomes the documented
+// default, negative values become a literal 0 (see the Options doc), and
+// anything else passes through untouched (including NaN and out-of-range
+// values, which the downstream validators reject with an error rather than
+// silently repairing).
 func (o Options) withDefaults() Options {
-	if o.TauTSim == 0 {
-		o.TauTSim = 0.8
+	def := func(v, d float64) float64 {
+		switch {
+		case v == 0:
+			return d
+		case v < 0:
+			return 0
+		}
+		return v
 	}
+	o.TauTSim = def(o.TauTSim, 0.8)
+	o.TauCSim = def(o.TauCSim, 0.25)
+	o.Theta = def(o.Theta, 0.02)
+	o.MediationFreqThreshold = def(o.MediationFreqThreshold, 0.1)
 	if o.TermSimilarity == "" {
 		o.TermSimilarity = "lcs"
 	}
-	if o.TauCSim == 0 {
-		o.TauCSim = 0.25
-	}
 	if o.Linkage == "" {
 		o.Linkage = "avg-jaccard"
-	}
-	if o.Theta == 0 {
-		o.Theta = 0.02
-	}
-	if o.MediationFreqThreshold == 0 {
-		o.MediationFreqThreshold = 0.1
 	}
 	return o
 }
@@ -243,7 +260,10 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 		return nil, err
 	}
 	t = time.Now()
-	cl := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
+	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
+	if err != nil {
+		return nil, fmt.Errorf("payg: %w", err)
+	}
 	mBuildPhase.With("cluster").Observe(time.Since(t).Seconds())
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -292,6 +312,12 @@ func (o Options) featureConfig() (feature.Config, error) {
 		TermOpts: terms.DefaultOptions(),
 		Sim:      ts,
 		Tau:      o.TauTSim,
+	}
+	if o.TauTSim == 0 {
+		// withDefaults already resolved this struct's sentinels, so a zero
+		// here is a requested literal threshold; pass feature.Config's own
+		// negative escape hatch so its zero-means-default rule keeps it.
+		cfg.Tau = -1
 	}
 	if o.TermFrequencyFeatures {
 		cfg.Mode = feature.TermFrequency

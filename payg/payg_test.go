@@ -3,6 +3,7 @@ package payg
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -306,5 +307,48 @@ func TestSchemasAccessor(t *testing.T) {
 	sys := build(t, Options{})
 	if got := sys.Schemas(); len(got) != 6 || got[0].Name != "flights" {
 		t.Fatalf("Schemas() = %v", got)
+	}
+}
+
+// The zero value of Options means "thesis defaults", so an explicit literal
+// threshold of 0 is requested with a negative value and garbage thresholds
+// must surface as errors instead of being silently repaired.
+func TestOptionsZeroSentinels(t *testing.T) {
+	def := Options{}.withDefaults()
+	if def.TauTSim != 0.8 || def.TauCSim != 0.25 || def.Theta != 0.02 || def.MediationFreqThreshold != 0.1 {
+		t.Fatalf("zero options did not resolve to defaults: %+v", def)
+	}
+	lit := Options{TauTSim: -1, TauCSim: -0.5, Theta: -2, MediationFreqThreshold: -1}.withDefaults()
+	if lit.TauTSim != 0 || lit.TauCSim != 0 || lit.Theta != 0 || lit.MediationFreqThreshold != 0 {
+		t.Fatalf("negative options did not clamp to literal zero: %+v", lit)
+	}
+	// NaN is neither a sentinel nor legal: it must pass through untouched so
+	// the downstream validator can reject it.
+	if got := (Options{TauCSim: math.NaN()}).withDefaults().TauCSim; !math.IsNaN(got) {
+		t.Fatalf("NaN TauCSim rewritten to %v", got)
+	}
+}
+
+func TestLiteralZeroTauCSimMergesEverything(t *testing.T) {
+	sys := build(t, Options{TauCSim: -1, SkipMediation: true})
+	if sys.NumDomains() != 1 {
+		t.Fatalf("τ_c_sim = 0 built %d domains, want 1 (agglomeration runs to a single cluster)", sys.NumDomains())
+	}
+}
+
+func TestNaNTauCSimRejected(t *testing.T) {
+	if _, err := Build(demoSchemas(), Options{TauCSim: math.NaN(), SkipMediation: true}); err == nil {
+		t.Fatal("Build accepted a NaN τ_c_sim; it previously merged every schema into one domain")
+	}
+}
+
+func TestLiteralZeroTauTSim(t *testing.T) {
+	// τ_t_sim = 0 makes every pair of terms match, so every schema's feature
+	// vector is identical (all ones) and everything clusters together. The
+	// point is that -1 survives the two sentinel layers (Options and
+	// feature.Config) as a literal 0 instead of being rewritten to 0.8.
+	sys := build(t, Options{TauTSim: -1, SkipMediation: true})
+	if sys.NumDomains() != 1 {
+		t.Fatalf("τ_t_sim = 0 built %d domains, want 1", sys.NumDomains())
 	}
 }
