@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-assign repro fuzz fuzz-smoke docs-check clean
+.PHONY: all build vet test race bench bench-ingest bench-assign bench-query repro fuzz fuzz-smoke docs-check clean
 
 all: build vet test
 
@@ -34,6 +34,11 @@ bench-ingest:
 # rebuild, at n = 300 and 1000 (writes BENCH_assign.json).
 bench-assign:
 	$(GO) test ./internal/ingest -run TestAssignBenchArtifact -bench-assign-artifact=true
+
+# Repeated-query classification: generation-keyed result cache vs uncached
+# Classify, plus the parallel batch path (writes BENCH_query.json).
+bench-query:
+	$(GO) test ./payg -run TestQueryBenchArtifact -bench-query-artifact=true
 
 # Short fuzz pass over every hand-written parser. FUZZTIME is overridable;
 # CI's fuzz-smoke job uses 10s per target.

@@ -67,16 +67,17 @@ func main() {
 	driftThreshold := flag.Float64("drift-threshold", 0.5, "fraction of recent unassignable arrivals that triggers a background recluster (negative disables)")
 	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodically recluster while ingested schemas are pending (0 disables)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	queryCache := flag.Int("query-cache", 0, "max cached classification results (0 = default 1024, negative disables)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("app", "payg-server"))
-	if err := run(logger, *in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval, *pprofOn); err != nil {
+	if err := run(logger, *in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval, *pprofOn, *queryCache); err != nil {
 		logger.Error("fatal", slog.Any("error", err))
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration, pprofOn bool) error {
+func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration, pprofOn bool, queryCache int) error {
 	set, err := cli.ReadSchemasFile(in)
 	if err != nil {
 		return err
@@ -115,6 +116,7 @@ func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTi
 		RebuildInterval: rebuildInterval,
 		Logger:          logger,
 		EnablePprof:     pprofOn,
+		QueryCacheSize:  queryCache,
 	})
 	if err != nil {
 		return err

@@ -65,6 +65,13 @@ func (v *Vector) check(i int) {
 	}
 }
 
+// Zero clears every bit, leaving the length unchanged.
+func (v *Vector) Zero() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
 // Count returns the number of set bits.
 func (v *Vector) Count() int {
 	c := 0
@@ -192,15 +199,21 @@ func (v *Vector) checkLen(u *Vector) {
 
 // Indices returns the positions of all set bits in increasing order.
 func (v *Vector) Indices() []int {
-	out := make([]int, 0, v.Count())
+	return v.IndicesAppend(make([]int, 0, v.Count()))
+}
+
+// IndicesAppend appends the positions of all set bits, in increasing order,
+// to dst and returns the extended slice. Passing a reused dst[:0] avoids the
+// per-call allocation of Indices on hot paths.
+func (v *Vector) IndicesAppend(dst []int) []int {
 	for wi, w := range v.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*wordBits+b)
+			dst = append(dst, wi*wordBits+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // String renders the vector as a 0/1 string, bit 0 first. Intended for tests

@@ -19,8 +19,12 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"schemaflow/internal/bitvec"
 	"schemaflow/internal/core"
 )
 
@@ -85,6 +89,26 @@ type Classifier struct {
 	// adjustment when query feature j is set.
 
 	skipped []int // domains with zero prior (possible-empty-only domains)
+
+	// scratch pools per-call working state (query vector + set-bit list) so
+	// the hot path does not allocate a fresh vector per classification. The
+	// pooled vectors are sized to the model's dimensionality, which is fixed
+	// for the lifetime of the classifier.
+	scratch sync.Pool
+}
+
+// queryScratch is the reusable per-call working state.
+type queryScratch struct {
+	vec *bitvec.Vector
+	idx []int
+}
+
+// initScratch arms the scratch pool for the given feature dimensionality.
+// Every construction path (New, Restore) must call it.
+func (c *Classifier) initScratch(dim int) {
+	c.scratch.New = func() any {
+		return &queryScratch{vec: bitvec.New(dim)}
+	}
 }
 
 // New builds the classifier from a probabilistic domain model. This is the
@@ -113,6 +137,7 @@ func New(m *core.Model, cfg Config) (*Classifier, error) {
 		sumLog0:  make([]float64, m.NumDomains()),
 		delta:    make([][]float64, m.NumDomains()),
 	}
+	c.initScratch(dim)
 	total := len(m.Schemas)
 	for r := range m.Domains {
 		d := &m.Domains[r]
@@ -273,26 +298,77 @@ func approxDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float6
 // domain scored and sorted by descending posterior. Posterior values are
 // normalized across domains (Pr(F^Q) cancels in the ranking, Section 5.1).
 func (c *Classifier) Classify(keywords []string) []Score {
-	fq := c.model.Space.QueryVector(keywords)
-	setBits := fq.Indices()
+	return c.classifyInto(keywords, make([]Score, 0, c.model.NumDomains()))
+}
 
-	scores := make([]Score, 0, c.model.NumDomains())
+// classifyInto scores the query into the provided slice (len 0, cap ≥
+// NumDomains()) and returns it. Per-call working state — the query vector
+// and its set-bit list — comes from the scratch pool, so a steady stream of
+// classifications allocates only the returned scores.
+func (c *Classifier) classifyInto(keywords []string, scores []Score) []Score {
+	sc := c.scratch.Get().(*queryScratch)
+	c.model.Space.QueryVectorInto(keywords, sc.vec)
+	sc.idx = sc.vec.IndicesAppend(sc.idx[:0])
+
 	for r := 0; r < c.model.NumDomains(); r++ {
 		lp := c.logPrior[r]
 		if !math.IsInf(lp, -1) {
 			lp += c.sumLog0[r]
-			for _, j := range setBits {
+			for _, j := range sc.idx {
 				lp += c.delta[r][j]
 			}
 		}
 		scores = append(scores, Score{Domain: r, LogPosterior: lp})
 	}
+	c.scratch.Put(sc)
 	normalize(scores)
 	sort.SliceStable(scores, func(a, b int) bool {
 		return scores[a].LogPosterior > scores[b].LogPosterior
 	})
 	observeClassification(scores)
 	return scores
+}
+
+// ClassifyBatch classifies many queries with bounded CPU-parallel fan-out
+// and returns one ranked score slice per query, in input order. Results are
+// identical to calling Classify once per query; the batch path exists for
+// throughput — workers share the classifier's scratch pool, and all score
+// slices are carved from one flat allocation.
+func (c *Classifier) ClassifyBatch(queries [][]string) [][]Score {
+	out := make([][]Score, len(queries))
+	n := len(queries)
+	if n == 0 {
+		return out
+	}
+	d := c.model.NumDomains()
+	flat := make([]Score, 0, n*d)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, q := range queries {
+			out[i] = c.classifyInto(q, flat[i*d:i*d:(i+1)*d])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = c.classifyInto(queries[i], flat[i*d:i*d:(i+1)*d])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Top returns the best-ranked k domains for the query (k > len → all).

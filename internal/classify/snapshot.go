@@ -54,12 +54,14 @@ func Restore(m *core.Model, s *Snapshot) (*Classifier, error) {
 			return nil, fmt.Errorf("classify: snapshot domain %d missing table", r)
 		}
 	}
-	return &Classifier{
+	c := &Classifier{
 		model:    m,
 		mode:     s.Mode,
 		logPrior: s.LogPrior,
 		sumLog0:  s.SumLog0,
 		delta:    s.Delta,
 		skipped:  s.Skipped,
-	}, nil
+	}
+	c.initScratch(s.Dim)
+	return c, nil
 }

@@ -1,0 +1,126 @@
+package feature
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"schemaflow/internal/schema"
+)
+
+// prefixSim is deliberately asymmetric: sim(a, b) = 1 iff a is a prefix of
+// b. symmetricSim does not recognize it, so the matcher must verify every
+// candidate pair in both ordered directions.
+type prefixSim struct{}
+
+func (prefixSim) Sim(a, b string) float64 {
+	if len(a) <= len(b) && b[:len(a)] == a {
+		return 1
+	}
+	return 0
+}
+func (prefixSim) Name() string { return "prefix" }
+
+// lenBiasSim is asymmetric in degree rather than kind: the shared prefix
+// length is normalized by the FIRST argument's length only, so sim(a, b)
+// and sim(b, a) cross a threshold independently.
+type lenBiasSim struct{}
+
+func (lenBiasSim) Sim(a, b string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	common := 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			break
+		}
+		common++
+	}
+	return float64(common) / float64(len(a))
+}
+func (lenBiasSim) Name() string { return "lenbias" }
+
+// checkMatchListEquivalence compares per-term match lists (by term name, so
+// vocabulary order differences don't matter) between an Extend-produced
+// space and a from-scratch reference — a stronger check than vector
+// equality, since a wrong match list can coincidentally produce the right
+// bits when the owning schemas overlap.
+func checkMatchListEquivalence(t *testing.T, ext, ref *Space) {
+	t.Helper()
+	for _, term := range ref.Vocab {
+		ej, ok := ext.VocabIndex[term]
+		if !ok {
+			t.Fatalf("term %q missing from extended vocabulary", term)
+		}
+		rj := ref.VocabIndex[term]
+		var em, rm []string
+		for _, j := range ext.matcher.matchesOfVocab(ej) {
+			em = append(em, ext.Vocab[j])
+		}
+		for _, j := range ref.matcher.matchesOfVocab(rj) {
+			rm = append(rm, ref.Vocab[j])
+		}
+		sort.Strings(em)
+		sort.Strings(rm)
+		if fmt.Sprint(em) != fmt.Sprint(rm) {
+			t.Fatalf("term %q: extended match list %v, rebuilt %v", term, em, rm)
+		}
+	}
+}
+
+// TestExtendAsymmetricSim pins the symmetry contract of the newcomer pair
+// scan in matchIndex.extended: with a user-supplied asymmetric similarity,
+// every ordered pair of appended terms must be verified in its own
+// direction — exactly as the cross-match loop does for new-vs-old pairs —
+// so that extension agrees with a from-scratch BuildLite.
+func TestExtendAsymmetricSim(t *testing.T) {
+	// Hand-picked terms where prefix relations run one way only: "foob" is
+	// a prefix of "foobarbar" but not vice versa, so the two directions of
+	// every pair differ.
+	base := schema.Set{
+		{Name: "a", Attributes: []string{"foo", "barbaz"}},
+		{Name: "b", Attributes: []string{"foobar", "qux"}},
+	}
+	newcomer := schema.Schema{Name: "c", Attributes: []string{"foob", "foobarbar", "quxx"}}
+	cfg := DefaultConfig()
+	cfg.Sim = prefixSim{}
+	sp := BuildLite(base, cfg)
+	ext, _ := sp.Extend(newcomer)
+	ref := BuildLite(append(base[:2:2], newcomer), cfg)
+	checkExtendEquivalence(t, ext, ref)
+	checkMatchListEquivalence(t, ext, ref)
+}
+
+// TestExtendAsymmetricSimChained stresses the same contract over a larger
+// corpus with chained (overlay-of-overlay) extensions and two different
+// asymmetric similarities.
+func TestExtendAsymmetricSimChained(t *testing.T) {
+	sims := []struct {
+		name string
+		sim  interface {
+			Sim(a, b string) float64
+			Name() string
+		}
+	}{
+		{"prefix", prefixSim{}},
+		{"lenbias", lenBiasSim{}},
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		corpus := extendCorpus(40, seed)
+		for _, s := range sims {
+			t.Run(fmt.Sprintf("%s/seed%d", s.name, seed), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Sim = s.sim
+				cfg.Tau = 0.6
+				sp := BuildLite(corpus[:25], cfg)
+				for _, sch := range corpus[25:] {
+					sp, _ = sp.Extend(sch)
+				}
+				ref := BuildLite(corpus, cfg)
+				checkExtendEquivalence(t, sp, ref)
+				checkMatchListEquivalence(t, sp, ref)
+			})
+		}
+	}
+}

@@ -123,6 +123,11 @@ func TestExtendEquivalence(t *testing.T) {
 		{"exact", func() Config { c := DefaultConfig(); c.Sim = strsim.ExactSim{}; return c }()},
 		{"lcsubsequence-fullscan", func() Config { c := DefaultConfig(); c.Sim = strsim.LCSeqSim{}; return c }()},
 		{"term-frequency-fallback", func() Config { c := DefaultConfig(); c.Mode = TermFrequency; return c }()},
+		// Deliberately asymmetric user similarities: the matcher must verify
+		// both ordered directions of every pair (see extend_asym_test.go for
+		// the focused match-list checks).
+		{"asymmetric-prefix", func() Config { c := DefaultConfig(); c.Sim = prefixSim{}; return c }()},
+		{"asymmetric-lenbias", func() Config { c := DefaultConfig(); c.Sim = lenBiasSim{}; c.Tau = 0.6; return c }()},
 	}
 	const baseN = 30
 	for _, tc := range cases {

@@ -413,6 +413,23 @@ func (sp *Space) pairSim(i, j int) float64 {
 // Query terms need not belong to the vocabulary.
 func (sp *Space) QueryVector(keywords []string) *bitvec.Vector {
 	v := bitvec.New(len(sp.Vocab))
+	sp.queryVectorInto(keywords, v)
+	return v
+}
+
+// QueryVectorInto is QueryVector writing into a caller-owned vector of
+// length Dim(), which it zeroes first. It exists so batch classification can
+// reuse one scratch vector per worker instead of allocating per query; it
+// panics if dst's length is not Dim().
+func (sp *Space) QueryVectorInto(keywords []string, dst *bitvec.Vector) {
+	if dst.Len() != len(sp.Vocab) {
+		panic(fmt.Sprintf("feature: QueryVectorInto dst length %d, space dim %d", dst.Len(), len(sp.Vocab)))
+	}
+	dst.Zero()
+	sp.queryVectorInto(keywords, dst)
+}
+
+func (sp *Space) queryVectorInto(keywords []string, v *bitvec.Vector) {
 	for _, kw := range keywords {
 		for _, t := range terms.FromAttribute(kw, sp.cfg.TermOpts) {
 			for _, j := range sp.matcher.matchesOf(t) {
@@ -420,7 +437,6 @@ func (sp *Space) QueryVector(keywords []string) *bitvec.Vector {
 			}
 		}
 	}
-	return v
 }
 
 // QueryTerms returns the canonical filtered terms T_Q of a keyword query.

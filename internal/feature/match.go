@@ -131,12 +131,31 @@ func (m *matchIndex) extended(newVocab []string, newTerms []string) (*matchIndex
 
 	// Match lists of the appended terms: the forward cross-matches, the
 	// term itself, and any matching fellow newcomers (new terms arrive one
-	// schema at a time, so this pair scan is tiny).
-	for i, u := range newTerms {
+	// schema at a time, so this pair scan is tiny). Match lists follow the
+	// owner-first convention of matchesOf — w belongs in u's list iff
+	// sim(u, w) ≥ τ — so the scan must honor the same symmetry contract as
+	// the cross-match loop above: each unordered newcomer pair is verified
+	// once for a known-symmetric similarity and in both ordered directions
+	// for an unknown (possibly asymmetric) one.
+	n := len(newTerms)
+	pair := make([]bool, n*n) // pair[i*n+k]: newTerms[k] is in newTerms[i]'s list
+	for i := 0; i < n; i++ {
+		pair[i*n+i] = true // a term always matches itself
+		for k := i + 1; k < n; k++ {
+			f := m.sim.Sim(newTerms[i], newTerms[k]) >= m.tau
+			r := f
+			if !sym {
+				r = m.sim.Sim(newTerms[k], newTerms[i]) >= m.tau
+			}
+			pair[i*n+k] = f
+			pair[k*n+i] = r
+		}
+	}
+	for i := range newTerms {
 		list := make([]int32, 0, len(fwd[i])+1)
 		list = append(list, fwd[i]...)
-		for k, w := range newTerms {
-			if k == i || m.sim.Sim(u, w) >= m.tau {
+		for k := 0; k < n; k++ {
+			if pair[i*n+k] {
 				list = append(list, int32(oldDim+k))
 			}
 		}
@@ -283,6 +302,13 @@ func newGramStrategy(vocab []string, tau float64, minLen int) *gramStrategy {
 	return s
 }
 
+// gramsOf returns the distinct byte windows of width g in t. Byte windows
+// remain a sound prefilter even for terms containing multi-byte runes: a
+// pair matching at τ under the (rune-measured) LCS similarity shares a
+// common rune substring of ≥ ⌈τ·minLen⌉ runes, whose UTF-8 encoding is an
+// identical byte substring of at least that many bytes in both terms — so
+// both contain all of its byte g-windows. Mid-rune windows merely enlarge
+// the candidate superset; verification runs the real similarity.
 func gramsOf(t string, g int) []string {
 	if len(t) < g {
 		return []string{t}

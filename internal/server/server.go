@@ -9,6 +9,7 @@
 //
 //	GET  /domains                 list domains with members and mediated schemas
 //	GET  /classify?q=...&top=k    rank domains for a keyword query
+//	POST /classify/batch          {"queries": [...], "top": k} — many queries, one call
 //	GET  /explain?q=...&domain=r  per-term score breakdown for one domain
 //	GET  /schema?domain=r         one domain's mediated schema
 //	POST /query                   {"domain": r, "select": [...], "where": {...}, "limit": k}
@@ -28,6 +29,12 @@
 // POST /feedback applies explicit user corrections and atomically swaps in
 // the rebuilt system — the live pay-as-you-go loop. Domain ids may change
 // across a feedback application; the response carries the id mapping.
+//
+// Classification (GET /classify and POST /classify/batch) is answered
+// through the manager's generation-keyed result cache: repeated keyword
+// queries skip the classifier entirely, and every atomic swap (feedback or
+// recluster) invalidates the whole cache by construction, so responses are
+// always computed against the current serving generation.
 //
 // POST /schemas is the online half of pay-as-you-go: the new schema is
 // assigned to current domains immediately (returned as domain
@@ -87,6 +94,10 @@ type Config struct {
 	// default: profiles expose internals and cost CPU, so an operator opts
 	// in (payg-server's -pprof flag).
 	EnablePprof bool
+	// QueryCacheSize bounds the manager's generation-keyed classification
+	// result cache (payg.ManagerOptions.QueryCacheSize: 0 means the default
+	// 1024, negative disables caching).
+	QueryCacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +158,7 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 		DriftThreshold:  cfg.DriftThreshold,
 		DriftWindow:     cfg.DriftWindow,
 		RebuildInterval: cfg.RebuildInterval,
+		QueryCacheSize:  cfg.QueryCacheSize,
 		Logf: func(format string, args ...any) {
 			cfg.Logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -160,6 +172,7 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /metrics", route("/metrics", s.handleMetrics))
 	mux.HandleFunc("GET /domains", route("/domains", s.handleDomains))
 	mux.HandleFunc("GET /classify", route("/classify", s.handleClassify))
+	mux.HandleFunc("POST /classify/batch", route("/classify/batch", s.handleClassifyBatch))
 	mux.HandleFunc("GET /explain", route("/explain", s.handleExplain))
 	mux.HandleFunc("GET /schema", route("/schema", s.handleSchema))
 	mux.HandleFunc("POST /query", route("/query", s.handleQuery))
@@ -356,8 +369,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		top = v
 	}
+	// The manager's generation-keyed cache answers repeated queries without
+	// running the classifier; results are identical to System().Classify.
+	scores := s.mgr.Classify(q)
+	writeJSON(w, http.StatusOK, s.scoresJSON(scores, top))
+}
+
+// scoresJSON converts a ranking to wire form, truncated to the top k and
+// decorated with each domain's mediated schema when available.
+func (s *Server) scoresJSON(scores []payg.Score, top int) []scoreJSON {
 	sys := s.system()
-	scores := sys.Classify(q)
 	if top < len(scores) {
 		scores = scores[:top]
 	}
@@ -369,7 +390,54 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, sj)
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
+}
+
+// classifyBatchRequest is the /classify/batch body.
+type classifyBatchRequest struct {
+	Queries []string `json:"queries"`
+	Top     int      `json:"top"`
+}
+
+// maxBatchQueries caps one /classify/batch request; wider workloads should
+// shard into several requests (the body size cap would bite soon anyway).
+const maxBatchQueries = 1024
+
+func (s *Server) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req classifyBatchRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty query list")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("too many queries: %d > %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	for i, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("empty query at index %d", i))
+			return
+		}
+	}
+	top := req.Top
+	if top == 0 {
+		top = 3
+	}
+	if top < 1 {
+		writeError(w, http.StatusBadRequest, "bad top value")
+		return
+	}
+	rankings := s.mgr.ClassifyBatch(req.Queries)
+	results := make([][]scoreJSON, len(rankings))
+	for i, scores := range rankings {
+		results[i] = s.scoresJSON(scores, top)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,13 @@ type TermSim interface {
 // LCSSim is the thesis' default term similarity: longest common substring
 // length divided by the average of the two term lengths. The zero value is
 // ready to use.
+//
+// Lengths are measured in runes. For ASCII terms — the overwhelmingly common
+// case after canonicalization — rune and byte semantics coincide and the
+// byte-DP fast path is taken; terms containing multi-byte runes (extraction
+// keeps Unicode letters, e.g. "unité") fall back to a rune DP so that a
+// partial byte match inside one code point never earns credit and lengths
+// are not inflated by encoding width.
 type LCSSim struct{}
 
 // Sim implements TermSim.
@@ -34,8 +41,22 @@ func (LCSSim) Sim(a, b string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	l := LongestCommonSubstring(a, b)
-	return 2 * float64(l) / float64(len(a)+len(b))
+	if isASCII(a) && isASCII(b) {
+		l := LongestCommonSubstring(a, b)
+		return 2 * float64(l) / float64(len(a)+len(b))
+	}
+	ra, rb := []rune(a), []rune(b)
+	l := longestCommonSubstringRunes(ra, rb)
+	return 2 * float64(l) / float64(len(ra)+len(rb))
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
 }
 
 // Name implements TermSim.
@@ -72,8 +93,10 @@ func (StemSim) Sim(a, b string) float64 {
 func (StemSim) Name() string { return "stem" }
 
 // LongestCommonSubstring returns the length of the longest contiguous
-// substring common to a and b. It operates on bytes; terms in this system
-// are canonicalized ASCII, for which byte and rune semantics coincide.
+// substring common to a and b. It operates on bytes, which for ASCII input
+// coincides with rune semantics; callers comparing terms that may contain
+// multi-byte runes should measure in runes instead (LCSSim.Sim does this
+// automatically).
 //
 // The dynamic-programming formulation runs in O(len(a)·len(b)) time and
 // O(min) space. For the short terms this system compares (attribute-name
@@ -84,6 +107,34 @@ func LongestCommonSubstring(a, b string) int {
 		return 0
 	}
 	// Keep the inner dimension the smaller string to minimize the DP row.
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	best := 0
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// longestCommonSubstringRunes is the rune-level analogue of
+// LongestCommonSubstring, used by LCSSim when either term is non-ASCII.
+func longestCommonSubstringRunes(a, b []rune) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
 	if len(b) > len(a) {
 		a, b = b, a
 	}

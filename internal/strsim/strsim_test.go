@@ -50,6 +50,32 @@ func TestLCSSim(t *testing.T) {
 	}
 }
 
+func TestLCSSimRuneSemantics(t *testing.T) {
+	s := LCSSim{}
+	// "unité" vs "unite": common rune substring "unit" (4 runes), both
+	// terms 5 runes → 2·4/10 = 0.8. The byte DP would count "unité" as 6
+	// bytes and return 8/11 ≈ 0.727 — under the thesis' τ = 0.8 gate that
+	// is the difference between matching and not.
+	if got := s.Sim("unité", "unite"); got != 0.8 {
+		t.Fatalf("Sim(unité, unite) = %v, want 0.8", got)
+	}
+	// "é" (C3 A9) and "è" (C3 A8) share a lead byte but no rune: byte
+	// comparison would award 2·1/4 = 0.5 for code-point fragments.
+	if got := s.Sim("é", "è"); got != 0 {
+		t.Fatalf("Sim(é, è) = %v, want 0 (no common rune)", got)
+	}
+	if got := s.Sim("prix", "prix"); got != 1 {
+		t.Fatalf("ASCII fast path broke identity: %v", got)
+	}
+	if got := s.Sim("unité", "unité"); got != 1 {
+		t.Fatalf("identical non-ASCII terms: %v", got)
+	}
+	// Symmetry must hold across the mixed ASCII/non-ASCII boundary.
+	if a, b := s.Sim("unité", "units"), s.Sim("units", "unité"); a != b {
+		t.Fatalf("asymmetric across encodings: %v vs %v", a, b)
+	}
+}
+
 func TestLCSSimThesisThreshold(t *testing.T) {
 	// The τ=0.8 gate should match close rephrasings and reject unrelated
 	// terms; these pairs pin the intended behavior of the default matcher.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,11 @@ type ManagerOptions struct {
 	// Logf receives lifecycle messages (rebuild started/finished/
 	// discarded). Nil discards them.
 	Logf func(format string, args ...any)
+	// QueryCacheSize bounds the generation-keyed LRU cache of classification
+	// results served by Manager.Classify and friends. Zero means 1024;
+	// negative disables caching entirely (every request runs the
+	// classifier).
+	QueryCacheSize int
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -65,16 +71,23 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.QueryCacheSize == 0 {
+		o.QueryCacheSize = 1024
+	}
 	return o
 }
 
 // managedState is one immutable serving generation: a built system, its
 // query executor, and the sources the executor is bound to. Readers load
-// it atomically and never see a half-built model.
+// it atomically and never see a half-built model. gen is the generation
+// counter value at which this state was published; carrying it here lets
+// the query cache read a consistent (system, generation) pair from a
+// single atomic load.
 type managedState struct {
 	sys     *System
 	exec    *Executor     // nil when serving without data
 	sources []TupleSource // aligned with sys.Schemas(); nil when no data
+	gen     int
 }
 
 // flight is one in-progress background rebuild (single-flight: at most one
@@ -112,6 +125,10 @@ type Manager struct {
 	discarded int // rebuilds discarded because the base changed mid-flight
 	closed    bool
 
+	// queries caches ranked classification results keyed by canonical term
+	// set and serving generation; nil when QueryCacheSize < 0.
+	queries *queryCache
+
 	stopInterval context.CancelFunc
 	wg           sync.WaitGroup
 }
@@ -123,7 +140,11 @@ type Manager struct {
 // work.
 func NewManager(sys *System, sources []TupleSource, opts ManagerOptions) (*Manager, error) {
 	opts = opts.withDefaults()
-	m := &Manager{opts: opts, drift: ingest.NewWindow(opts.DriftWindow)}
+	m := &Manager{
+		opts:    opts,
+		drift:   ingest.NewWindow(opts.DriftWindow),
+		queries: newQueryCache(opts.QueryCacheSize),
+	}
 	st := &managedState{sys: sys}
 	if sources != nil {
 		m.pool = NewBreakerPool(opts.Policy)
@@ -186,6 +207,72 @@ func (m *Manager) System() *System { return m.cur.Load().sys }
 // Executor returns the current query executor, or nil when the manager
 // serves without data (lock-free).
 func (m *Manager) Executor() *Executor { return m.cur.Load().exec }
+
+// Classify ranks all domains for a free-text keyword query, answering from
+// the generation-keyed result cache when the same canonical term set was
+// classified against the current serving generation before. Results are
+// always identical to System().Classify: a swap (rebuild publication or
+// feedback apply) bumps the generation, which invalidates every older
+// entry for free — stale rankings are structurally unservable.
+func (m *Manager) Classify(query string) []Score {
+	return m.ClassifyKeywords(strings.Fields(query))
+}
+
+// ClassifyKeywords is Classify for an already-tokenized query.
+func (m *Manager) ClassifyKeywords(keywords []string) []Score {
+	st := m.cur.Load()
+	if m.queries == nil {
+		return st.sys.ClassifyKeywords(keywords)
+	}
+	key := cacheKey(st.sys.space.QueryTerms(keywords))
+	if scores, ok := m.queries.get(key, st.gen); ok {
+		return scores
+	}
+	scores := st.sys.ClassifyKeywords(keywords)
+	// The entry is tagged with the generation the ranking was computed
+	// against; if a swap raced this call, the tag no longer matches the
+	// serving generation and the entry is simply never served.
+	m.queries.put(key, st.gen, scores)
+	return scores
+}
+
+// ClassifyBatch ranks domains for many free-text queries in one call,
+// in input order. Cached queries are answered immediately; the misses run
+// through the classifier's CPU-parallel batch path against a single
+// consistent serving generation and populate the cache for next time.
+func (m *Manager) ClassifyBatch(queries []string) [][]Score {
+	mQueryBatchWidth.Observe(float64(len(queries)))
+	st := m.cur.Load()
+	out := make([][]Score, len(queries))
+	if m.queries == nil {
+		kws := make([][]string, len(queries))
+		for i, q := range queries {
+			kws[i] = strings.Fields(q)
+		}
+		return st.sys.ClassifyBatch(kws)
+	}
+	keys := make([]string, len(queries))
+	var missIdx []int
+	var missKws [][]string
+	for i, q := range queries {
+		kw := strings.Fields(q)
+		keys[i] = cacheKey(st.sys.space.QueryTerms(kw))
+		if scores, ok := m.queries.get(keys[i], st.gen); ok {
+			out[i] = scores
+			continue
+		}
+		missIdx = append(missIdx, i)
+		missKws = append(missKws, kw)
+	}
+	if len(missIdx) > 0 {
+		res := st.sys.ClassifyBatch(missKws)
+		for k, i := range missIdx {
+			out[i] = res[k]
+			m.queries.put(keys[i], st.gen, res[k])
+		}
+	}
+	return out
+}
 
 // IngestResult reports what happened to one arrival.
 type IngestResult struct {
@@ -331,7 +418,7 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 		m.opts.Logf("payg: rebuild discarded (base generation changed)")
 		return
 	}
-	next := &managedState{sys: newSys}
+	next := &managedState{sys: newSys, gen: m.gen + 1}
 	if st.sources != nil {
 		sources := make([]TupleSource, 0, len(union))
 		sources = append(sources, st.sources...)
@@ -376,7 +463,7 @@ func (m *Manager) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	next := &managedState{sys: res.System, sources: st.sources}
+	next := &managedState{sys: res.System, sources: st.sources, gen: m.gen + 1}
 	if st.sources != nil {
 		exec, err := res.System.NewExecutorShared(st.sources, m.opts.Policy, m.pool)
 		if err != nil {

@@ -52,6 +52,23 @@ var (
 		"schemaflow_feedback_applied_total",
 		"User feedback batches applied and swapped into serving.")
 
+	mQueryCacheHits = obs.Default().Counter(
+		"schemaflow_query_cache_hits_total",
+		"Classification requests answered from the generation-keyed query-result cache.")
+	mQueryCacheMisses = obs.Default().Counter(
+		"schemaflow_query_cache_misses_total",
+		"Classification requests that had to run the classifier (absent or stale-generation entries).")
+	mQueryCacheEvictions = obs.Default().Counter(
+		"schemaflow_query_cache_evictions_total",
+		"Query-cache entries dropped, by LRU capacity pressure or because their generation went stale.")
+	mQueryCacheSize = obs.Default().Gauge(
+		"schemaflow_query_cache_size",
+		"Entries currently in the query-result cache.")
+	mQueryBatchWidth = obs.Default().Histogram(
+		"schemaflow_query_batch_width",
+		"Queries per Manager.ClassifyBatch call (POST /classify/batch request width).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
 	mBuildPhase = obs.Default().HistogramVec(
 		"schemaflow_build_phase_duration_seconds",
 		"Duration of each Build pipeline phase (features, cluster, domains, classifier, mediation).",

@@ -396,6 +396,13 @@ func (s *System) ClassifyKeywords(keywords []string) []Score {
 	return s.classifier.Classify(keywords)
 }
 
+// ClassifyBatch ranks domains for many tokenized queries with bounded
+// CPU-parallel fan-out, returning one ranking per query in input order.
+// Results are identical to calling ClassifyKeywords per query.
+func (s *System) ClassifyBatch(queries [][]string) [][]Score {
+	return s.classifier.ClassifyBatch(queries)
+}
+
 // Explanation itemizes a classification per matched vocabulary term.
 type Explanation = classify.Explanation
 
