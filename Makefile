@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-assign bench-query repro fuzz fuzz-smoke docs-check clean
+.PHONY: all build vet test race bench bench-ingest bench-assign bench-query repro fuzz fuzz-smoke docs-check integration clean
 
 all: build vet test
 
@@ -59,6 +59,12 @@ fuzz-smoke:
 # metric registry and check every relative markdown link resolves.
 docs-check:
 	$(GO) test ./internal/docscheck -count=1
+
+# End-to-end durability tests against the real payg-server binary:
+# SIGKILL mid-stream, restart, assert recovery; leader/follower
+# convergence. Gated so plain `make test` stays hermetic.
+integration:
+	PAYG_INTEGRATION=1 $(GO) test ./internal/integration -count=1 -timeout 300s
 
 clean:
 	$(GO) clean ./...

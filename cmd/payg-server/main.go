@@ -17,19 +17,34 @@
 // /admin/recluster) the model is fully reclustered in the background and
 // swapped in atomically — traffic never blocks on a rebuild.
 //
+// With -data-dir the server is durable: every accepted ingest and
+// feedback is written to a write-ahead log before it is acknowledged, and
+// every recluster swap writes an atomic checkpoint. On restart with the
+// same -data-dir the server recovers its exact pre-crash state (newest
+// checkpoint + WAL replay) and ignores -in. -fsync picks the WAL
+// durability/latency trade-off; see docs/OPERATIONS.md § Durability.
+//
+// With -follow the server is a read-only replica instead: it bootstraps
+// from the leader's GET /admin/snapshot, serves every read endpoint
+// locally, rejects writes with 403, and polls the leader every
+// -poll-interval, atomically swapping in each new generation.
+//
 // The server is observable in production: GET /metrics exposes the full
 // metrics registry (Prometheus text format; JSON with Accept:
-// application/json), GET /healthz reports ingestion status plus per-source
-// circuit-breaker states, every request is logged as one structured JSON
-// line on stderr, and -pprof mounts net/http/pprof under /debug/pprof/.
-// See docs/OPERATIONS.md for the runbook and docs/METRICS.md for the
-// metric reference.
+// application/json), GET /healthz reports ingestion status, serving
+// generation, and per-source circuit-breaker states, every request is
+// logged as one structured JSON line on stderr, and -pprof mounts
+// net/http/pprof under /debug/pprof/. See docs/OPERATIONS.md for the
+// runbook and docs/METRICS.md for the metric reference.
 //
 // Usage:
 //
 //	payg-server -in schemas.txt [-addr :8080] [-tau 0.25] [-tuples 20]
 //	            [-source-timeout 2s] [-retries 2]
 //	            [-drift-threshold 0.5] [-rebuild-interval 0] [-pprof]
+//	            [-data-dir /var/lib/payg] [-fsync always|interval|none]
+//	            [-checkpoint-retain 3]
+//	payg-server -follow http://leader:8080 [-addr :8081] [-poll-interval 2s]
 //
 //	curl 'localhost:8080/classify?q=departure+toronto'
 //	curl 'localhost:8080/domains'
@@ -41,9 +56,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"os"
@@ -57,74 +74,58 @@ import (
 	"schemaflow/payg"
 )
 
+type options struct {
+	in, addr         string
+	tau              float64
+	tuples           int
+	sourceTimeout    time.Duration
+	retries          int
+	driftThreshold   float64
+	rebuildInterval  time.Duration
+	pprofOn          bool
+	queryCache       int
+	dataDir          string
+	fsync            string
+	checkpointRetain int
+	follow           string
+	pollInterval     time.Duration
+}
+
 func main() {
-	in := flag.String("in", "", "schema file (.json or line format); required")
-	addr := flag.String("addr", ":8080", "listen address")
-	tau := flag.Float64("tau", 0.25, "clustering threshold tau_c_sim")
-	tuples := flag.Int("tuples", 20, "synthetic tuples per source for /query (0 disables data)")
-	sourceTimeout := flag.Duration("source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
-	retries := flag.Int("retries", 2, "retries per data-source fetch after the first failure")
-	driftThreshold := flag.Float64("drift-threshold", 0.5, "fraction of recent unassignable arrivals that triggers a background recluster (negative disables)")
-	rebuildInterval := flag.Duration("rebuild-interval", 0, "periodically recluster while ingested schemas are pending (0 disables)")
-	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	queryCache := flag.Int("query-cache", 0, "max cached classification results (0 = default 1024, negative disables)")
+	var o options
+	flag.StringVar(&o.in, "in", "", "schema file (.json or line format); required unless recovering from -data-dir or following")
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.Float64Var(&o.tau, "tau", 0.25, "clustering threshold tau_c_sim")
+	flag.IntVar(&o.tuples, "tuples", 20, "synthetic tuples per source for /query (0 disables data)")
+	flag.DurationVar(&o.sourceTimeout, "source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
+	flag.IntVar(&o.retries, "retries", 2, "retries per data-source fetch after the first failure")
+	flag.Float64Var(&o.driftThreshold, "drift-threshold", 0.5, "fraction of recent unassignable arrivals that triggers a background recluster (negative disables)")
+	flag.DurationVar(&o.rebuildInterval, "rebuild-interval", 0, "periodically recluster while ingested schemas are pending (0 disables)")
+	flag.BoolVar(&o.pprofOn, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.IntVar(&o.queryCache, "query-cache", 0, "max cached classification results (0 = default 1024, negative disables)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "durability directory (WAL + checkpoints); restart with the same dir to recover")
+	flag.StringVar(&o.fsync, "fsync", "always", "WAL fsync policy: always, interval, or none")
+	flag.IntVar(&o.checkpointRetain, "checkpoint-retain", 3, "checkpoints to keep in -data-dir (min 1)")
+	flag.StringVar(&o.follow, "follow", "", "leader base URL; run as a read-only snapshot-shipping follower")
+	flag.DurationVar(&o.pollInterval, "poll-interval", 2*time.Second, "follower poll period against the leader")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("app", "payg-server"))
-	if err := run(logger, *in, *addr, *tau, *tuples, *sourceTimeout, *retries, *driftThreshold, *rebuildInterval, *pprofOn, *queryCache); err != nil {
+	if err := run(logger, o); err != nil {
 		logger.Error("fatal", slog.Any("error", err))
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTimeout time.Duration, retries int, driftThreshold float64, rebuildInterval time.Duration, pprofOn bool, queryCache int) error {
-	set, err := cli.ReadSchemasFile(in)
-	if err != nil {
-		return err
-	}
-	start := time.Now()
-	sys, err := payg.Build(set, payg.Options{TauCSim: tau})
-	if err != nil {
-		return err
-	}
-	logger.Info("system built",
-		slog.Int("domains", sys.NumDomains()),
-		slog.Int("schemas", sys.NumSchemas()),
-		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
-
-	var sources []payg.TupleSource
-	if tuples > 0 {
-		sources = make([]payg.TupleSource, len(set))
-		for i, s := range set {
-			rows := dataset.GenerateTuples(s, tuples, int64(i))
-			ts := make([]payg.Tuple, len(rows))
-			for k, r := range rows {
-				ts[k] = r
-			}
-			sources[i] = payg.Source{Schema: s, Tuples: ts}
-		}
-		logger.Info("attached synthetic data", slog.Int("tuples_per_source", tuples))
-	}
-
-	policy := payg.DefaultPolicy()
-	policy.Timeout = sourceTimeout
-	policy.MaxRetries = retries
-	handler, err := server.NewWithConfig(sys, server.Config{
-		Sources:         sources,
-		Policy:          policy,
-		DriftThreshold:  driftThreshold,
-		RebuildInterval: rebuildInterval,
-		Logger:          logger,
-		EnablePprof:     pprofOn,
-		QueryCacheSize:  queryCache,
-	})
+func run(logger *slog.Logger, o options) error {
+	handler, follower, err := buildServer(logger, o)
 	if err != nil {
 		return err
 	}
 	defer handler.Close()
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -133,9 +134,15 @@ func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTi
 	// SIGINT/SIGTERM drain in-flight connections before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if follower != nil {
+		go follower.Run(ctx)
+	}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", slog.String("addr", addr), slog.Bool("pprof", pprofOn))
+		logger.Info("listening",
+			slog.String("addr", o.addr),
+			slog.Bool("pprof", o.pprofOn),
+			slog.Bool("follower", follower != nil))
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -155,4 +162,158 @@ func run(logger *slog.Logger, in, addr string, tau float64, tuples int, sourceTi
 		logger.Info("shutdown complete")
 		return nil
 	}
+}
+
+// buildServer picks the startup path: follower replica, recovery from an
+// initialized data dir, or a fresh build from the schema file.
+func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follower, error) {
+	if o.follow != "" {
+		if o.dataDir != "" {
+			return nil, nil, errors.New("-follow and -data-dir are mutually exclusive: durability lives on the leader")
+		}
+		return buildFollower(logger, o)
+	}
+
+	cfg := server.Config{
+		DriftThreshold:   o.driftThreshold,
+		RebuildInterval:  o.rebuildInterval,
+		Logger:           logger,
+		EnablePprof:      o.pprofOn,
+		QueryCacheSize:   o.queryCache,
+		DataDir:          o.dataDir,
+		FsyncMode:        o.fsync,
+		CheckpointRetain: o.checkpointRetain,
+	}
+	policy := payg.DefaultPolicy()
+	policy.Timeout = o.sourceTimeout
+	policy.MaxRetries = o.retries
+	cfg.Policy = policy
+
+	if o.dataDir != "" {
+		ok, err := payg.HasCheckpoint(o.dataDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return recoverServer(logger, o, cfg)
+		}
+	}
+
+	if o.in == "" {
+		return nil, nil, errors.New("-in is required (no -data-dir checkpoint to recover, not following)")
+	}
+	set, err := cli.ReadSchemasFile(o.in)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	sys, err := payg.Build(set, payg.Options{TauCSim: o.tau})
+	if err != nil {
+		return nil, nil, err
+	}
+	logger.Info("system built",
+		slog.Int("domains", sys.NumDomains()),
+		slog.Int("schemas", sys.NumSchemas()),
+		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
+
+	if o.tuples > 0 {
+		cfg.Sources = make([]payg.TupleSource, len(set))
+		for i, s := range set {
+			cfg.Sources[i] = syntheticSource(s, o.tuples, int64(i))
+		}
+		logger.Info("attached synthetic data", slog.Int("tuples_per_source", o.tuples))
+	}
+
+	handler, err := server.NewWithConfig(sys, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return handler, nil, nil
+}
+
+// recoverServer restores the pre-crash state from the data dir: newest
+// checkpoint plus WAL replay. -in is ignored — the durable state is the
+// source of truth.
+func recoverServer(logger *slog.Logger, o options, cfg server.Config) (*server.Server, *server.Follower, error) {
+	if o.in != "" {
+		logger.Warn("ignoring -in: recovering state from -data-dir", slog.String("data_dir", o.dataDir))
+	}
+	start := time.Now()
+	mgr, err := payg.LoadManagerDir(o.dataDir, payg.ManagerOptions{
+		Policy:           cfg.Policy,
+		DriftThreshold:   o.driftThreshold,
+		DriftWindow:      cfg.DriftWindow,
+		RebuildInterval:  o.rebuildInterval,
+		QueryCacheSize:   o.queryCache,
+		DataDir:          o.dataDir,
+		FsyncMode:        o.fsync,
+		CheckpointRetain: o.checkpointRetain,
+		ServeData:        o.tuples > 0,
+		MakeSource: func(sch payg.Schema) payg.TupleSource {
+			return syntheticSource(sch, o.tuples, int64(len(sch.Name)))
+		},
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("recovering from %s: %w", o.dataDir, err)
+	}
+	st := mgr.Status()
+	logger.Info("recovered from data dir",
+		slog.String("data_dir", o.dataDir),
+		slog.Int("schemas", st.Schemas),
+		slog.Int("domains", st.Domains),
+		slog.Int("pending", st.Pending),
+		slog.Int("generation", st.Generation),
+		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
+	return server.NewWithManager(mgr, cfg), nil, nil
+}
+
+// buildFollower bootstraps a read-only replica from the leader's current
+// snapshot and returns the poll loop that keeps it converged.
+func buildFollower(logger *slog.Logger, o options) (*server.Server, *server.Follower, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	snap, gen, err := server.FetchSnapshot(ctx, nil, o.follow)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bootstrapping from leader %s: %w", o.follow, err)
+	}
+	mgr, err := payg.LoadManagerAt(bytes.NewReader(snap), gen, nil, payg.ManagerOptions{
+		QueryCacheSize: o.queryCache,
+		Logf: func(format string, args ...any) {
+			logger.Info(fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading leader snapshot: %w", err)
+	}
+	st := mgr.Status()
+	logger.Info("bootstrapped from leader",
+		slog.String("leader", o.follow),
+		slog.Int("schemas", st.Schemas),
+		slog.Int("domains", st.Domains),
+		slog.Int("generation", st.Generation))
+	handler := server.NewWithManager(mgr, server.Config{
+		Logger:      logger,
+		EnablePprof: o.pprofOn,
+		ReadOnly:    true,
+	})
+	follower := server.NewFollower(mgr, server.FollowerConfig{
+		Leader:   o.follow,
+		Interval: o.pollInterval,
+		Logger:   logger,
+	})
+	return handler, follower, nil
+}
+
+// syntheticSource builds a deterministic in-memory source for a schema so
+// /query serves data without external systems.
+func syntheticSource(s payg.Schema, tuples int, seed int64) payg.TupleSource {
+	rows := dataset.GenerateTuples(s, tuples, seed)
+	ts := make([]payg.Tuple, len(rows))
+	for k, r := range rows {
+		ts[k] = r
+	}
+	return payg.Source{Schema: s, Tuples: ts}
 }

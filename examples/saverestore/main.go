@@ -1,7 +1,9 @@
 // Save/restore: the pay-as-you-go lifecycle across process restarts. All
 // expensive work (clustering, exact classifier construction) happens once at
 // Build; Save persists the model and Load restores it without redoing that
-// work — queries answer identically before and after.
+// work — queries answer identically before and after. On-disk snapshots go
+// through SaveFile, which writes a temp file, fsyncs, and renames, so a
+// crash mid-save can never leave a truncated snapshot behind.
 //
 //	go run ./examples/saverestore
 package main
@@ -10,6 +12,8 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"time"
 
 	"schemaflow/internal/dataset"
@@ -38,8 +42,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("restored in %s (no re-clustering, no classifier setup)\n\n",
+	fmt.Printf("restored in %s (no re-clustering, no classifier setup)\n",
 		time.Since(start).Round(time.Millisecond))
+
+	// The same snapshot, written to disk atomically: SaveFile stages a temp
+	// file in the target directory, fsyncs, then renames into place.
+	dir, err := os.MkdirTemp("", "saverestore")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.snap")
+	if err := sys.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := os.Stat(path)
+	fmt.Printf("wrote %s atomically (%d bytes)\n\n", filepath.Base(path), fi.Size())
 
 	for _, q := range []string{
 		"hotel check in amenities",

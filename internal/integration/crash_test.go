@@ -1,0 +1,318 @@
+// Package integration holds end-to-end tests that exercise the real
+// payg-server binary: build it, run it as a child process, kill it
+// without warning, and check the durability guarantees hold from the
+// outside. The tests are gated behind PAYG_INTEGRATION=1 so the ordinary
+// unit-test run stays hermetic and fast; CI runs them in a dedicated job
+// (`make integration`).
+package integration
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const schemasFile = `air1 | departure, destination, airline
+air2 | departure city, destination city, carrier
+bib1 | title, authors, publication year
+bib2 | paper title, author, year
+`
+
+// buildServerBinary compiles cmd/payg-server once into dir.
+func buildServerBinary(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "payg-server")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/payg-server")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building payg-server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Dir(filepath.Dir(wd)) // internal/integration -> repo root
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("cannot locate repo root from %s: %v", wd, err)
+	}
+	return root
+}
+
+// freeAddr reserves a loopback port and releases it for the child
+// process to claim. The tiny reuse window is acceptable in tests.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type serverProc struct {
+	cmd  *exec.Cmd
+	base string
+	logs *bytes.Buffer
+}
+
+func startServer(t *testing.T, bin string, args ...string) *serverProc {
+	t.Helper()
+	var logs bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &logs
+	cmd.Stdout = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting payg-server: %v", err)
+	}
+	return &serverProc{cmd: cmd, logs: &logs}
+}
+
+// stop terminates the child if it is still running; safe after a kill.
+func (p *serverProc) stop() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+// kill delivers SIGKILL — no shutdown hooks, no draining; the crash the
+// WAL exists for.
+func (p *serverProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("killing payg-server: %v", err)
+	}
+	p.cmd.Wait()
+}
+
+func waitHealthy(t *testing.T, p *serverProc) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			var v map[string]any
+			derr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if derr == nil && resp.StatusCode == http.StatusOK {
+				return v
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server at %s never became healthy; logs:\n%s", p.base, p.logs.String())
+	return nil
+}
+
+func postSchema(t *testing.T, base, name string, attrs []string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"name": name, "attributes": attrs})
+	resp, err := http.Post(base+"/schemas", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /schemas: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /schemas %s: status %d", name, resp.StatusCode)
+	}
+}
+
+// TestCrashRecovery is the end-to-end durability check: start a durable
+// server, ingest schemas over HTTP, SIGKILL it mid-stream with no
+// checkpoint of the new arrivals, restart on the same data dir, and
+// require every acknowledged schema to be back.
+func TestCrashRecovery(t *testing.T) {
+	if os.Getenv("PAYG_INTEGRATION") != "1" {
+		t.Skip("set PAYG_INTEGRATION=1 to run integration tests")
+	}
+
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+	dataDir := filepath.Join(work, "data")
+	schemaPath := filepath.Join(work, "schemas.txt")
+	if err := os.WriteFile(schemaPath, []byte(schemasFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	args := []string{
+		"-in", schemaPath,
+		"-addr", addr,
+		"-data-dir", dataDir,
+		"-fsync", "always",
+		"-tuples", "0",
+		"-drift-threshold", "-1", // no background rebuild: arrivals stay WAL-only
+	}
+	p := startServer(t, bin, args...)
+	defer p.stop()
+	p.base = "http://" + addr
+
+	st := waitHealthy(t, p)
+	if got := st["schemas"].(float64); got != 4 {
+		t.Fatalf("initial schemas = %v, want 4", got)
+	}
+
+	// Each of these is acknowledged, hence WAL'd; none are checkpointed
+	// because reclustering is disabled.
+	ingested := [][2]any{
+		{"cruise1", []string{"departure port", "destination port", "price"}},
+		{"cruise2", []string{"embarkation", "disembarkation", "fare"}},
+		{"hotel1", []string{"hotel name", "city", "nightly rate"}},
+	}
+	for _, in := range ingested {
+		postSchema(t, p.base, in[0].(string), in[1].([]string))
+	}
+
+	p.kill(t)
+
+	// Restart on the same data dir: state must come back from checkpoint
+	// + WAL replay, not from -in.
+	p2 := startServer(t, bin, args...)
+	defer p2.stop()
+	p2.base = "http://" + addr
+
+	st = waitHealthy(t, p2)
+	if got := st["schemas"].(float64) + st["pending_schemas"].(float64); got != 7 {
+		t.Fatalf("after recovery: schemas+pending = %v, want 7; health = %v\nlogs:\n%s",
+			got, st, p2.logs.String())
+	}
+
+	// The recovered server keeps working: another ingest and a recluster
+	// that folds the journal into the model.
+	postSchema(t, p2.base, "hotel2", []string{"property", "location", "price per night"})
+	resp, err := http.Post(p2.base+"/admin/recluster", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admin/recluster: status %d", resp.StatusCode)
+	}
+
+	// A second crash+restart must preserve the reclustered state too.
+	p2.kill(t)
+	p3 := startServer(t, bin, args...)
+	defer p3.stop()
+	p3.base = "http://" + addr
+	st = waitHealthy(t, p3)
+	if got := st["schemas"].(float64) + st["pending_schemas"].(float64); got != 8 {
+		t.Fatalf("after second recovery: schemas+pending = %v, want 8; health = %v", got, st)
+	}
+	if gen := st["generation"].(float64); gen < 1 {
+		t.Fatalf("after recluster + recovery generation = %v, want >= 1", gen)
+	}
+}
+
+// TestFollowerReplication starts a durable leader and a -follow replica
+// and checks the replica converges on the leader's generation while
+// refusing writes.
+func TestFollowerReplication(t *testing.T) {
+	if os.Getenv("PAYG_INTEGRATION") != "1" {
+		t.Skip("set PAYG_INTEGRATION=1 to run integration tests")
+	}
+
+	work := t.TempDir()
+	bin := buildServerBinary(t, work)
+	schemaPath := filepath.Join(work, "schemas.txt")
+	if err := os.WriteFile(schemaPath, []byte(schemasFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderAddr := freeAddr(t)
+	leader := startServer(t, bin,
+		"-in", schemaPath,
+		"-addr", leaderAddr,
+		"-data-dir", filepath.Join(work, "leader-data"),
+		"-tuples", "0",
+	)
+	defer leader.stop()
+	leader.base = "http://" + leaderAddr
+	waitHealthy(t, leader)
+
+	followerAddr := freeAddr(t)
+	follower := startServer(t, bin,
+		"-addr", followerAddr,
+		"-follow", leader.base,
+		"-poll-interval", "100ms",
+	)
+	defer follower.stop()
+	follower.base = "http://" + followerAddr
+	st := waitHealthy(t, follower)
+	if st["read_only"] != true {
+		t.Fatalf("follower healthz missing read_only: %v", st)
+	}
+	if got := st["schemas"].(float64); got != 4 {
+		t.Fatalf("follower schemas = %v, want 4", got)
+	}
+
+	// Writes belong on the leader.
+	resp, err := http.Post(follower.base+"/schemas", "application/json",
+		strings.NewReader(`{"name":"x","attributes":["a","b"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("follower accepted a write: status %d", resp.StatusCode)
+	}
+
+	// Advance the leader (ingest + recluster bumps the generation) and
+	// wait for the follower to ship the new snapshot.
+	postSchema(t, leader.base, "cruise1", []string{"departure port", "destination port", "price"})
+	resp, err = http.Post(leader.base+"/admin/recluster", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /admin/recluster: status %d", resp.StatusCode)
+	}
+	leaderGen := healthGeneration(t, leader.base)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if gen := healthGeneration(t, follower.base); gen >= leaderGen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never reached leader generation %d; follower logs:\n%s",
+				leaderGen, follower.logs.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	st = waitHealthy(t, follower)
+	if got := st["schemas"].(float64); got != 5 {
+		t.Fatalf("follower schemas after convergence = %v, want 5", got)
+	}
+}
+
+func healthGeneration(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Generation int `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Generation
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"schemaflow/internal/obs"
+	"schemaflow/payg"
+)
+
+// Follower/snapshot-shipping metrics. One process follows at most one
+// leader, so none are labeled.
+var (
+	mSnapshotsServed = obs.Default().Counter(
+		"schemaflow_snapshots_served_total",
+		"Full snapshots streamed to GET /admin/snapshot callers (304 Not Modified polls excluded).")
+	mFollowerPolls = obs.Default().Counter(
+		"schemaflow_follower_polls_total",
+		"Snapshot polls sent to the leader, including ones answered 304 Not Modified.")
+	mFollowerSyncs = obs.Default().Counter(
+		"schemaflow_follower_syncs_total",
+		"Leader snapshots downloaded and atomically swapped into local serving.")
+	mFollowerSyncErrors = obs.Default().Counter(
+		"schemaflow_follower_sync_errors_total",
+		"Poll or restore attempts that failed (leader unreachable, bad snapshot, restore error).")
+	mFollowerLeaderGeneration = obs.Default().Gauge(
+		"schemaflow_follower_leader_generation",
+		"Last generation observed on the leader. Minus schemaflow_swap_generation = replication lag in swaps.")
+)
+
+// maxSnapshotBytes caps one snapshot download so a confused (or
+// malicious) leader cannot balloon the follower's heap.
+const maxSnapshotBytes = 1 << 30
+
+// FollowerConfig tunes a snapshot-shipping follower.
+type FollowerConfig struct {
+	// Leader is the leader's base URL, e.g. "http://leader:8080".
+	Leader string
+	// Interval is the poll period (default 2s). Each poll is a single
+	// conditional request; a full download happens only when the leader's
+	// generation advanced.
+	Interval time.Duration
+	// Client is the HTTP client used against the leader. Nil selects a
+	// client with a 30s timeout.
+	Client *http.Client
+	// Logger receives sync lifecycle messages. Nil discards them.
+	Logger *slog.Logger
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	c.Leader = strings.TrimRight(c.Leader, "/")
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Follower keeps a read-only replica converged on its leader by polling
+// GET /admin/snapshot and atomically swapping in each new generation —
+// the snapshot-shipping half of the durable serving tier. The leader's
+// generation counter is the replication clock: a 304 means "nothing new",
+// anything else ships the full state.
+type Follower struct {
+	mgr *payg.Manager
+	cfg FollowerConfig
+}
+
+// NewFollower wraps a manager (serving without data sources) as a
+// follower of cfg.Leader.
+func NewFollower(mgr *payg.Manager, cfg FollowerConfig) *Follower {
+	return &Follower{mgr: mgr, cfg: cfg.withDefaults()}
+}
+
+// FetchSnapshot downloads a full snapshot from the leader at base,
+// returning the payload and the generation it was taken at — the
+// bootstrap a follower starts from (payg.LoadManagerAt).
+func FetchSnapshot(ctx context.Context, client *http.Client, base string) ([]byte, int, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/admin/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fetching leader snapshot: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("leader snapshot: unexpected status %s", resp.Status)
+	}
+	gen, err := strconv.Atoi(resp.Header.Get(generationHeader))
+	if err != nil {
+		return nil, 0, fmt.Errorf("leader snapshot: bad %s header %q", generationHeader, resp.Header.Get(generationHeader))
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes+1))
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading leader snapshot: %w", err)
+	}
+	if len(body) > maxSnapshotBytes {
+		return nil, 0, fmt.Errorf("leader snapshot exceeds %d bytes", maxSnapshotBytes)
+	}
+	return body, gen, nil
+}
+
+// Sync performs one poll: a conditional snapshot request that downloads
+// and swaps in the leader's state only when its generation advanced past
+// the local one. It reports whether a new generation was adopted.
+func (f *Follower) Sync(ctx context.Context) (bool, error) {
+	mFollowerPolls.Inc()
+	local := f.mgr.Generation()
+	url := fmt.Sprintf("%s/admin/snapshot?after=%d", f.cfg.Leader, local)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		mFollowerSyncErrors.Inc()
+		return false, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("polling leader: %w", err)
+	}
+	defer resp.Body.Close()
+	if gen, err := strconv.Atoi(resp.Header.Get(generationHeader)); err == nil {
+		mFollowerLeaderGeneration.Set(float64(gen))
+	}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return false, nil
+	case http.StatusOK:
+	default:
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("polling leader: unexpected status %s", resp.Status)
+	}
+	gen, err := strconv.Atoi(resp.Header.Get(generationHeader))
+	if err != nil {
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("leader snapshot: bad %s header %q", generationHeader, resp.Header.Get(generationHeader))
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes+1))
+	if err != nil {
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("downloading leader snapshot: %w", err)
+	}
+	if len(body) > maxSnapshotBytes {
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("leader snapshot exceeds %d bytes", maxSnapshotBytes)
+	}
+	if err := f.mgr.Restore(bytes.NewReader(body), gen); err != nil {
+		mFollowerSyncErrors.Inc()
+		return false, fmt.Errorf("restoring leader snapshot: %w", err)
+	}
+	mFollowerSyncs.Inc()
+	f.cfg.Logger.Info("follower: adopted leader snapshot",
+		slog.Int("generation", gen),
+		slog.Int("previous_generation", local),
+		slog.Int("bytes", len(body)))
+	return true, nil
+}
+
+// Run polls until ctx is cancelled. Sync errors are logged and retried at
+// the next tick — a follower outlives leader restarts and network blips.
+func (f *Follower) Run(ctx context.Context) {
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := f.Sync(ctx); err != nil && ctx.Err() == nil {
+				f.cfg.Logger.Warn("follower: sync failed; will retry", slog.Any("error", err))
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"schemaflow/payg"
+)
+
+func TestSnapshotEndpoint(t *testing.T) {
+	s := testServer(t, false)
+	defer s.Close()
+
+	req := httptest.NewRequest(http.MethodGet, "/admin/snapshot", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("code %d: %s", rec.Code, rec.Body.String())
+	}
+	gen, err := strconv.Atoi(rec.Header().Get(generationHeader))
+	if err != nil {
+		t.Fatalf("bad generation header %q", rec.Header().Get(generationHeader))
+	}
+	if gen != s.Manager().Generation() {
+		t.Fatalf("header generation %d, manager %d", gen, s.Manager().Generation())
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatal("empty snapshot body")
+	}
+	// The payload must load back into a working manager.
+	mgr, err := payg.LoadManagerAt(bytes.NewReader(rec.Body.Bytes()), gen, nil, payg.ManagerOptions{})
+	if err != nil {
+		t.Fatalf("loading snapshot: %v", err)
+	}
+	defer mgr.Close()
+	if got := mgr.Status().Schemas; got != 4 {
+		t.Fatalf("restored schemas = %d, want 4", got)
+	}
+
+	// A follower already at the current generation gets a cheap 304.
+	req = httptest.NewRequest(http.MethodGet, "/admin/snapshot?after="+strconv.Itoa(gen), nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("conditional poll: code %d", rec.Code)
+	}
+	if rec.Header().Get(generationHeader) == "" {
+		t.Fatal("304 response missing generation header")
+	}
+
+	// A stale follower still gets the full snapshot.
+	req = httptest.NewRequest(http.MethodGet, "/admin/snapshot?after=-1", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale poll: code %d", rec.Code)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/admin/snapshot?after=banana", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad after: code %d", rec.Code)
+	}
+}
+
+func TestHealthzReportsGeneration(t *testing.T) {
+	s := testServer(t, false)
+	defer s.Close()
+	if _, err := s.Manager().ApplyFeedback(payg.Feedback{Splits: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("code %d", code)
+	}
+	want := `"generation":` + strconv.Itoa(s.Manager().Generation())
+	if !bytes.Contains([]byte(body), []byte(want)) {
+		t.Fatalf("healthz missing %s: %s", want, body)
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	base := testServer(t, false)
+	defer base.Close()
+	snap, gen, err := base.Manager().SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := payg.LoadManagerAt(bytes.NewReader(snap), gen, nil, payg.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithManager(mgr, Config{ReadOnly: true})
+	defer s.Close()
+
+	for _, path := range []string{"/feedback", "/schemas", "/admin/recluster"} {
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(`{}`)))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusForbidden {
+			t.Errorf("POST %s on read-only server: code %d, want 403", path, rec.Code)
+		}
+	}
+
+	// Reads still work, and healthz advertises the mode.
+	code, body := get(t, s, "/domains")
+	if code != http.StatusOK {
+		t.Fatalf("GET /domains on read-only server: code %d", code)
+	}
+	code, body = get(t, s, "/healthz")
+	if code != http.StatusOK || !bytes.Contains([]byte(body), []byte(`"read_only":true`)) {
+		t.Fatalf("healthz = %d %s, want read_only:true", code, body)
+	}
+}
+
+// TestFollowerConvergence runs a real leader over HTTP, bootstraps a
+// follower from its snapshot, advances the leader, and checks a Sync
+// ships the new generation.
+func TestFollowerConvergence(t *testing.T) {
+	leader := testServer(t, false)
+	defer leader.Close()
+	ts := httptest.NewServer(leader)
+	defer ts.Close()
+
+	ctx := context.Background()
+	snap, gen, err := FetchSnapshot(ctx, nil, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := payg.LoadManagerAt(bytes.NewReader(snap), gen, nil, payg.ManagerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFollower(mgr, FollowerConfig{Leader: ts.URL})
+	defer mgr.Close()
+
+	// In sync: a poll is a no-op.
+	if changed, err := f.Sync(ctx); err != nil || changed {
+		t.Fatalf("sync while current: changed=%v err=%v", changed, err)
+	}
+
+	// Advance the leader and converge.
+	if _, err := leader.Manager().ApplyFeedback(payg.Feedback{Splits: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	changed, err := f.Sync(ctx)
+	if err != nil || !changed {
+		t.Fatalf("sync after leader advance: changed=%v err=%v", changed, err)
+	}
+	if got, want := mgr.Generation(), leader.Manager().Generation(); got != want {
+		t.Fatalf("follower generation %d, leader %d", got, want)
+	}
+	if got, want := mgr.Status().Domains, leader.Manager().Status().Domains; got != want {
+		t.Fatalf("follower domains %d, leader %d", got, want)
+	}
+	// Classifications are bit-identical across the pair.
+	q := "departure, destination, airline"
+	fs, ls := mgr.Classify(q), leader.Manager().Classify(q)
+	if len(fs) != len(ls) {
+		t.Fatalf("ranking lengths differ: %d vs %d", len(fs), len(ls))
+	}
+	for i := range fs {
+		if fs[i] != ls[i] {
+			t.Fatalf("ranking diverges at %d: %+v vs %+v", i, fs[i], ls[i])
+		}
+	}
+}

@@ -16,7 +16,9 @@
 //	POST /feedback                {"moves": [...], "merges": [...], "splits": [...]}
 //	POST /schemas                 {"name": "...", "attributes": [...]} — online ingestion
 //	POST /admin/recluster         force a full recluster over serving + pending schemas
-//	GET  /healthz                 liveness + ingestion status + per-source breaker states
+//	GET  /admin/snapshot          stream the serving state (generation in X-Schemaflow-Generation;
+//	                              ?after=N answers 304 until the generation passes N)
+//	GET  /healthz                 liveness + ingestion status + generation + breaker states
 //	GET  /metrics                 metrics registry (Prometheus text; JSON on Accept/?format=json)
 //	     /debug/pprof/*           runtime profiles (only with Config.EnablePprof)
 //
@@ -98,6 +100,21 @@ type Config struct {
 	// result cache (payg.ManagerOptions.QueryCacheSize: 0 means the default
 	// 1024, negative disables caching).
 	QueryCacheSize int
+	// DataDir, when set, makes the serving tier durable: accepted
+	// arrivals hit a write-ahead log before their ack, recluster swaps
+	// write atomic checkpoint snapshots, and a restart recovers both
+	// (payg.ManagerOptions.DataDir).
+	DataDir string
+	// FsyncMode is the WAL fsync policy: "always" (default), "interval",
+	// or "none".
+	FsyncMode string
+	// CheckpointRetain is how many rotated checkpoints to keep in DataDir
+	// (0 = default 3).
+	CheckpointRetain int
+	// ReadOnly rejects every state-mutating endpoint (POST /schemas,
+	// /feedback, /admin/recluster) with 403 — the follower serving mode,
+	// where state arrives only by snapshot shipping.
+	ReadOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -154,11 +171,14 @@ func New(sys *payg.System, sources []payg.Source) *Server {
 func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	mgr, err := payg.NewManager(sys, cfg.Sources, payg.ManagerOptions{
-		Policy:          cfg.Policy,
-		DriftThreshold:  cfg.DriftThreshold,
-		DriftWindow:     cfg.DriftWindow,
-		RebuildInterval: cfg.RebuildInterval,
-		QueryCacheSize:  cfg.QueryCacheSize,
+		Policy:           cfg.Policy,
+		DriftThreshold:   cfg.DriftThreshold,
+		DriftWindow:      cfg.DriftWindow,
+		RebuildInterval:  cfg.RebuildInterval,
+		QueryCacheSize:   cfg.QueryCacheSize,
+		DataDir:          cfg.DataDir,
+		FsyncMode:        cfg.FsyncMode,
+		CheckpointRetain: cfg.CheckpointRetain,
 		Logf: func(format string, args ...any) {
 			cfg.Logger.Info(fmt.Sprintf(format, args...))
 		},
@@ -166,7 +186,28 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewWithManager(mgr, cfg), nil
+}
+
+// NewWithManager wires an already-constructed manager — recovered from a
+// data dir (payg.LoadManagerDir) or bootstrapped for follower mode
+// (payg.LoadManagerAt) — to the HTTP handler. The manager's own
+// durability settings apply; Config fields that would construct a new
+// manager (Sources, DataDir, drift tuning) are ignored.
+func NewWithManager(mgr *payg.Manager, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{mgr: mgr, cfg: cfg, logger: cfg.Logger}
+	// mutating wraps a handler with the read-only guard: follower
+	// replicas answer every read but refuse writes, which belong on the
+	// leader.
+	mutating := func(h http.HandlerFunc) http.HandlerFunc {
+		if !cfg.ReadOnly {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusForbidden, "read-only follower: send writes to the leader")
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", route("/healthz", s.handleHealth))
 	mux.HandleFunc("GET /metrics", route("/metrics", s.handleMetrics))
@@ -176,9 +217,10 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /explain", route("/explain", s.handleExplain))
 	mux.HandleFunc("GET /schema", route("/schema", s.handleSchema))
 	mux.HandleFunc("POST /query", route("/query", s.handleQuery))
-	mux.HandleFunc("POST /feedback", route("/feedback", s.handleFeedback))
-	mux.HandleFunc("POST /schemas", route("/schemas", s.handleIngest))
-	mux.HandleFunc("POST /admin/recluster", route("/admin/recluster", s.handleRecluster))
+	mux.HandleFunc("POST /feedback", route("/feedback", mutating(s.handleFeedback)))
+	mux.HandleFunc("POST /schemas", route("/schemas", mutating(s.handleIngest)))
+	mux.HandleFunc("POST /admin/recluster", route("/admin/recluster", mutating(s.handleRecluster)))
+	mux.HandleFunc("GET /admin/snapshot", route("/admin/snapshot", s.handleSnapshot))
 	if cfg.EnablePprof {
 		// No method prefix: pprof.Symbol accepts GET and POST. The request
 		// timeout exempts this subtree so long CPU/trace profiles survive.
@@ -189,7 +231,7 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 		mux.HandleFunc("/debug/pprof/trace", route("/debug/pprof", pprof.Trace))
 	}
 	s.handler = withObserve(cfg.Logger, s.withRecover(withRequestTimeout(cfg.RequestTimeout, mux)))
-	return s, nil
+	return s
 }
 
 // Manager exposes the ingestion manager (snapshotting, programmatic
@@ -280,6 +322,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"domains":         st.Domains,
 		"rebuilding":      st.Rebuilding,
 		"pending_schemas": st.Pending,
+		"generation":      st.Generation,
+	}
+	if s.cfg.ReadOnly {
+		resp["read_only"] = true
 	}
 	// Executor health: per-source breaker states, so an operator sees a
 	// degraded source here before queries start returning degraded
@@ -581,6 +627,44 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		out.Domains = append(out.Domains, domainProbJSON{Domain: d.Domain, Prob: d.Prob})
 	}
 	writeJSON(w, http.StatusAccepted, out)
+}
+
+// generationHeader carries the serving generation a snapshot was taken
+// at; followers publish the downloaded state at exactly this generation.
+const generationHeader = "X-Schemaflow-Generation"
+
+// handleSnapshot streams the current serving state (system + pending
+// journal) in Manager.Save format, stamped with its generation. A
+// follower that already holds generation N polls with ?after=N and gets
+// 304 Not Modified until a swap advances the leader — one cheap request
+// per poll instead of a full download.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if after := r.URL.Query().Get("after"); after != "" {
+		gen, err := strconv.Atoi(after)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad after parameter")
+			return
+		}
+		if s.mgr.Generation() <= gen {
+			w.Header().Set(generationHeader, strconv.Itoa(s.mgr.Generation()))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	// Serialization is buffered under the swap lock, so a slow download
+	// never blocks ingests or swaps.
+	snap, gen, err := s.mgr.SnapshotBytes()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	mSnapshotsServed.Inc()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(snap)))
+	w.Header().Set(generationHeader, strconv.Itoa(gen))
+	if _, err := w.Write(snap); err != nil {
+		s.logger.Warn("streaming snapshot", slog.Any("error", err))
+	}
 }
 
 func (s *Server) handleRecluster(w http.ResponseWriter, r *http.Request) {

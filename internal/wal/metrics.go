@@ -1,0 +1,32 @@
+package wal
+
+import "schemaflow/internal/obs"
+
+// WAL metrics, registered on the default registry so /metrics exposes
+// them. One serving process owns one WAL, so none of these are labeled.
+var (
+	mWALAppends = obs.Default().Counter(
+		"schemaflow_wal_appends_total",
+		"Records appended to the write-ahead log (one per acked ingest or feedback arrival).")
+	mWALAppendErrors = obs.Default().Counter(
+		"schemaflow_wal_append_errors_total",
+		"WAL appends that failed at the filesystem; the arrival that caused one is NOT acked.")
+	mWALAppendedBytes = obs.Default().Counter(
+		"schemaflow_wal_appended_bytes_total",
+		"Bytes appended to the WAL, framing included.")
+	mWALSize = obs.Default().Gauge(
+		"schemaflow_wal_size_bytes",
+		"Current WAL file size. Drops to 0 when a checkpoint truncates the log.")
+	mWALFsyncs = obs.Default().Counter(
+		"schemaflow_wal_fsyncs_total",
+		"fsync calls issued by the WAL (per append under -fsync always; per timer tick under interval).")
+	mWALRecovered = obs.Default().Counter(
+		"schemaflow_wal_recovered_records_total",
+		"Records recovered by WAL replay at startup.")
+	mWALTornBytes = obs.Default().Counter(
+		"schemaflow_wal_torn_bytes_total",
+		"Trailing bytes discarded at startup because the final record was torn by a crash.")
+	mWALTruncations = obs.Default().Counter(
+		"schemaflow_wal_truncations_total",
+		"WAL resets, one per successful checkpoint that made the logged records redundant.")
+)

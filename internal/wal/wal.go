@@ -1,0 +1,347 @@
+// Package wal implements the append-only write-ahead log that makes the
+// serving tier durable: every record accepted by the online ingestion
+// pipeline is persisted here *before* the client sees its ack, so a crash
+// between ack and checkpoint can always be replayed.
+//
+// The on-disk format is deliberately boring — a flat sequence of
+// length-prefixed, checksummed records:
+//
+//	| length uint32 LE | crc32(payload) uint32 LE | payload ... |
+//
+// Boring buys two properties that matter after a power cut:
+//
+//   - A torn tail (partial header, partial payload, or a payload whose
+//     CRC does not match) is detected positionally: everything before it
+//     is intact, everything from it on is garbage. Open truncates the
+//     file back to the longest valid record prefix instead of failing —
+//     a crash mid-append loses at most the record that was never acked.
+//   - Replay needs no index, no compaction, and no framing state beyond
+//     a byte offset.
+//
+// The log is truncated (Reset) by its owner once a checkpoint has made
+// its records redundant; it is not a general-purpose queue.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// headerSize is the fixed per-record framing overhead.
+const headerSize = 8
+
+// MaxRecordSize bounds a single record. A corrupt length field could
+// otherwise ask Open to allocate gigabytes before the CRC gets a chance to
+// reject the record.
+const MaxRecordSize = 64 << 20
+
+// SyncMode selects when appended records are fsynced to stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs after every append: an acked record survives an
+	// immediate power cut. The default, and the slowest.
+	SyncAlways SyncMode = iota
+	// SyncInterval fsyncs on a background timer (Options.Interval). A
+	// crash loses at most one interval's worth of acked records; an OS
+	// crash is required — a process crash alone loses nothing, because
+	// the page cache survives the process.
+	SyncInterval
+	// SyncNone never fsyncs; the OS flushes when it pleases. Fastest,
+	// and exactly as durable as the kernel's writeback mood.
+	SyncNone
+)
+
+// ParseSyncMode maps the operator-facing mode names ("always",
+// "interval", "none") to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always, interval, or none)", s)
+}
+
+// Options tunes a Log. The zero value selects SyncAlways.
+type Options struct {
+	// Mode is the fsync policy.
+	Mode SyncMode
+	// Interval is the background fsync period for SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	opts    Options
+	size    int64
+	records int
+	dirty   bool // appended since last fsync (SyncInterval bookkeeping)
+	closed  bool
+
+	recovered [][]byte
+	torn      int64
+
+	stop chan struct{} // closes the interval syncer; nil otherwise
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the log at path, scans it, and
+// truncates any torn tail back to the longest valid prefix of records.
+// The records that survived the scan are available from Recovered until
+// Reset discards them.
+func Open(path string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, opts: opts}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.Mode == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	mWALSize.Set(float64(l.size))
+	return l, nil
+}
+
+// recover scans the file from the start, collects every valid record,
+// and truncates the file at the first invalid byte. Called once by Open.
+func (l *Log) recover() error {
+	info, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat %s: %w", l.path, err)
+	}
+	fileSize := info.Size()
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+
+	var (
+		valid  int64
+		hdr    [headerSize]byte
+		reader = io.Reader(l.f)
+	)
+	for {
+		if _, err := io.ReadFull(reader, hdr[:]); err != nil {
+			break // clean EOF or torn header — either way the prefix ends here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxRecordSize || valid+headerSize+int64(n) > fileSize {
+			break // corrupt length field
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(reader, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // bit rot or torn write that happened to be length-consistent
+		}
+		l.recovered = append(l.recovered, payload)
+		valid += headerSize + int64(n)
+	}
+
+	if valid < fileSize {
+		l.torn = fileSize - valid
+		mWALTornBytes.Add(uint64(l.torn))
+		if err := l.f.Truncate(valid); err != nil {
+			return fmt.Errorf("wal: truncating torn tail of %s: %w", l.path, err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing %s after tail truncation: %w", l.path, err)
+		}
+	}
+	if _, err := l.f.Seek(valid, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = valid
+	l.records = len(l.recovered)
+	mWALRecovered.Add(uint64(len(l.recovered)))
+	return nil
+}
+
+// Recovered returns the records that survived the Open scan, in append
+// order. The slice is owned by the log; callers must not retain it past
+// Reset.
+func (l *Log) Recovered() [][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recovered
+}
+
+// TornBytes reports how many trailing bytes Open discarded as torn.
+func (l *Log) TornBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Records returns the number of records in the log (recovered plus
+// appended since Open or Reset).
+func (l *Log) Records() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Append writes one record and, under SyncAlways, fsyncs before
+// returning: when Append returns nil the record will survive a crash.
+// The payload is copied into the framing buffer; the caller keeps
+// ownership of p.
+func (l *Log) Append(p []byte) error {
+	if len(p) > MaxRecordSize {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecordSize", len(p))
+	}
+	buf := make([]byte, headerSize+len(p))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(p))
+	copy(buf[headerSize:], p)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		// The write may have landed partially; the torn tail will be
+		// truncated by the next Open. Do not advance the counters.
+		mWALAppendErrors.Inc()
+		return fmt.Errorf("wal: appending to %s: %w", l.path, err)
+	}
+	l.size += int64(len(buf))
+	l.records++
+	l.dirty = true
+	mWALAppends.Inc()
+	mWALAppendedBytes.Add(uint64(len(buf)))
+	mWALSize.Set(float64(l.size))
+	if l.opts.Mode == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of the sync mode.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	l.dirty = false
+	mWALFsyncs.Inc()
+	return nil
+}
+
+// Reset truncates the log to empty and discards the recovered records —
+// called after a checkpoint has made every logged record redundant.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncating %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	l.size = 0
+	l.records = 0
+	l.recovered = nil
+	l.dirty = false
+	mWALTruncations.Inc()
+	mWALSize.Set(0)
+	return nil
+}
+
+// Close stops the background syncer (if any), fsyncs once, and closes
+// the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stop, done := l.stop, l.done
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	var errs []error
+	if err := l.f.Sync(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := l.f.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// syncLoop is the SyncInterval background fsyncer.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				// Best effort: an fsync error here surfaces on the next
+				// Append (SyncAlways) or Close; the data is still in the
+				// page cache either way.
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testRecords is a deterministic set of variable-length payloads,
+// including an empty one (legal: the CRC of zero bytes still validates).
+func testRecords() [][]byte {
+	return [][]byte{
+		[]byte("alpha"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 100),
+		[]byte(`{"kind":"ingest","schema":{"name":"cruises"}}`),
+		bytes.Repeat([]byte("xyz"), 17),
+	}
+}
+
+func writeLog(t *testing.T, path string, recs [][]byte) {
+	t.Helper()
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// recordEnds returns the cumulative byte offset at which each record
+// (framing included) ends, so a truncation point maps to the number of
+// complete records before it.
+func recordEnds(recs [][]byte) []int64 {
+	ends := make([]int64, len(recs))
+	var off int64
+	for i, r := range recs {
+		off += headerSize + int64(len(r))
+		ends[i] = off
+	}
+	return ends
+}
+
+// TestTornTailEveryOffset is the property test the recovery guarantee
+// hangs on: truncating a valid log at EVERY byte offset must never panic
+// Open and must always recover exactly the records that end at or before
+// the cut.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := testRecords()
+	writeLog(t, full, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := recordEnds(recs)
+	if ends[len(ends)-1] != int64(len(data)) {
+		t.Fatalf("file size %d, computed %d", len(data), ends[len(ends)-1])
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		wantN := 0
+		for _, e := range ends {
+			if int64(cut) >= e {
+				wantN++
+			}
+		}
+		got := l.Recovered()
+		if len(got) != wantN {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), wantN)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], recs[i]) {
+				t.Fatalf("cut %d: record %d = %q, want %q", cut, i, got[i], recs[i])
+			}
+		}
+		wantSize := int64(0)
+		if wantN > 0 {
+			wantSize = ends[wantN-1]
+		}
+		if l.Size() != wantSize {
+			t.Fatalf("cut %d: size %d after recovery, want %d", cut, l.Size(), wantSize)
+		}
+		if wantTorn := int64(cut) - wantSize; l.TornBytes() != wantTorn {
+			t.Fatalf("cut %d: torn %d, want %d", cut, l.TornBytes(), wantTorn)
+		}
+
+		// The truncated log must accept appends and survive a reopen.
+		extra := []byte(fmt.Sprintf("post-crash-%d", cut))
+		if err := l.Append(extra); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		got2 := l2.Recovered()
+		if len(got2) != wantN+1 || !bytes.Equal(got2[wantN], extra) {
+			t.Fatalf("cut %d: reopen recovered %d records, want %d ending in %q", cut, len(got2), wantN+1, extra)
+		}
+		l2.Close()
+	}
+}
+
+// TestBitFlipRecoversPrefix flips every byte of a valid log in turn and
+// asserts Open never panics and recovers a strict prefix of the original
+// records (a flipped bit can only shorten the valid prefix, never
+// fabricate acceptable records).
+func TestBitFlipRecoversPrefix(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	recs := testRecords()
+	writeLog(t, full, recs)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "flipped.log")
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("flip %d: Open: %v", i, err)
+		}
+		got := l.Recovered()
+		if len(got) > len(recs) {
+			t.Fatalf("flip %d: recovered %d records from a %d-record log", i, len(got), len(recs))
+		}
+		for k := range got {
+			if !bytes.Equal(got[k], recs[k]) {
+				t.Fatalf("flip %d: record %d diverges from the original prefix", i, k)
+			}
+		}
+		l.Close()
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	recs := testRecords()
+	writeLog(t, path, recs)
+
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.Recovered(); len(got) != len(recs) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(recs))
+	}
+	if l.Records() != len(recs) {
+		t.Fatalf("Records() = %d", l.Records())
+	}
+	if l.TornBytes() != 0 {
+		t.Fatalf("torn bytes %d on a clean log", l.TornBytes())
+	}
+}
+
+func TestResetEmptiesLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, r := range testRecords() {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 || l.Records() != 0 || len(l.Recovered()) != 0 {
+		t.Fatalf("after Reset: size=%d records=%d recovered=%d", l.Size(), l.Records(), len(l.Recovered()))
+	}
+	// Appends after Reset start a fresh record sequence.
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Recovered()
+	if len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("recovered %q after reset+append", got)
+	}
+}
+
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNone} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, err := Open(path, Options{Mode: mode, Interval: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append([]byte("rec")); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if mode == SyncInterval {
+			time.Sleep(20 * time.Millisecond) // let the syncLoop tick at least once
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{"": SyncAlways, "always": SyncAlways, "interval": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("bogus"); err == nil {
+		t.Fatal("ParseSyncMode accepted bogus mode")
+	}
+}
+
+func TestAppendRejectsOversizeRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Fake the length without allocating 64 MiB: a record one byte over
+	// the cap must be rejected before any I/O.
+	oversize := make([]byte, MaxRecordSize+1)
+	if err := l.Append(oversize); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+	if l.Size() != 0 {
+		t.Fatalf("rejected record advanced size to %d", l.Size())
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+	if err := l.Append([]byte("x")); err == nil {
+		t.Fatal("Append on closed log succeeded")
+	}
+	if err := l.Reset(); err == nil {
+		t.Fatal("Reset on closed log succeeded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"schemaflow/internal/core"
 	"schemaflow/internal/ingest"
+	"schemaflow/internal/wal"
 )
 
 // ManagerOptions tunes the online ingestion pipeline. The zero value of
@@ -50,6 +51,31 @@ type ManagerOptions struct {
 	// negative disables caching entirely (every request runs the
 	// classifier).
 	QueryCacheSize int
+	// DataDir, when set, makes the manager durable: accepted arrivals are
+	// written to a write-ahead log before they are acked, every recluster
+	// swap writes a generation-stamped checkpoint snapshot (atomic
+	// temp-file+rename), and LoadManagerDir recovers the full state after
+	// a crash. Empty disables persistence. A fresh manager refuses a
+	// DataDir that already holds a checkpoint — recover it with
+	// LoadManagerDir instead of silently clobbering it.
+	DataDir string
+	// FsyncMode selects the WAL fsync policy: "always" (default — an
+	// acked arrival survives an immediate power cut), "interval"
+	// (background fsync every FsyncInterval), or "none" (the OS decides).
+	FsyncMode string
+	// FsyncInterval is the background fsync period under
+	// FsyncMode "interval" (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointRetain is how many checkpoint snapshots rotation keeps in
+	// DataDir (default 3, minimum 1). Recovery always uses the newest;
+	// older ones are manual-disaster spares.
+	CheckpointRetain int
+	// ServeData makes LoadManagerDir attach one MakeSource-built
+	// TupleSource per recovered schema, so the query path survives
+	// recovery (a static source list cannot — the recovered schema set no
+	// longer aligns with it). False leaves the recovered manager without
+	// data: classification and ingestion work, /query does not.
+	ServeData bool
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -73,6 +99,12 @@ func (o ManagerOptions) withDefaults() ManagerOptions {
 	}
 	if o.QueryCacheSize == 0 {
 		o.QueryCacheSize = 1024
+	}
+	if o.CheckpointRetain == 0 {
+		o.CheckpointRetain = 3
+	}
+	if o.CheckpointRetain < 1 {
+		o.CheckpointRetain = 1
 	}
 	return o
 }
@@ -129,6 +161,13 @@ type Manager struct {
 	// set and serving generation; nil when QueryCacheSize < 0.
 	queries *queryCache
 
+	// Durability (nil/zero when ManagerOptions.DataDir is empty). wal is
+	// appended under mu before an arrival is acked; checkpointLocked
+	// truncates it after a snapshot lands.
+	wal     *wal.Log
+	dataDir string
+	retain  int
+
 	stopInterval context.CancelFunc
 	wg           sync.WaitGroup
 }
@@ -156,6 +195,19 @@ func NewManager(sys *System, sources []TupleSource, opts ManagerOptions) (*Manag
 		st.sources = sources
 	}
 	m.cur.Store(st)
+	if opts.DataDir != "" {
+		// Bootstrap durability for a freshly built system. A data dir
+		// that already holds a checkpoint belongs to a previous
+		// incarnation — refuse to clobber it.
+		if ok, err := HasCheckpoint(opts.DataDir); err != nil {
+			return nil, fmt.Errorf("payg: scanning data dir %s: %w", opts.DataDir, err)
+		} else if ok {
+			return nil, fmt.Errorf("payg: data dir %s already holds a checkpoint; recover it with LoadManagerDir", opts.DataDir)
+		}
+		if err := m.initDurable(opts); err != nil {
+			return nil, err
+		}
+	}
 	if opts.RebuildInterval > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
 		m.stopInterval = cancel
@@ -296,6 +348,12 @@ type IngestResult struct {
 // rebuild, and counted toward drift. If the drift ratio crosses the
 // threshold a background recluster starts (single-flight). Ingest never
 // blocks on a rebuild.
+//
+// On a durable manager (ManagerOptions.DataDir) the arrival is appended
+// to the write-ahead log — fsynced under the default policy — before
+// Ingest returns, so an acked arrival survives a crash at any later
+// point. A WAL append failure rejects the arrival instead of acking
+// something the disk never saw.
 func (m *Manager) Ingest(sch Schema) (*IngestResult, error) {
 	st := m.cur.Load()
 	a, err := st.sys.Ingest(sch)
@@ -307,6 +365,9 @@ func (m *Manager) Ingest(sch Schema) (*IngestResult, error) {
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, fmt.Errorf("payg: manager closed")
+	}
+	if err := m.appendWALLocked(walRecord{Kind: walKindIngest, Schema: &sch}); err != nil {
+		return nil, err
 	}
 	m.journal.Append(journalEntry(sch, a))
 	m.drift.Record(a.Fresh)
@@ -445,14 +506,24 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 	mIngestDrift.Set(m.drift.Ratio())
 	m.opts.Logf("payg: rebuild published: %d schemas, %d domains (%d still pending)",
 		newSys.NumSchemas(), newSys.NumDomains(), m.journal.Len())
+	// Make the swap durable: a checkpoint stamped with the new generation
+	// supersedes every WAL record (drained arrivals are in the system,
+	// undrained ones in the snapshot's journal), so the log truncates.
+	m.checkpointLocked()
 }
 
 // ApplyFeedback applies explicit user corrections to the serving system
 // and swaps the corrected system in, serialized against rebuild
 // publication. Pending (journaled) schemas are unaffected — they join at
 // the next rebuild over the corrected base; an in-flight background
-// rebuild is invalidated and will be discarded on completion.
+// rebuild is invalidated and will be discarded on completion. On a
+// durable manager the validated batch is written to the WAL before the
+// swap, so crash recovery re-applies it deterministically.
 func (m *Manager) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
+	return m.applyFeedback(fb, true)
+}
+
+func (m *Manager) applyFeedback(fb Feedback, logWAL bool) (*FeedbackResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -462,6 +533,15 @@ func (m *Manager) ApplyFeedback(fb Feedback) (*FeedbackResult, error) {
 	res, err := st.sys.ApplyFeedback(fb)
 	if err != nil {
 		return nil, err
+	}
+	// Validation passed (ApplyFeedback builds the corrected system without
+	// mutating the serving one). Persist before publishing: if the WAL
+	// rejects the record, nothing has swapped and the caller gets an
+	// error; recovery therefore only ever replays feedback that was acked.
+	if logWAL {
+		if err := m.appendWALLocked(walRecord{Kind: walKindFeedback, Feedback: &fb}); err != nil {
+			return nil, err
+		}
 	}
 	next := &managedState{sys: res.System, sources: st.sources, gen: m.gen + 1}
 	if st.sources != nil {
@@ -504,6 +584,10 @@ type ManagerStatus struct {
 	// thrown away because the serving system changed mid-flight.
 	Rebuilds  int
 	Discarded int
+	// Generation is the serving-state generation, bumped on every atomic
+	// swap. Followers compare it against the leader's to measure
+	// replication lag.
+	Generation int
 }
 
 // Status reports the pipeline's current state.
@@ -519,6 +603,7 @@ func (m *Manager) Status() ManagerStatus {
 		DriftRatio: m.drift.Ratio(),
 		Rebuilds:   m.rebuilds,
 		Discarded:  m.discarded,
+		Generation: m.gen,
 	}
 }
 
@@ -541,9 +626,10 @@ func (m *Manager) intervalLoop(ctx context.Context, every time.Duration) {
 	}
 }
 
-// Close stops the interval loop, cancels any in-flight rebuild, and waits
-// for background goroutines to finish. The manager keeps serving reads
-// (System/Executor) but rejects further Ingest/Recluster/ApplyFeedback.
+// Close stops the interval loop, cancels any in-flight rebuild, waits
+// for background goroutines to finish, and closes the write-ahead log.
+// The manager keeps serving reads (System/Executor) but rejects further
+// Ingest/Recluster/ApplyFeedback.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -560,4 +646,11 @@ func (m *Manager) Close() {
 	}
 	m.mu.Unlock()
 	m.wg.Wait()
+	// After wg.Wait no rebuild can checkpoint and closed blocks new
+	// arrivals, so the log is quiescent.
+	if m.wal != nil {
+		if err := m.wal.Close(); err != nil {
+			m.opts.Logf("payg: closing WAL: %v", err)
+		}
+	}
 }

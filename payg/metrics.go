@@ -69,6 +69,20 @@ var (
 		"Queries per Manager.ClassifyBatch call (POST /classify/batch request width).",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 
+	mCheckpointsWritten = obs.Default().Counter(
+		"schemaflow_checkpoints_written_total",
+		"Durable checkpoint snapshots written (after recluster swaps and at recovery compaction).")
+	mCheckpointErrors = obs.Default().Counter(
+		"schemaflow_checkpoint_errors_total",
+		"Checkpoint writes or post-checkpoint WAL truncations that failed; the WAL is kept so recovery loses nothing.")
+	mCheckpointDuration = obs.Default().Histogram(
+		"schemaflow_checkpoint_duration_seconds",
+		"Wall-clock duration of one checkpoint write (serialize, fsync, rename, WAL truncate, prune).",
+		obs.DurationBuckets())
+	mCheckpointGeneration = obs.Default().Gauge(
+		"schemaflow_checkpoint_generation",
+		"Generation stamped on the newest durable checkpoint. Lag behind schemaflow_swap_generation is the WAL replay a crash would incur.")
+
 	mBuildPhase = obs.Default().HistogramVec(
 		"schemaflow_build_phase_duration_seconds",
 		"Duration of each Build pipeline phase (features, cluster, domains, classifier, mediation).",
