@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-assign bench-query repro fuzz fuzz-smoke docs-check integration clean
+.PHONY: all build vet test race bench bench-ingest bench-assign bench-query bench-build bench-build-smoke repro fuzz fuzz-smoke docs-check integration clean
 
 all: build vet test
 
@@ -39,6 +39,16 @@ bench-assign:
 # Classify, plus the parallel batch path (writes BENCH_query.json).
 bench-query:
 	$(GO) test ./payg -run TestQueryBenchArtifact -bench-query-artifact=true
+
+# Offline-build scaling sweep: blocked (LSH + sparse HAC) vs exact
+# all-pairs at n = {2k, 10k, 50k, 100k} (writes BENCH_build.json).
+# The exact arm stops at 10k; expect the full sweep to run for a while.
+bench-build:
+	PAYG_BENCH_BUILD_FULL=1 $(GO) test ./payg -run TestBuildBenchArtifact -bench-build-artifact=true -timeout 7200s
+
+# CI smoke: smallest size only, artifact discarded outside the repo.
+bench-build-smoke:
+	$(GO) test ./payg -run TestBuildBenchArtifact -bench-build-artifact=true -bench-build-out=/tmp/BENCH_build.json -timeout 600s
 
 # Short fuzz pass over every hand-written parser. FUZZTIME is overridable;
 # CI's fuzz-smoke job uses 10s per target.

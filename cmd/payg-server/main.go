@@ -77,6 +77,10 @@ import (
 type options struct {
 	in, addr         string
 	tau              float64
+	candGen          string
+	lshBands         int
+	lshRows          int
+	candThreshold    float64
 	tuples           int
 	sourceTimeout    time.Duration
 	retries          int
@@ -96,6 +100,10 @@ func main() {
 	flag.StringVar(&o.in, "in", "", "schema file (.json or line format); required unless recovering from -data-dir or following")
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.Float64Var(&o.tau, "tau", 0.25, "clustering threshold tau_c_sim")
+	flag.StringVar(&o.candGen, "candgen", "auto", "clustering candidate generation: auto, exact, or lsh (sub-quadratic blocked build)")
+	flag.IntVar(&o.lshBands, "lsh-bands", 128, "LSH bands for the blocked build")
+	flag.IntVar(&o.lshRows, "lsh-rows", 2, "MinHash rows per LSH band")
+	flag.Float64Var(&o.candThreshold, "cand-threshold", 0, "minimum estimated Jaccard for an LSH candidate pair (0 keeps every collision)")
 	flag.IntVar(&o.tuples, "tuples", 20, "synthetic tuples per source for /query (0 disables data)")
 	flag.DurationVar(&o.sourceTimeout, "source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
 	flag.IntVar(&o.retries, "retries", 2, "retries per data-source fetch after the first failure")
@@ -207,7 +215,13 @@ func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follow
 		return nil, nil, err
 	}
 	start := time.Now()
-	sys, err := payg.Build(set, payg.Options{TauCSim: o.tau})
+	sys, err := payg.Build(set, payg.Options{
+		TauCSim:            o.tau,
+		CandidateGen:       o.candGen,
+		LSHBands:           o.lshBands,
+		LSHRows:            o.lshRows,
+		CandidateThreshold: o.candThreshold,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,10 +1,11 @@
 // Command schemagen writes one of the synthetic evaluation corpora (DW, SS,
-// their union, or DDH) to a file, in the line format the other CLI tools
-// read, or JSON with -json.
+// their union, DDH, or the scale-benchmark corpus "large") to a file, in
+// the line format the other CLI tools read, or JSON with -json.
 //
 // Usage:
 //
 //	schemagen -set dw [-seed 1] [-json] > dw.txt
+//	schemagen -set large -n 100000 -domains 500 > large.txt
 package main
 
 import (
@@ -17,8 +18,10 @@ import (
 )
 
 func main() {
-	which := flag.String("set", "dw", "corpus: dw, ss, both, ddh")
+	which := flag.String("set", "dw", "corpus: dw, ss, both, ddh, large")
 	seed := flag.Int64("seed", 1, "generator seed")
+	n := flag.Int("n", 100000, "schemas to generate (set=large only)")
+	domains := flag.Int("domains", 0, "ground-truth domains (set=large only; 0 = n/200)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of the line format")
 	flag.Parse()
 
@@ -32,6 +35,8 @@ func main() {
 		set = dataset.Union(dataset.DW(*seed), dataset.SS(*seed+1))
 	case "ddh":
 		set = dataset.DDH(*seed + 2)
+	case "large":
+		set = dataset.Large(dataset.LargeConfig{N: *n, Domains: *domains, Seed: *seed})
 	default:
 		fmt.Fprintf(os.Stderr, "schemagen: unknown set %q\n", *which)
 		os.Exit(1)

@@ -241,3 +241,50 @@ func TestPropertyDeMorganViaCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestIndicesAppend32(t *testing.T) {
+	v := New(200)
+	for _, i := range []int{0, 63, 64, 127, 199} {
+		v.Set(i)
+	}
+	got := v.IndicesAppend32(nil)
+	want := v.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if int(got[i]) != want[i] {
+			t.Errorf("index %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Appending keeps the prefix intact.
+	pre := v.IndicesAppend32([]int32{-1, -2})
+	if pre[0] != -1 || pre[1] != -2 || len(pre) != 2+len(want) {
+		t.Errorf("append to non-empty dst corrupted prefix: %v", pre)
+	}
+}
+
+func TestJaccardIndices(t *testing.T) {
+	idx := func(v *Vector) []int32 { return v.IndicesAppend32(nil) }
+
+	if got := JaccardIndices(nil, nil); got != 0 {
+		t.Errorf("both empty: %v, want 0", got)
+	}
+	if got := JaccardIndices([]int32{1, 3}, []int32{0, 2}); got != 0 {
+		t.Errorf("disjoint: %v, want 0", got)
+	}
+	if got := JaccardIndices([]int32{1, 5, 9}, []int32{1, 5, 9}); got != 1 {
+		t.Errorf("identical: %v, want 1", got)
+	}
+
+	// Property: agrees exactly with Vector.Jaccard.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := randomVec(n, rng), randomVec(n, rng)
+		return JaccardIndices(idx(a), idx(b)) == a.Jaccard(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

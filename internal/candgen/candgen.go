@@ -1,0 +1,399 @@
+// Package candgen generates candidate schema pairs for sub-quadratic
+// clustering: MinHash signatures over the binary feature vectors, locality-
+// sensitive-hash banding to surface pairs likely to clear a Jaccard
+// threshold, and a signature-agreement filter that discards bucket
+// collisions whose estimated similarity is hopeless.
+//
+// The offline pipeline's only O(n²) obligation is knowing which schema
+// pairs are similar enough to influence clustering. The thesis computes
+// every pairwise similarity (fine at n≈2,323); at 100k–1M sources that is
+// neither computable nor necessary — domains are cohesive, so the similar
+// pairs are a vanishing fraction of all pairs. MinHash-LSH finds (almost)
+// all of them in O(n · k) signature work plus near-linear banding:
+//
+//   - a MinHash signature of k = Bands·Rows components estimates Jaccard:
+//     Pr[sig_t(A) = sig_t(B)] = J(A,B) for each component t;
+//   - banding hashes r consecutive components per band; two schemas
+//     collide in a band iff all r components agree, so a pair of true
+//     similarity s becomes a candidate with probability 1−(1−s^r)^b
+//     (CollisionProb) — an S-curve tuned to pass pairs above the
+//     clustering threshold and drop the rest;
+//   - surviving pairs are optionally filtered by the full-signature
+//     agreement fraction (Estimate), an unbiased Jaccard estimator with
+//     standard error ≤ 1/(2√k).
+//
+// Downstream, exact similarities are computed for candidates only
+// (cluster.PairwiseSims) and absent pairs are treated as zero-similarity.
+// Everything is deterministic for a fixed Config: hashing is seeded, and
+// band buckets are processed in sorted order.
+package candgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+
+	"schemaflow/internal/bitvec"
+)
+
+// Pair is one candidate schema pair, A < B.
+type Pair struct {
+	A, B int32
+}
+
+// Config controls signature and candidate generation. The zero value is not
+// useful; start from DefaultConfig.
+type Config struct {
+	// Bands is b, the number of LSH bands (default 128).
+	Bands int
+	// Rows is r, the signature components per band (default 2). The
+	// signature length is Bands·Rows. The banding threshold — the
+	// similarity at which a pair has ~63% collision probability — is
+	// (1/b)^(1/r); the defaults put it at ≈0.088, far below the thesis'
+	// τ_c_sim = 0.25 (CollisionProb(128, 2, 0.25) ≈ 0.9997) because
+	// downstream average linkage needs low-similarity pairs too, not just
+	// the ones that can trigger a merge by themselves.
+	Rows int
+	// Threshold discards candidate pairs whose signature-estimated Jaccard
+	// (Estimate) falls below it. Zero keeps every banding collision.
+	// Callers typically pass half the clustering threshold: low enough
+	// that estimator noise (σ ≈ 0.04 at k=128) cannot evict a pair that
+	// truly clears τ_c_sim, high enough to drop the accidental collisions
+	// banding lets through.
+	Threshold float64
+	// Seed perturbs the MinHash hash functions. Builds with equal seeds
+	// are bit-identical; the default 0 is a fixed, valid seed.
+	Seed int64
+	// Workers bounds the goroutines used for signature computation and
+	// the estimate filter. 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the tuning used by the blocked build path:
+// 128 bands × 2 rows (k = 256) with no estimate filter.
+func DefaultConfig() Config {
+	return Config{Bands: 128, Rows: 2}
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Bands == 0 {
+		c.Bands = 128
+	}
+	if c.Rows == 0 {
+		c.Rows = 2
+	}
+	if c.Bands < 1 || c.Rows < 1 || c.Bands*c.Rows > 4096 {
+		return c, fmt.Errorf("candgen: bands %d × rows %d outside [1,1] .. k≤4096", c.Bands, c.Rows)
+	}
+	if math.IsNaN(c.Threshold) || c.Threshold < 0 || c.Threshold > 1 {
+		return c, fmt.Errorf("candgen: threshold %v outside [0,1]", c.Threshold)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c, nil
+}
+
+// CollisionProb returns the probability that a pair of true Jaccard
+// similarity s collides in at least one of b bands of r rows:
+// 1 − (1−s^r)^b. Use it to tune Bands/Rows against a target threshold.
+func CollisionProb(bands, rows int, s float64) float64 {
+	return 1 - math.Pow(1-math.Pow(s, float64(rows)), float64(bands))
+}
+
+// SignatureSet holds the MinHash signatures of one schema corpus.
+type SignatureSet struct {
+	cfg Config
+	n   int
+	k   int
+	// sigs is row-major: sigs[i*k : (i+1)*k] is schema i's signature.
+	sigs []uint32
+}
+
+// N returns the number of schemas signed.
+func (s *SignatureSet) N() int { return s.n }
+
+// K returns the signature length Bands·Rows.
+func (s *SignatureSet) K() int { return s.k }
+
+// Estimate returns the signature-agreement estimate of Jaccard(i, j): the
+// fraction of the k components on which the two signatures agree.
+func (s *SignatureSet) Estimate(i, j int) float64 {
+	a := s.sigs[i*s.k : (i+1)*s.k]
+	b := s.sigs[j*s.k : (j+1)*s.k]
+	eq := 0
+	for t := range a {
+		if a[t] == b[t] {
+			eq++
+		}
+	}
+	return float64(eq) / float64(s.k)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed 64-bit
+// permutation used to derive per-component hash parameters and to fold band
+// rows into bucket keys.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Signatures computes MinHash signatures for every vector. Component t uses
+// the multiply-shift hash h_t(x) = (a_t·(2x+1)) >> 32 with a seeded odd
+// multiplier a_t; the signature component is min over the vector's set bits.
+// An empty vector gets the all-max signature, which collides with nothing
+// except other empty vectors (two empty schemas have Jaccard 0 by the
+// bitvec convention, but identical signatures — callers clustering with a
+// positive threshold are unaffected because the exact similarity pass
+// assigns such pairs similarity 0).
+//
+// The per-schema loop is partitioned across cfg.Workers goroutines; ctx is
+// polled between schemas so a shutdown aborts promptly.
+func Signatures(ctx context.Context, vecs []*bitvec.Vector, cfg Config) (*SignatureSet, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	n := len(vecs)
+	k := cfg.Bands * cfg.Rows
+	ss := &SignatureSet{cfg: cfg, n: n, k: k, sigs: make([]uint32, n*k)}
+
+	mults := make([]uint64, k)
+	base := splitmix64(uint64(cfg.Seed) ^ 0x5eedc0ffee)
+	for t := range mults {
+		mults[t] = splitmix64(base+uint64(t)) | 1 // odd multiplier
+	}
+
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(e error) { errOnce.Do(func() { firstErr = e }) }
+
+	chunk := (n + cfg.Workers - 1) / cfg.Workers
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var idx []int32
+			for i := lo; i < hi; i++ {
+				if i%256 == 0 && ctx.Err() != nil {
+					fail(ctx.Err())
+					return
+				}
+				idx = vecs[i].IndicesAppend32(idx[:0])
+				sig := ss.sigs[i*k : (i+1)*k]
+				for t := 0; t < k; t++ {
+					minv := uint32(math.MaxUint32)
+					a := mults[t]
+					for _, x := range idx {
+						h := uint32((a * uint64(2*uint32(x)+1)) >> 32)
+						if h < minv {
+							minv = h
+						}
+					}
+					sig[t] = minv
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ss, nil
+}
+
+// Pairs runs LSH banding over the signatures and returns the deduplicated
+// candidate pairs (A < B, sorted lexicographically), filtered by
+// cfg.Threshold on the signature-estimated Jaccard.
+//
+// Each band sorts (bucket key, schema) entries and scans runs of equal
+// keys; a colliding pair is emitted only by the FIRST band in which it
+// collides (checked by re-hashing the earlier bands of the two signatures),
+// so no global dedup set is needed and the output is deterministic. Bands
+// are processed in parallel; ctx is polled throughout.
+func (s *SignatureSet) Pairs(ctx context.Context) ([]Pair, error) {
+	cfg := s.cfg
+	// bandKeys is schema-major — bandKeys[i*Bands+band] — so the
+	// first-colliding-band backscan below walks two contiguous rows
+	// instead of striding across the corpus per band. Keys are the top 16
+	// bits of a splitmix64 fold. The narrow width is deliberate: the whole
+	// table is 2·Bands bytes per schema (a few MB even at 100k), so the
+	// backscan's random row accesses stay cache-resident, and bucketing
+	// becomes a two-pass counting sort instead of a comparison sort.
+	// Accidental key collisions (~n²/2¹⁷ pairs per band) only ADD
+	// candidate pairs — recall cannot drop — and the extras are priced by
+	// the exact similarity pass like every other candidate.
+	bandKeys := make([]uint16, cfg.Bands*s.n)
+	// bandKey(b, i) folds rows b·r .. b·r+r−1 of signature i.
+	key := func(band, i int) uint16 {
+		h := splitmix64(uint64(band) + 0xb1ade5)
+		sig := s.sigs[i*s.k+band*cfg.Rows:]
+		for t := 0; t < cfg.Rows; t++ {
+			h = splitmix64(h ^ uint64(sig[t]))
+		}
+		return uint16(h >> 48)
+	}
+	for i := 0; i < s.n; i++ {
+		for band := 0; band < cfg.Bands; band++ {
+			bandKeys[i*cfg.Bands+band] = key(band, i)
+		}
+	}
+
+	perBand := make([][]uint64, cfg.Bands)
+	var firstErr error
+	var errOnce sync.Once
+	fail := func(e error) { errOnce.Do(func() { firstErr = e }) }
+
+	// bufs both bounds concurrency at cfg.Workers and recycles the per-
+	// band working buffers: a worker slot's scratch is reused by every
+	// band that runs in that slot instead of reallocated per band.
+	bufs := make(chan *bandScratch, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		bufs <- nil
+	}
+	var wg sync.WaitGroup
+	for band := 0; band < cfg.Bands; band++ {
+		wg.Add(1)
+		bs := <-bufs
+		if bs == nil {
+			bs = &bandScratch{
+				keysRow: make([]uint16, s.n),
+				sorted:  make([]uint64, s.n),
+				cnt:     make([]int32, 1<<16+1),
+			}
+		}
+		go func(band int, bs *bandScratch) {
+			defer wg.Done()
+			defer func() { bufs <- bs }()
+			// Bucket the corpus by band key with a stable two-pass
+			// counting sort over the 16-bit key space; the packed
+			// (key << 32 | schema) output is ordered exactly as a
+			// comparison sort by (key, schema) would produce.
+			keysRow, sorted, cnt := bs.keysRow, bs.sorted, bs.cnt
+			clear(cnt)
+			for i := 0; i < s.n; i++ {
+				k := bandKeys[i*cfg.Bands+band]
+				keysRow[i] = k
+				cnt[int(k)+1]++
+			}
+			for k := 0; k < 1<<16; k++ {
+				cnt[k+1] += cnt[k]
+			}
+			for i := 0; i < s.n; i++ {
+				k := keysRow[i]
+				sorted[cnt[k]] = uint64(k)<<32 | uint64(uint32(i))
+				cnt[k]++
+			}
+			kvs := sorted
+			var out []uint64
+			for lo := 0; lo < len(kvs); {
+				hi := lo + 1
+				for hi < len(kvs) && kvs[hi]>>32 == kvs[lo]>>32 {
+					hi++
+				}
+				if hi-lo > 1 {
+					if ctx.Err() != nil {
+						fail(ctx.Err())
+						return
+					}
+					// kvs is sorted by (key, i), so within a run the
+					// indices ascend: a < b without normalizing.
+					for x := lo; x < hi; x++ {
+						a := int32(uint32(kvs[x]))
+						aRow := bandKeys[int(a)*cfg.Bands : int(a)*cfg.Bands+band]
+						for y := x + 1; y < hi; y++ {
+							b := int32(uint32(kvs[y]))
+							// Slicing bRow to aRow's length lets the
+							// compiler drop the bounds check in the scan.
+							bRow := bandKeys[int(b)*cfg.Bands:][:len(aRow)]
+							// Emit only from the first colliding band.
+							first := true
+							for eb, ak := range aRow {
+								if ak == bRow[eb] {
+									first = false
+									break
+								}
+							}
+							if !first {
+								continue
+							}
+							if cfg.Threshold > 0 && s.Estimate(int(a), int(b)) < cfg.Threshold {
+								continue
+							}
+							out = append(out, uint64(uint32(a))<<32|uint64(uint32(b)))
+						}
+					}
+				}
+				lo = hi
+			}
+			perBand[band] = out
+		}(band, bs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	total := 0
+	for _, p := range perBand {
+		total += len(p)
+	}
+	// Pairs are packed as uint64(A)<<32|B: A and B are non-negative, so
+	// packed keys order exactly like (A asc, B asc) and sort as integers.
+	packed := make([]uint64, 0, total)
+	for _, p := range perBand {
+		packed = append(packed, p...)
+	}
+	slices.Sort(packed)
+	pairs := make([]Pair, len(packed))
+	for i, v := range packed {
+		pairs[i] = Pair{A: int32(v >> 32), B: int32(uint32(v))}
+	}
+	return pairs, nil
+}
+
+// Pairs is the one-call path: signatures plus banding.
+func Pairs(ctx context.Context, vecs []*bitvec.Vector, cfg Config) ([]Pair, error) {
+	ss, err := Signatures(ctx, vecs, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ss.Pairs(ctx)
+}
+
+// AllPairs returns every pair over n schemas — the full-scan fallback for
+// corpora too small for LSH to pay off, and the reference set for recall
+// tests. The output is sorted like Pairs'.
+func AllPairs(n int) []Pair {
+	if n < 2 {
+		return nil
+	}
+	out := make([]Pair, 0, n*(n-1)/2)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Pair{A: int32(i), B: int32(j)})
+		}
+	}
+	return out
+}
+
+// bandScratch is one worker slot's reusable banding state: the gathered
+// key row, the counting-sort output, and the 16-bit-key count array.
+type bandScratch struct {
+	keysRow []uint16
+	sorted  []uint64
+	cnt     []int32
+}

@@ -1,0 +1,260 @@
+package candgen
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"schemaflow/internal/bitvec"
+	"schemaflow/internal/dataset"
+	"schemaflow/internal/feature"
+)
+
+func TestCollisionProb(t *testing.T) {
+	// The S-curve must be monotone in s and hit the documented operating
+	// point: at the default 64×2 geometry, a pair at the thesis threshold
+	// τ_c_sim = 0.25 is nearly certain to become a candidate.
+	if p := CollisionProb(64, 2, 0.25); p < 0.98 {
+		t.Errorf("CollisionProb(64,2,0.25) = %v, want ≥ 0.98", p)
+	}
+	if p := CollisionProb(64, 2, 0.02); p > 0.05 {
+		t.Errorf("CollisionProb(64,2,0.02) = %v, want ≤ 0.05", p)
+	}
+	prev := -1.0
+	for s := 0.0; s <= 1.0; s += 0.05 {
+		p := CollisionProb(64, 2, s)
+		if p < prev {
+			t.Fatalf("CollisionProb not monotone at s=%v", s)
+		}
+		prev = p
+	}
+}
+
+func testVectors(t *testing.T, n, domains int) []*bitvec.Vector {
+	t.Helper()
+	set := dataset.Large(dataset.LargeConfig{N: n, Domains: domains, Seed: 7})
+	sp := feature.BuildLite(set, feature.DefaultConfig())
+	return sp.Vectors
+}
+
+func TestSignaturesDeterministicAndSeeded(t *testing.T) {
+	vecs := testVectors(t, 200, 4)
+	ctx := context.Background()
+	a, err := Signatures(ctx, vecs, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Signatures(ctx, vecs, Config{Seed: 1, Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.sigs {
+		if a.sigs[i] != b.sigs[i] {
+			t.Fatalf("signatures differ at component %d across worker counts", i)
+		}
+	}
+	c, err := Signatures(ctx, vecs, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.sigs {
+		if a.sigs[i] != c.sigs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical signatures")
+	}
+	for i := range vecs {
+		if est := a.Estimate(i, i); est != 1 {
+			t.Fatalf("Estimate(%d,%d) = %v, want 1", i, i, est)
+		}
+	}
+}
+
+func TestEstimateTracksJaccard(t *testing.T) {
+	// The agreement fraction is an unbiased Jaccard estimator with
+	// σ ≤ 1/(2√k); at k = 512 a single pair should land within ~5σ.
+	dim := 256
+	a := bitvec.New(dim)
+	b := bitvec.New(dim)
+	for i := 0; i < 40; i++ {
+		a.Set(i)
+	}
+	for i := 20; i < 60; i++ {
+		b.Set(i)
+	}
+	truth := a.Jaccard(b) // 20/60
+	ss, err := Signatures(context.Background(), []*bitvec.Vector{a, b}, Config{Bands: 256, Rows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est := ss.Estimate(0, 1); math.Abs(est-truth) > 0.12 {
+		t.Errorf("Estimate = %v, true Jaccard = %v", est, truth)
+	}
+}
+
+func TestPairsSortedDedupedAndWorkerInvariant(t *testing.T) {
+	vecs := testVectors(t, 300, 6)
+	ctx := context.Background()
+	ref, err := Pairs(ctx, vecs, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) == 0 {
+		t.Fatal("no candidate pairs on a clustered corpus")
+	}
+	for i, p := range ref {
+		if p.A >= p.B {
+			t.Fatalf("pair %d: A=%d ≥ B=%d", i, p.A, p.B)
+		}
+		if i > 0 {
+			q := ref[i-1]
+			if p.A < q.A || (p.A == q.A && p.B <= q.B) {
+				t.Fatalf("pairs not strictly sorted at %d: %v after %v", i, p, q)
+			}
+		}
+	}
+	for _, workers := range []int{2, 5, 16} {
+		got, err := Pairs(ctx, vecs, Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: pair %d = %v, want %v", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestThresholdFiltersPairs(t *testing.T) {
+	vecs := testVectors(t, 300, 6)
+	ctx := context.Background()
+	loose, err := Pairs(ctx, vecs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Pairs(ctx, vecs, Config{Threshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight) >= len(loose) {
+		t.Errorf("threshold 0.4 kept %d of %d pairs; expected a strict reduction", len(tight), len(loose))
+	}
+}
+
+// TestRecallAboveThreshold is the satellite property test: on seeded
+// corpora, LSH candidates must cover ≥95% of the pairs whose true Jaccard
+// clears the clustering threshold τ_c_sim = 0.25, using the production
+// defaults (64×2 banding, candidate threshold τ/2).
+func TestRecallAboveThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		doms int
+		seed int64
+	}{
+		{"large-n1200", 1200, 8, 7},
+		{"large-n800-d20", 800, 20, 11},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			set := dataset.Large(dataset.LargeConfig{N: tc.n, Domains: tc.doms, Seed: tc.seed})
+			sp := feature.BuildLite(set, feature.DefaultConfig())
+			vecs := sp.Vectors
+
+			cand, err := Pairs(context.Background(), vecs, Config{Threshold: 0.125, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inCand := make(map[Pair]bool, len(cand))
+			for _, p := range cand {
+				inCand[p] = true
+			}
+
+			const tau = 0.25
+			truePairs, recalled := 0, 0
+			for i := 0; i < len(vecs); i++ {
+				for j := i + 1; j < len(vecs); j++ {
+					if vecs[i].Jaccard(vecs[j]) >= tau {
+						truePairs++
+						if inCand[Pair{A: int32(i), B: int32(j)}] {
+							recalled++
+						}
+					}
+				}
+			}
+			if truePairs == 0 {
+				t.Fatal("corpus has no pairs above tau; test is vacuous")
+			}
+			recall := float64(recalled) / float64(truePairs)
+			t.Logf("recall %.4f (%d/%d true pairs, %d candidates)", recall, recalled, truePairs, len(cand))
+			if recall < 0.95 {
+				t.Errorf("recall %.4f < 0.95", recall)
+			}
+		})
+	}
+}
+
+func TestPairsCancellation(t *testing.T) {
+	vecs := testVectors(t, 300, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Signatures(ctx, vecs, Config{}); err == nil {
+		t.Error("Signatures ignored a canceled context")
+	}
+	if _, err := Pairs(ctx, vecs, Config{}); err == nil {
+		t.Error("Pairs ignored a canceled context")
+	}
+}
+
+func TestAllPairs(t *testing.T) {
+	if got := AllPairs(1); got != nil {
+		t.Errorf("AllPairs(1) = %v, want nil", got)
+	}
+	got := AllPairs(4)
+	want := []Pair{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("AllPairs(4) has %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AllPairs(4)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	vecs := testVectors(t, 10, 2)
+	ctx := context.Background()
+	for _, cfg := range []Config{
+		{Bands: 64, Rows: 65},   // k > 4096
+		{Threshold: math.NaN()}, // NaN threshold
+		{Threshold: 1.5},        // out of range
+		{Bands: -1, Rows: 2},    // negative bands
+	} {
+		if _, err := Pairs(ctx, vecs, cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestEmptyVectorsDoNotPanic(t *testing.T) {
+	vecs := []*bitvec.Vector{bitvec.New(64), bitvec.New(64), bitvec.FromIndices(64, 1, 2, 3)}
+	pairs, err := Pairs(context.Background(), vecs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two empty vectors share the all-max signature and may surface as
+	// a candidate; the exact similarity pass downstream assigns them 0.
+	for _, p := range pairs {
+		if p.B == 2 {
+			t.Errorf("empty vector paired with non-empty: %v", p)
+		}
+	}
+}

@@ -103,6 +103,17 @@ type queryScratch struct {
 	idx []int
 }
 
+// statsScratch carries the dim-sized working buffers of the per-domain
+// setup-phase statistics across domains, so building a classifier over
+// thousands of domains allocates two feature-width slices instead of two
+// per domain. The p1 buffer returned by the stats functions aliases it.
+type statsScratch struct {
+	count []float64
+	p1    []float64
+	accU  []float64
+	idx   []int
+}
+
 // initScratch arms the scratch pool for the given feature dimensionality.
 // Every construction path (New, Restore) must call it.
 func (c *Classifier) initScratch(dim int) {
@@ -139,6 +150,7 @@ func New(m *core.Model, cfg Config) (*Classifier, error) {
 	}
 	c.initScratch(dim)
 	total := len(m.Schemas)
+	sc := &statsScratch{count: make([]float64, dim), p1: make([]float64, dim)}
 	for r := range m.Domains {
 		d := &m.Domains[r]
 		var prior float64
@@ -155,9 +167,9 @@ func New(m *core.Model, cfg Config) (*Classifier, error) {
 			}
 		}
 		if useExact {
-			prior, p1, err = exactDomainStats(m, d, total, p)
+			prior, p1, err = exactDomainStats(m, d, total, p, sc)
 		} else {
-			prior, p1, err = approxDomainStats(m, d, total, p)
+			prior, p1, err = approxDomainStats(m, d, total, p, sc)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("classify: domain %d: %w", r, err)
@@ -196,7 +208,10 @@ func New(m *core.Model, cfg Config) (*Classifier, error) {
 // subsets factors into three reusable accumulators (A, B, and a per-
 // uncertain-schema A_u), making setup O(2^k·k + dim L) per domain instead of
 // O(2^k · dim L).
-func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64) (float64, []float64, error) {
+//
+// The returned p1 slice is owned by sc and valid only until the next call
+// with the same scratch; callers consume it before moving on.
+func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64, sc *statsScratch) (float64, []float64, error) {
 	certain := d.Certain()
 	uncertain := d.Uncertain()
 	k := len(uncertain)
@@ -205,19 +220,25 @@ func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64
 	}
 	dim := m.Space.Dim()
 
-	certainCount := make([]float64, dim)
+	certainCount := sc.count
+	clear(certainCount)
 	for _, mem := range certain {
-		for _, j := range m.Space.Vectors[mem.Schema].Indices() {
+		sc.idx = m.Space.Vectors[mem.Schema].IndicesAppend(sc.idx[:0])
+		for _, j := range sc.idx {
 			certainCount[j]++
 		}
 	}
 
+	if cap(sc.accU) < k {
+		sc.accU = make([]float64, k)
+	}
 	var (
-		prior float64              // Σ w(S')
-		accA  float64              // Σ w(S') / (|S'|+m)
-		accB  float64              // Σ w(S') · p·m / (|S'|+m)
-		accU  = make([]float64, k) // accU[u] = Σ_{S' ∋ u} w(S') / (|S'|+m)
+		prior float64       // Σ w(S')
+		accA  float64       // Σ w(S') / (|S'|+m)
+		accB  float64       // Σ w(S') · p·m / (|S'|+m)
+		accU  = sc.accU[:k] // accU[u] = Σ_{S' ∋ u} w(S') / (|S'|+m)
 	)
+	clear(accU)
 	for mask := uint64(0); mask < 1<<uint(k); mask++ {
 		pS := 1.0
 		for u := 0; u < k; u++ {
@@ -247,7 +268,7 @@ func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64
 		return 0, nil, nil
 	}
 
-	p1 := make([]float64, dim)
+	p1 := sc.p1
 	for j := 0; j < dim; j++ {
 		p1[j] = certainCount[j]*accA + accB
 	}
@@ -255,7 +276,8 @@ func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64
 		if accU[u] == 0 {
 			continue
 		}
-		for _, j := range m.Space.Vectors[mem.Schema].Indices() {
+		sc.idx = m.Space.Vectors[mem.Schema].IndicesAppend(sc.idx[:0])
+		for _, j := range sc.idx {
 			p1[j] += accU[u]
 		}
 	}
@@ -271,13 +293,15 @@ func exactDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64
 // the linear-time approximation the conclusion proposes for removing the
 // exponential setup factor; the benchmark harness quantifies its accuracy
 // cost against Exact.
-func approxDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64) (float64, []float64, error) {
+func approxDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float64, sc *statsScratch) (float64, []float64, error) {
 	dim := m.Space.Dim()
 	expSize := 0.0
-	expCount := make([]float64, dim)
+	expCount := sc.count
+	clear(expCount)
 	for _, mem := range d.Members {
 		expSize += mem.Prob
-		for _, j := range m.Space.Vectors[mem.Schema].Indices() {
+		sc.idx = m.Space.Vectors[mem.Schema].IndicesAppend(sc.idx[:0])
+		for _, j := range sc.idx {
 			expCount[j] += mem.Prob
 		}
 	}
@@ -287,7 +311,7 @@ func approxDomainStats(m *core.Model, d *core.Domain, totalSchemas int, p float6
 	prior := expSize / float64(totalSchemas)
 	mEst := 1 + expSize
 	denom := expSize + mEst
-	p1 := make([]float64, dim)
+	p1 := sc.p1
 	for j := 0; j < dim; j++ {
 		p1[j] = (expCount[j] + p*mEst) / denom
 	}

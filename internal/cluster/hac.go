@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -58,6 +59,14 @@ func (r *Result) Singletons() []int {
 // error rather than clamped, because a garbage threshold is a caller bug,
 // not a preference.
 func Agglomerative(sp *feature.Space, link Linkage, tau float64) (*Result, error) {
+	return AgglomerativeContext(context.Background(), sp, link, tau)
+}
+
+// AgglomerativeContext is Agglomerative with cooperative cancellation: ctx
+// is polled on every merge round, so a Manager shutting down mid-recluster
+// gets ctx.Err() back promptly instead of waiting out the remaining
+// O(n) rounds of a large build.
+func AgglomerativeContext(ctx context.Context, sp *feature.Space, link Linkage, tau float64) (*Result, error) {
 	if err := validateTau(tau); err != nil {
 		return nil, err
 	}
@@ -69,6 +78,9 @@ func Agglomerative(sp *feature.Space, link Linkage, tau float64) (*Result, error
 
 	var merges []Merge
 	for st.numActive > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		a, b, s := st.bestPair()
 		if s < tau {
 			break
@@ -183,10 +195,16 @@ func (st *hacState) merge(a, b int) {
 			continue
 		}
 		// A row's best is stale if it pointed into the merged pair or if
-		// the updated sim to a beats it.
+		// the updated sim to a beats it. On an exact tie the lower index
+		// wins, keeping the invariant that best[c] is the SMALLEST index
+		// among the row's maxima — without it the equal-similarity merge
+		// order would depend on merge history (a linkage update can raise
+		// sim[c][a] into a tie with a cached best of higher index), which
+		// the sparse path could not reproduce.
 		if st.best[c] == a || st.best[c] == b {
 			st.recomputeBest(c)
-		} else if st.sim[c][a] > st.bestSim[c] {
+		} else if st.sim[c][a] > st.bestSim[c] ||
+			(st.sim[c][a] == st.bestSim[c] && a < st.best[c]) {
 			st.best[c] = a
 			st.bestSim[c] = st.sim[c][a]
 		}
@@ -194,16 +212,24 @@ func (st *hacState) merge(a, b int) {
 }
 
 func (st *hacState) result(merges []Merge) *Result {
+	return assembleResult(st.n, st.parent, merges)
+}
+
+// assembleResult turns a union-find parent forest and merge trace into a
+// Result with dense, first-occurrence-ordered cluster ids. Shared by the
+// dense and sparse agglomerative paths so both produce structurally
+// identical results for identical merge sequences.
+func assembleResult(n int, parent []int, merges []Merge) *Result {
 	root := func(i int) int {
-		for st.parent[i] != i {
-			st.parent[i] = st.parent[st.parent[i]]
-			i = st.parent[i]
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
 		}
 		return i
 	}
 	idOf := make(map[int]int)
-	res := &Result{Assign: make([]int, st.n), Merges: merges}
-	for i := 0; i < st.n; i++ {
+	res := &Result{Assign: make([]int, n), Merges: merges}
+	for i := 0; i < n; i++ {
 		r := root(i)
 		id, ok := idOf[r]
 		if !ok {

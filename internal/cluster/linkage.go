@@ -25,6 +25,11 @@ type Linkage interface {
 	merged(simCA, simCB float64, sizeA, sizeB int, c, a, b int) float64
 	// onMerge notifies the linkage that b has been folded into a.
 	onMerge(a, b int)
+	// concurrentMerged reports whether merged may be called from several
+	// goroutines at once (between onMerge calls). Pure-function linkages
+	// are; linkages with shared scratch state are not, and the parallel
+	// sparse HAC falls back to sequential merge updates for them.
+	concurrentMerged() bool
 }
 
 // Method enumerates the built-in linkage measures.
@@ -102,6 +107,7 @@ type avgLinkage struct{}
 func (*avgLinkage) Name() string           { return "avg-jaccard" }
 func (*avgLinkage) init(sp *feature.Space) {}
 func (*avgLinkage) onMerge(a, b int)       {}
+func (*avgLinkage) concurrentMerged() bool { return true }
 func (*avgLinkage) merged(simCA, simCB float64, sizeA, sizeB int, c, a, b int) float64 {
 	return (float64(sizeA)*simCA + float64(sizeB)*simCB) / float64(sizeA+sizeB)
 }
@@ -114,6 +120,7 @@ type minLinkage struct{}
 func (*minLinkage) Name() string           { return "min-jaccard" }
 func (*minLinkage) init(sp *feature.Space) {}
 func (*minLinkage) onMerge(a, b int)       {}
+func (*minLinkage) concurrentMerged() bool { return true }
 func (*minLinkage) merged(simCA, simCB float64, sizeA, sizeB int, c, a, b int) float64 {
 	if simCA < simCB {
 		return simCA
@@ -128,6 +135,7 @@ type maxLinkage struct{}
 func (*maxLinkage) Name() string           { return "max-jaccard" }
 func (*maxLinkage) init(sp *feature.Space) {}
 func (*maxLinkage) onMerge(a, b int)       {}
+func (*maxLinkage) concurrentMerged() bool { return true }
 func (*maxLinkage) merged(simCA, simCB float64, sizeA, sizeB int, c, a, b int) float64 {
 	if simCA > simCB {
 		return simCA
@@ -149,6 +157,10 @@ type totalLinkage struct {
 }
 
 func (*totalLinkage) Name() string { return "total-jaccard" }
+
+// concurrentMerged is false: merged shares the two scratch vectors across
+// calls, so the sparse HAC must serialize its merge updates.
+func (*totalLinkage) concurrentMerged() bool { return false }
 
 func (l *totalLinkage) init(sp *feature.Space) {
 	n := sp.NumSchemas()

@@ -1,0 +1,745 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"slices"
+	"sort"
+	"sync"
+
+	"schemaflow/internal/bitvec"
+	"schemaflow/internal/candgen"
+	"schemaflow/internal/feature"
+)
+
+// PairSims holds exact pairwise similarities for a sparse candidate-pair
+// set, stored symmetrically in CSR form. Pairs absent from the structure
+// are treated as zero-similarity everywhere downstream (sparse linkage,
+// sparse domain assignment). Zero-similarity candidates are dropped during
+// construction — they are indistinguishable from absent pairs.
+//
+// A PairSims is immutable after PairwiseSims returns and safe for
+// concurrent readers.
+type PairSims struct {
+	n        int
+	rowStart []int64
+	nbr      []int32
+	sim      []float64
+	numPairs int
+}
+
+// N returns the number of schemas covered.
+func (ps *PairSims) N() int { return ps.n }
+
+// NumPairs returns the number of stored (positive-similarity) pairs.
+func (ps *PairSims) NumPairs() int { return ps.numPairs }
+
+// Degree returns the number of stored neighbors of schema i.
+func (ps *PairSims) Degree(i int) int {
+	return int(ps.rowStart[i+1] - ps.rowStart[i])
+}
+
+// ForEach calls fn for every stored neighbor of schema i, ascending by
+// neighbor index.
+func (ps *PairSims) ForEach(i int, fn func(j int32, sim float64)) {
+	for k := ps.rowStart[i]; k < ps.rowStart[i+1]; k++ {
+		fn(ps.nbr[k], ps.sim[k])
+	}
+}
+
+// Sim returns the stored similarity of (i, j), or 0 when the pair is
+// absent.
+func (ps *PairSims) Sim(i, j int) float64 {
+	lo, hi := ps.rowStart[i], ps.rowStart[i+1]
+	row := ps.nbr[lo:hi]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return ps.sim[lo+int64(k)]
+	}
+	return 0
+}
+
+// PairwiseSims computes the exact schema similarity for every candidate
+// pair and assembles the symmetric sparse structure. This is the
+// "verify" half of the embed-and-prune-then-verify shape: LSH proposed the
+// pairs, exact Jaccard decides.
+//
+// pairs must be sorted (A ascending, then B) with A < B, as candgen.Pairs
+// and candgen.AllPairs produce; duplicates are tolerated and collapsed.
+// The similarity pass is partitioned across workers goroutines (0 means
+// GOMAXPROCS) and polls ctx. In binary feature mode each similarity is a
+// two-pointer intersection of the schemas' set-bit lists, which beats the
+// word-wise Jaccard by the vectors' sparsity factor; term-frequency mode
+// falls back to the space's own pairwise measure.
+func PairwiseSims(ctx context.Context, sp *feature.Space, pairs []candgen.Pair, workers int) (*PairSims, error) {
+	n := sp.NumSchemas()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Drop duplicates (sorted input makes them adjacent) and validate.
+	dedup := pairs[:0:0]
+	var prev candgen.Pair
+	for idx, p := range pairs {
+		if p.A >= p.B || p.A < 0 || int(p.B) >= n {
+			return nil, fmt.Errorf("cluster: candidate pair (%d,%d) invalid for n=%d", p.A, p.B, n)
+		}
+		if idx > 0 && p == prev {
+			continue
+		}
+		if idx > 0 && (p.A < prev.A || (p.A == prev.A && p.B < prev.B)) {
+			return nil, fmt.Errorf("cluster: candidate pairs not sorted at index %d", idx)
+		}
+		dedup = append(dedup, p)
+		prev = p
+	}
+	pairs = dedup
+
+	sims := make([]float64, len(pairs))
+
+	binary := sp.Config().Mode == feature.Binary
+	var idxLists [][]int32
+	if binary {
+		// All n set-bit lists live in one flat slab; per-schema slices are
+		// carved at capacity-pinned offsets so workers fill them in place.
+		offs := make([]int64, n+1)
+		for i := 0; i < n; i++ {
+			offs[i+1] = offs[i] + int64(sp.Vectors[i].Count())
+		}
+		flat := make([]int32, offs[n])
+		idxLists = make([][]int32, n)
+		if err := parallelRange(ctx, n, workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if i%1024 == 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
+				idxLists[i] = sp.Vectors[i].IndicesAppend32(flat[offs[i]:offs[i]:offs[i+1]])
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := parallelRange(ctx, len(pairs), workers, func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			if k%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			p := pairs[k]
+			if binary {
+				sims[k] = bitvec.JaccardIndices(idxLists[p.A], idxLists[p.B])
+			} else {
+				sims[k] = sp.Similarity(int(p.A), int(p.B))
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Assemble the symmetric CSR, skipping zero similarities.
+	deg := make([]int64, n+1)
+	kept := 0
+	for k, p := range pairs {
+		if sims[k] == 0 {
+			continue
+		}
+		kept++
+		deg[p.A+1]++
+		deg[p.B+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	ps := &PairSims{
+		n:        n,
+		rowStart: deg,
+		nbr:      make([]int32, 2*kept),
+		sim:      make([]float64, 2*kept),
+		numPairs: kept,
+	}
+	fill := make([]int64, n)
+	for k, p := range pairs {
+		if sims[k] == 0 {
+			continue
+		}
+		ka := ps.rowStart[p.A] + fill[p.A]
+		ps.nbr[ka], ps.sim[ka] = p.B, sims[k]
+		fill[p.A]++
+		kb := ps.rowStart[p.B] + fill[p.B]
+		ps.nbr[kb], ps.sim[kb] = p.A, sims[k]
+		fill[p.B]++
+	}
+	// Rows come out sorted by construction: row i receives its B-side
+	// neighbors first (pairs (a, i) with a < i, streamed in ascending a)
+	// and its A-side neighbors after (pairs (i, b), ascending b > i), so
+	// the concatenation ascends without a per-row sort.
+	return ps, nil
+}
+
+// parallelRange splits [0,n) into one contiguous chunk per worker and runs
+// fn on each concurrently, returning the first error.
+func parallelRange(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SparseOptions tunes AgglomerativeSparse.
+type SparseOptions struct {
+	// Workers bounds the goroutines used for the per-merge similarity
+	// updates (and, within PairwiseSims, the pairwise pass). 0 means
+	// GOMAXPROCS. Results are identical for every worker count: ties are
+	// broken by lowest pair index, not by arrival order.
+	Workers int
+	// ParallelMergeMin is the minimum merge-update width (neighbors of
+	// the merging pair) at which the update loop fans out; below it the
+	// goroutine overhead exceeds the work. 0 means 2048.
+	ParallelMergeMin int
+}
+
+func (o SparseOptions) normalized() SparseOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ParallelMergeMin <= 0 {
+		o.ParallelMergeMin = 2048
+	}
+	return o
+}
+
+// bestHeap is an indexed max-heap with one slot per live cluster, keyed by
+// the cluster's best outgoing edge (its highest current similarity, with
+// the lexicographically smallest pair breaking similarity ties). The heap
+// top is therefore always the globally best pair — the same pair a heap
+// over every edge would surface — at a fraction of the traffic: merges
+// update a handful of slots in place instead of pushing one entry per
+// rewritten edge.
+//
+// Keys are maintained as exact values or overestimates, never
+// underestimates: similarity increases update a slot eagerly, decreases
+// just mark it dirty and are reconciled (refreshBest) when the slot
+// reaches the top. An overestimate popping early is harmless — it gets
+// refreshed and re-sifted — whereas an underestimate could let a worse
+// pair merge first, so the asymmetry is load-bearing.
+type bestHeap struct {
+	sim     []float64 // best edge similarity; -1 when the cluster has none
+	partner []int32   // best edge partner; -1 when the cluster has none
+	dirty   []bool    // sim may overestimate; refresh before merging on it
+	ids     []int32   // heap order over cluster ids
+	pos     []int32   // cluster id -> index in ids; -1 once removed
+}
+
+func newBestHeap(n int) *bestHeap {
+	h := &bestHeap{
+		sim:     make([]float64, n),
+		partner: make([]int32, n),
+		dirty:   make([]bool, n),
+		ids:     make([]int32, n),
+		pos:     make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		h.sim[i] = -1
+		h.partner[i] = -1
+		h.ids[i] = int32(i)
+		h.pos[i] = int32(i)
+	}
+	return h
+}
+
+// orderedPair returns cluster x's best edge as an (a < b) pair; slots with
+// no edge order as the degenerate (x, x).
+func orderedPair(x, p int32) (int32, int32) {
+	if p < 0 {
+		return x, x
+	}
+	if p < x {
+		return p, x
+	}
+	return x, p
+}
+
+func (h *bestHeap) less(x, y int32) bool {
+	if h.sim[x] != h.sim[y] {
+		return h.sim[x] > h.sim[y]
+	}
+	ax, bx := orderedPair(x, h.partner[x])
+	ay, by := orderedPair(y, h.partner[y])
+	if ax != ay {
+		return ax < ay
+	}
+	if bx != by {
+		return bx < by
+	}
+	// Fully equal keys only happen for the two slots of one pair (or two
+	// empty slots); any deterministic order works.
+	return x < y
+}
+
+func (h *bestHeap) swap(i, j int32) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *bestHeap) siftUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(h.ids[i], h.ids[p]) {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *bestHeap) siftDown(i int32) {
+	n := int32(len(h.ids))
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(h.ids[l], h.ids[m]) {
+			m = l
+		}
+		if r < n && h.less(h.ids[r], h.ids[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// fix restores the heap order after cluster c's key changed either way.
+func (h *bestHeap) fix(c int32) {
+	h.siftUp(h.pos[c])
+	h.siftDown(h.pos[c])
+}
+
+// build heapifies in O(n) after the initial keys are assigned.
+func (h *bestHeap) build() {
+	for i := int32(len(h.ids))/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// remove deletes cluster c's slot (it lost a merge and no longer exists).
+func (h *bestHeap) remove(c int32) {
+	i := h.pos[c]
+	last := int32(len(h.ids) - 1)
+	if i != last {
+		h.swap(i, last)
+	}
+	h.ids = h.ids[:last]
+	h.pos[c] = -1
+	if i != last {
+		h.siftUp(i)
+		h.siftDown(h.pos[h.ids[i]])
+	}
+}
+
+func (h *bestHeap) top() int32 { return h.ids[0] }
+
+// AgglomerativeSparse runs Algorithm 2 over a sparse similarity structure:
+// identical agglomerative semantics to Agglomerative, except that schema
+// pairs absent from ps are treated as zero-similarity — they can never
+// trigger a merge themselves, and they contribute 0 to linkage updates.
+// When ps covers every positive-similarity pair (candgen.AllPairs), the
+// result is identical to the dense path for any tau > 0, including the
+// order of equal-similarity merges (lowest-index tie-break); with an LSH
+// candidate set the result differs only by the pairs LSH missed.
+//
+// With tau == 0 the dense path agglomerates to a single cluster; the
+// sparse path merges only within connected components of the
+// positive-similarity graph, since zero-similarity merges carry no
+// information to order them by.
+//
+// The merge loop is sequential (each round depends on the last), but the
+// per-round linkage updates — the O(degree) dominant cost — fan out across
+// opts.Workers when the round is wide enough and the linkage permits
+// concurrent evaluation. Ties are index-ordered, so every worker count
+// yields a bit-identical clustering. ctx is polled every round.
+func AgglomerativeSparse(ctx context.Context, sp *feature.Space, link Linkage, tau float64, ps *PairSims, opts SparseOptions) (*Result, error) {
+	if err := validateTau(tau); err != nil {
+		return nil, err
+	}
+	n := sp.NumSchemas()
+	if ps.N() != n {
+		return nil, fmt.Errorf("cluster: pair sims cover %d schemas, space has %d", ps.N(), n)
+	}
+	if n == 0 {
+		return &Result{}, nil
+	}
+	opts = opts.normalized()
+	link.init(sp)
+
+	st := &sparseState{
+		n:      n,
+		link:   link,
+		tau:    tau,
+		active: make([]bool, n),
+		size:   make([]int, n),
+		rows:   make([]*sparseRow, n),
+		parent: make([]int, n),
+		best:   newBestHeap(n),
+		opts:   opts,
+	}
+	for i := 0; i < n; i++ {
+		st.active[i] = true
+		st.size[i] = 1
+		st.parent[i] = i
+		if d := ps.Degree(i); d > 0 {
+			k, v := st.carve(d)
+			st.rows[i] = &sparseRow{keys: k, vals: v}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		bs, bp := -1.0, int32(-1)
+		ps.ForEach(i, func(j int32, s float64) {
+			r := st.rows[i]
+			r.keys = append(r.keys, j) // CSR rows iterate ascending
+			r.vals = append(r.vals, s)
+			// Strict > on an ascending scan keeps the lowest partner,
+			// which is the lexicographically smallest pair at this sim.
+			if s > bs {
+				bs, bp = s, j
+			}
+		})
+		st.best.sim[i], st.best.partner[i] = bs, bp
+	}
+	st.best.build()
+
+	numActive := n
+	var merges []Merge
+	rounds := 0
+	for numActive > 1 {
+		rounds++
+		if rounds%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		x := st.best.top()
+		s := st.best.sim[x]
+		if s < tau {
+			// Keys never underestimate, so the max key clearing nothing
+			// means no live pair clears tau. (Checking before staleness is
+			// sound for the same reason: a stale key only overestimates.)
+			break
+		}
+		p := st.best.partner[x]
+		if !st.active[p] || st.best.dirty[x] {
+			st.refreshBest(x)
+			continue
+		}
+		a, b := x, p
+		if a > b {
+			a, b = b, a
+		}
+		merges = append(merges, Merge{A: int(a), B: int(b), Sim: s})
+		st.merge(a, b)
+		numActive--
+	}
+	return assembleResult(n, st.parent, merges), nil
+}
+
+// sparseState is the working state of one sparse agglomeration run.
+type sparseState struct {
+	n      int
+	link   Linkage
+	tau    float64
+	active []bool
+	size   []int
+	// rows[i] holds cluster i's current neighbor similarities. The
+	// invariant is symmetry over active clusters: rows[i] stores sim(i,j)
+	// iff rows[j] stores sim(j,i) with the same value, whenever both are
+	// active. Entries keyed by inactive clusters are stale leftovers —
+	// deleting them eagerly is expensive, so readers filter on active[].
+	rows   []*sparseRow
+	parent []int
+	best   *bestHeap
+	opts   SparseOptions
+	// Scratch buffers reused across merges/normalizations.
+	union        []int32
+	sims         []float64
+	simsA, simsB []float64
+	nk           []uint64
+	normK        [2][]int32
+	normV        [2][]float64
+	// Bump-allocation slabs for the fresh rows merges produce. A build
+	// performs ~n merges, each allocating two union-sized slices; carving
+	// them out of pointer-free slabs turns tens of thousands of small GC-
+	// visible allocations into a few dozen large ones.
+	slabK []int32
+	slabV []float64
+}
+
+const sparseSlabSize = 1 << 18
+
+// carve cuts empty parallel int32/float64 slices of capacity m out of the
+// slabs. Capacity is pinned at m with a three-index slice, so a row append
+// past m reallocates normally instead of bleeding into the next carve.
+func (st *sparseState) carve(m int) ([]int32, []float64) {
+	if len(st.slabK)+m > cap(st.slabK) {
+		st.slabK = make([]int32, 0, max(m, sparseSlabSize))
+	}
+	if len(st.slabV)+m > cap(st.slabV) {
+		st.slabV = make([]float64, 0, max(m, sparseSlabSize))
+	}
+	k := st.slabK[len(st.slabK) : len(st.slabK) : len(st.slabK)+m]
+	v := st.slabV[len(st.slabV) : len(st.slabV) : len(st.slabV)+m]
+	st.slabK = st.slabK[:len(st.slabK)+m]
+	st.slabV = st.slabV[:len(st.slabV)+m]
+	return k, v
+}
+
+// allocKV carves filled copies of parallel key/value slices from the slabs.
+func (st *sparseState) allocKV(srcK []int32, srcV []float64) ([]int32, []float64) {
+	k, v := st.carve(len(srcK))
+	k = append(k, srcK...)
+	v = append(v, srcV...)
+	return k, v
+}
+
+// sparseRow is one cluster's neighbor row: keys ascending with vals
+// parallel, plus an appended tail of (xk, xv) updates from merges this row
+// didn't lead. The tail may repeat keys (including keys already in the
+// sorted part); the latest append wins. Rows are only read when they lead
+// a merge or their best edge needs refreshing, so the tail is folded in
+// lazily at those points, via normalized.
+type sparseRow struct {
+	keys []int32
+	vals []float64
+	xk   []int32
+	xv   []float64
+}
+
+// normalized returns r's current neighbor row as sorted parallel slices:
+// the tail is sorted by (key, append order) and merged over the base, tail
+// entries overriding base entries of the same key and later appends
+// overriding earlier ones. Rows with an empty tail are returned as-is;
+// otherwise the result lives in state scratch and nothing is written back
+// — callers that keep the row (refreshBest) copy the result in themselves.
+func (st *sparseState) normalized(r *sparseRow, which int) ([]int32, []float64) {
+	if len(r.xk) == 0 {
+		return r.keys, r.vals
+	}
+	// Tail entries pack as (key << 32 | append position): the ordered
+	// sort yields (key asc, position asc), so within a key run the last
+	// element is the latest append — the one that wins.
+	st.nk = st.nk[:0]
+	for t, k := range r.xk {
+		st.nk = append(st.nk, uint64(uint32(k))<<32|uint64(uint32(t)))
+	}
+	slices.Sort(st.nk)
+	outK := st.normK[which][:0]
+	outV := st.normV[which][:0]
+	i, j := 0, 0
+	for i < len(r.keys) || j < len(st.nk) {
+		var tk int32
+		if j < len(st.nk) {
+			// Collapse a run of equal tail keys to its last append.
+			for j+1 < len(st.nk) && st.nk[j+1]>>32 == st.nk[j]>>32 {
+				j++
+			}
+			tk = int32(st.nk[j] >> 32)
+		}
+		// Entries keyed by inactive clusters are dead weight — those
+		// clusters never revive, and every reader filters on active[] —
+		// so each fold also compacts them away, keeping long-lived hub
+		// rows from accreting one stale entry per lost neighbor.
+		switch {
+		case j >= len(st.nk) || (i < len(r.keys) && r.keys[i] < tk):
+			if st.active[r.keys[i]] {
+				outK = append(outK, r.keys[i])
+				outV = append(outV, r.vals[i])
+			}
+			i++
+		case i >= len(r.keys) || tk < r.keys[i]:
+			if st.active[tk] {
+				outK = append(outK, tk)
+				outV = append(outV, r.xv[int32(uint32(st.nk[j]))])
+			}
+			j++
+		default: // equal key: the tail write supersedes the base entry
+			if st.active[tk] {
+				outK = append(outK, tk)
+				outV = append(outV, r.xv[int32(uint32(st.nk[j]))])
+			}
+			i++
+			j++
+		}
+	}
+	st.normK[which], st.normV[which] = outK, outV
+	return outK, outV
+}
+
+// refreshBest recomputes cluster x's exact best edge from its row and
+// restores the heap order. Called lazily, only when x reaches the heap top
+// with a key that can no longer be trusted (dirty, or a dead partner).
+func (st *sparseState) refreshBest(x int32) {
+	r := st.rows[x]
+	k, v := st.normalized(r, 0)
+	if len(r.xk) > 0 {
+		// Unlike in merge — where both rows are discarded — x's row
+		// survives, so fold the tail back in to keep repeat refreshes O(deg).
+		r.keys = append(r.keys[:0], k...)
+		r.vals = append(r.vals[:0], v...)
+		r.xk = r.xk[:0]
+		r.xv = r.xv[:0]
+		k, v = r.keys, r.vals
+	}
+	bs, bp := -1.0, int32(-1)
+	for t, c := range k {
+		// Explicit zeros mean "pair absent" and can never merge; skipping
+		// them here keeps tau == 0 from agglomerating across components.
+		if st.active[c] && v[t] > 0 && v[t] > bs {
+			bs, bp = v[t], c
+		}
+	}
+	st.best.sim[x], st.best.partner[x] = bs, bp
+	st.best.dirty[x] = false
+	st.best.fix(x)
+}
+
+// merge folds cluster b into cluster a (a < b as popped from the heap).
+func (st *sparseState) merge(a, b int32) {
+	// Fold both rows' tails, then walk the two sorted rows in lockstep:
+	// the union comes out sorted for free, and each neighbor's (sa, sb)
+	// pair falls out of the walk with no lookups at all.
+	aK, aV := st.normalized(st.rows[a], 0)
+	bK, bV := st.normalized(st.rows[b], 1)
+	st.union = st.union[:0]
+	st.simsA = st.simsA[:0]
+	st.simsB = st.simsB[:0]
+	i, j := 0, 0
+	for i < len(aK) || j < len(bK) {
+		var c int32
+		var sa, sb float64
+		switch {
+		case j >= len(bK) || (i < len(aK) && aK[i] < bK[j]):
+			c, sa = aK[i], aV[i]
+			i++
+		case i >= len(aK) || bK[j] < aK[i]:
+			c, sb = bK[j], bV[j]
+			j++
+		default:
+			c, sa, sb = aK[i], aV[i], bV[j]
+			i++
+			j++
+		}
+		if c == a || c == b || !st.active[c] {
+			continue
+		}
+		st.union = append(st.union, c)
+		st.simsA = append(st.simsA, sa)
+		st.simsB = append(st.simsB, sb)
+	}
+
+	if cap(st.sims) < len(st.union) {
+		st.sims = make([]float64, len(st.union))
+	}
+	st.sims = st.sims[:len(st.union)]
+	update := func(lo, hi int) error {
+		for k := lo; k < hi; k++ {
+			st.sims[k] = st.link.merged(st.simsA[k], st.simsB[k], st.size[a], st.size[b], int(st.union[k]), int(a), int(b))
+		}
+		return nil
+	}
+	if len(st.union) >= st.opts.ParallelMergeMin && st.opts.Workers > 1 && st.link.concurrentMerged() {
+		// Deterministic despite the fan-out: every slot is written
+		// exactly once, and application below is sequential.
+		_ = parallelRange(context.Background(), len(st.union), st.opts.Workers, update)
+	} else {
+		_ = update(0, len(st.union))
+	}
+
+	// Rebuild row a from scratch: the sorted union is exactly its live
+	// neighbor set, so the fresh row drops every stale inactive-keyed
+	// entry. Neighbors record the new similarity in their tails and have
+	// their best-edge keys reconciled in place.
+	fk, fv := st.allocKV(st.union, st.sims)
+	fresh := &sparseRow{keys: fk, vals: fv}
+	na, ns := int32(-1), -1.0
+	for k, c := range st.union {
+		s := st.sims[k]
+		rc := st.rows[c]
+		rc.xk = append(rc.xk, a)
+		rc.xv = append(rc.xv, s)
+		// A zero similarity means the pair is semantically absent; the
+		// explicit 0 supersedes any stale value but is never a best edge
+		// (it could not trigger a merge even at tau == 0).
+		if s > 0 && s > ns {
+			// Strict > over the ascending union keeps the lowest partner.
+			ns, na = s, c
+		}
+		bs, bp := st.best.sim[c], st.best.partner[c]
+		switch {
+		case s > 0 && (s > bs || (s == bs && a < bp)):
+			// The rewritten edge beats c's recorded best — either outright
+			// or as the lex-smaller pair at equal sim. Increases must be
+			// applied eagerly; a key that underestimates would let a worse
+			// pair merge first.
+			st.best.sim[c], st.best.partner[c] = s, a
+			st.best.dirty[c] = false
+			st.best.fix(c)
+		case bp == a && s < bs:
+			// c's recorded best was this very edge and it just dropped:
+			// the key is now an overestimate. Reconciling lazily is safe.
+			st.best.dirty[c] = true
+		}
+	}
+	// The winner's exact best fell out of the union walk for free; the
+	// loser's slot disappears with its cluster.
+	st.best.sim[a], st.best.partner[a] = ns, na
+	st.best.dirty[a] = false
+	st.best.fix(a)
+	st.best.remove(b)
+	st.rows[a] = fresh
+	st.rows[b] = nil
+	st.link.onMerge(int(a), int(b))
+	st.active[b] = false
+	st.size[a] += st.size[b]
+	st.parent[b] = int(a)
+}

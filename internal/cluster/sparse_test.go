@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"schemaflow/internal/candgen"
+	"schemaflow/internal/dataset"
+	"schemaflow/internal/feature"
+	"schemaflow/internal/schema"
+)
+
+func allPairSims(tb testing.TB, sp *feature.Space, workers int) *PairSims {
+	tb.Helper()
+	ps, err := PairwiseSims(context.Background(), sp, candgen.AllPairs(sp.NumSchemas()), workers)
+	if err != nil {
+		tb.Fatalf("PairwiseSims: %v", err)
+	}
+	return ps
+}
+
+func resultsEqual(tb testing.TB, label string, a, b *Result) {
+	tb.Helper()
+	if len(a.Assign) != len(b.Assign) {
+		tb.Fatalf("%s: assign lengths %d vs %d", label, len(a.Assign), len(b.Assign))
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			tb.Fatalf("%s: schema %d assigned %d vs %d\n a=%v\n b=%v",
+				label, i, a.Assign[i], b.Assign[i], a.Assign, b.Assign)
+		}
+	}
+	if len(a.Merges) != len(b.Merges) {
+		tb.Fatalf("%s: %d merges vs %d", label, len(a.Merges), len(b.Merges))
+	}
+	for i := range a.Merges {
+		if a.Merges[i] != b.Merges[i] {
+			tb.Fatalf("%s: merge %d = %+v vs %+v", label, i, a.Merges[i], b.Merges[i])
+		}
+	}
+}
+
+// TestPairwiseSimsMatchesSpace checks the sparse structure stores exactly
+// the space's similarities, symmetrically, with zero-sim pairs dropped.
+func TestPairwiseSimsMatchesSpace(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	n := sp.NumSchemas()
+	ps := allPairSims(t, sp, 3)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			want := sp.Similarity(i, j)
+			if got := ps.Sim(i, j); got != want {
+				t.Errorf("Sim(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	// Degrees must exclude zero-sim pairs.
+	for i := 0; i < n; i++ {
+		deg := 0
+		for j := 0; j < n; j++ {
+			if j != i && sp.Similarity(i, j) > 0 {
+				deg++
+			}
+		}
+		if got := ps.Degree(i); got != deg {
+			t.Errorf("Degree(%d) = %d, want %d", i, got, deg)
+		}
+	}
+}
+
+func TestPairwiseSimsRejectsBadInput(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	ctx := context.Background()
+	if _, err := PairwiseSims(ctx, sp, []candgen.Pair{{A: 2, B: 1}}, 1); err == nil {
+		t.Error("accepted pair with A > B")
+	}
+	if _, err := PairwiseSims(ctx, sp, []candgen.Pair{{A: 0, B: 99}}, 1); err == nil {
+		t.Error("accepted out-of-range pair")
+	}
+	if _, err := PairwiseSims(ctx, sp, []candgen.Pair{{A: 1, B: 2}, {A: 0, B: 1}}, 1); err == nil {
+		t.Error("accepted unsorted pairs")
+	}
+	// Duplicates are tolerated and collapsed.
+	ps, err := PairwiseSims(ctx, sp, []candgen.Pair{{A: 0, B: 1}, {A: 0, B: 1}}, 1)
+	if err != nil {
+		t.Fatalf("duplicate pairs rejected: %v", err)
+	}
+	if ps.NumPairs() > 1 {
+		t.Errorf("duplicate pair stored twice: %d pairs", ps.NumPairs())
+	}
+}
+
+// TestSparseMatchesDenseOnAllPairs is the core equivalence guarantee: with
+// a complete candidate set the sparse path must reproduce the dense
+// Agglomerative bit for bit — same merges in the same order, same
+// assignment — for every linkage, on corpora with plenty of ties.
+func TestSparseMatchesDenseOnAllPairs(t *testing.T) {
+	corpora := map[string]schema.Set{
+		"two-domain": twoDomainSet(),
+		"large-240":  dataset.Large(dataset.LargeConfig{N: 240, Domains: 6, Seed: 3}),
+	}
+	// Duplicated schemas manufacture exact similarity ties, stressing the
+	// tie-break order.
+	dup := twoDomainSet()
+	dup = append(dup, twoDomainSet()...)
+	corpora["duplicated"] = dup
+
+	for name, set := range corpora {
+		sp := buildSpace(t, set)
+		ps := allPairSims(t, sp, 4)
+		for _, m := range Methods() {
+			for _, tau := range []float64{0.2, 0.5} {
+				dense := mustAgg(t, sp, NewLinkage(m), tau)
+				sparse, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(m), tau, ps, SparseOptions{Workers: 1})
+				if err != nil {
+					t.Fatalf("%s/%v/tau=%v: %v", name, m, tau, err)
+				}
+				resultsEqual(t, name+"/"+m.String(), dense, sparse)
+			}
+		}
+	}
+}
+
+// TestSparseParallelEqualsSequential is the satellite determinism
+// regression: any worker count must produce the identical clustering,
+// including equal-similarity merge ordering. ParallelMergeMin=1 forces the
+// fan-out path on every merge.
+func TestSparseParallelEqualsSequential(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 300, Domains: 5, Seed: 9})
+	// Duplicate a slice of the corpus for guaranteed sim ties.
+	set = append(set, set[:40]...)
+	sp := buildSpace(t, set)
+	ps := allPairSims(t, sp, 4)
+
+	for _, m := range Methods() {
+		seq, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(m), 0.25, ps,
+			SparseOptions{Workers: 1, ParallelMergeMin: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(m), 0.25, ps,
+				SparseOptions{Workers: workers, ParallelMergeMin: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, m.String(), seq, par)
+		}
+	}
+}
+
+// TestSparseTieBreakIsLowestIndex pins the documented tie rule directly:
+// three identical schemas must merge (0,1) first, then (0,2).
+func TestSparseTieBreakIsLowestIndex(t *testing.T) {
+	attrs := []string{"alpha", "bravo", "charlie"}
+	set := schema.Set{
+		{Name: "a", Attributes: attrs},
+		{Name: "b", Attributes: attrs},
+		{Name: "c", Attributes: attrs},
+	}
+	sp := buildSpace(t, set)
+	ps := allPairSims(t, sp, 1)
+	res, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(AvgJaccard), 0.5, ps, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merges) != 2 {
+		t.Fatalf("got %d merges, want 2", len(res.Merges))
+	}
+	if res.Merges[0].A != 0 || res.Merges[0].B != 1 {
+		t.Errorf("first merge %+v, want (0,1)", res.Merges[0])
+	}
+	if res.Merges[1].A != 0 || res.Merges[1].B != 2 {
+		t.Errorf("second merge %+v, want (0,2)", res.Merges[1])
+	}
+}
+
+// TestSparseMissingPairsAreZero: with an empty candidate set, nothing can
+// merge at tau > 0.
+func TestSparseMissingPairsAreZero(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	ps, err := PairwiseSims(context.Background(), sp, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(AvgJaccard), 0.2, ps, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != sp.NumSchemas() {
+		t.Errorf("empty candidate set produced %d clusters, want all singletons", res.NumClusters())
+	}
+}
+
+// TestSparseTauZeroMergesComponents documents the sparse tau=0 semantics:
+// only positive-similarity connected components merge (the dense path
+// would merge everything into one cluster).
+func TestSparseTauZeroMergesComponents(t *testing.T) {
+	set := schema.Set{
+		{Name: "a1", Attributes: []string{"title", "author"}},
+		{Name: "a2", Attributes: []string{"title", "author", "year"}},
+		{Name: "b1", Attributes: []string{"mileage", "price"}},
+		{Name: "b2", Attributes: []string{"mileage", "price", "color"}},
+	}
+	sp := buildSpace(t, set)
+	ps := allPairSims(t, sp, 1)
+	res, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(AvgJaccard), 0, ps, SparseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters() != 2 {
+		t.Errorf("tau=0 sparse produced %d clusters, want 2 connected components: %v", res.NumClusters(), res.Members)
+	}
+}
+
+func TestSparseCancellation(t *testing.T) {
+	sp := buildSpace(t, dataset.Large(dataset.LargeConfig{N: 200, Domains: 4, Seed: 5}))
+	pairs := candgen.AllPairs(sp.NumSchemas())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PairwiseSims(ctx, sp, pairs, 2); err == nil {
+		t.Error("PairwiseSims ignored a canceled context")
+	}
+	ps := allPairSims(t, sp, 2)
+	if _, err := AgglomerativeSparse(ctx, sp, NewLinkage(AvgJaccard), 0.25, ps, SparseOptions{}); err == nil {
+		t.Error("AgglomerativeSparse ignored a canceled context")
+	}
+	if _, err := AgglomerativeContext(ctx, sp, NewLinkage(AvgJaccard), 0.25); err == nil {
+		t.Error("AgglomerativeContext ignored a canceled context")
+	}
+	if _, err := feature.BuildContext(ctx, dataset.Large(dataset.LargeConfig{N: 128, Domains: 4, Seed: 5}), feature.DefaultConfig()); err == nil {
+		t.Error("feature.BuildContext ignored a canceled context")
+	}
+}
+
+func TestSparseRejectsBadTauAndSizeMismatch(t *testing.T) {
+	sp := buildSpace(t, twoDomainSet())
+	ps := allPairSims(t, sp, 1)
+	if _, err := AgglomerativeSparse(context.Background(), sp, NewLinkage(AvgJaccard), 1.5, ps, SparseOptions{}); err == nil {
+		t.Error("accepted tau outside [0,1]")
+	}
+	other := buildSpace(t, twoDomainSet()[:3])
+	if _, err := AgglomerativeSparse(context.Background(), other, NewLinkage(AvgJaccard), 0.2, ps, SparseOptions{}); err == nil {
+		t.Error("accepted pair sims for a different corpus size")
+	}
+}

@@ -125,39 +125,115 @@ func AssignDomains(set schema.Set, sp *feature.Space, cl *cluster.Result, opts O
 	nC := cl.NumClusters()
 	sims := make([]float64, nC)
 	for i := range set {
-		maxSim := 0.0
 		for r := 0; r < nC; r++ {
 			sims[r] = cluster.SchemaClusterSim(sp, i, cl.Members[r])
-			if sims[r] > maxSim {
-				maxSim = sims[r]
-			}
 		}
-		// D(S_i): clusters passing both the absolute and relative gates.
-		var ds []int
-		total := 0.0
-		for r := 0; r < nC; r++ {
-			if sims[r] >= opts.TauCSim && maxSim > 0 && sims[r]/maxSim >= 1-opts.Theta {
-				ds = append(ds, r)
-				total += sims[r]
-			}
-		}
-		if len(ds) == 0 {
-			// Robustness fallback described in the function comment.
-			own := cl.Assign[i]
-			m.addMembership(i, own, 1)
-			continue
-		}
-		for _, r := range ds {
-			m.addMembership(i, r, sims[r]/total)
-		}
+		m.assignFromSims(i, sims, cl.Assign[i], opts)
 	}
 
+	m.sortDomainMembers()
+	return m, nil
+}
+
+// AssignDomainsSparse runs Algorithm 3 using a sparse candidate-pair
+// similarity structure instead of on-demand pairwise similarities. A
+// schema's similarity to cluster C_r is computed from only its stored
+// neighbors inside C_r (plus the self-similarity 1 toward its own
+// cluster); pairs absent from ps contribute 0, exactly the sparse-HAC
+// convention. The per-schema cost is O(degree(i)) rather than O(n), which
+// is what makes Algorithm 3 feasible at 100k schemas.
+//
+// Relative to the exact AssignDomains, similarities to clusters that the
+// candidate generator found no pair into are underestimated (as 0). Those
+// are precisely the similarities below the LSH threshold — far under
+// τ_c_sim — so the membership gates are unaffected for any pair the
+// generator recalled. The same τ_c_sim-gate robustness fallback applies.
+func AssignDomainsSparse(set schema.Set, sp *feature.Space, cl *cluster.Result, ps *cluster.PairSims, opts Options) (*Model, error) {
+	if sp.NumSchemas() != len(set) {
+		return nil, fmt.Errorf("core: feature space has %d schemas, set has %d", sp.NumSchemas(), len(set))
+	}
+	if len(cl.Assign) != len(set) {
+		return nil, fmt.Errorf("core: clustering covers %d schemas, set has %d", len(cl.Assign), len(set))
+	}
+	if ps.N() != len(set) {
+		return nil, fmt.Errorf("core: pair sims cover %d schemas, set has %d", ps.N(), len(set))
+	}
+	if opts.Theta < 0 || opts.Theta > 1 {
+		return nil, fmt.Errorf("core: theta %v outside [0,1]", opts.Theta)
+	}
+
+	m := &Model{
+		Schemas:    set,
+		Space:      sp,
+		Clustering: cl,
+		Opts:       opts,
+		bySchema:   make([][]Membership, len(set)),
+	}
+	m.Domains = make([]Domain, cl.NumClusters())
+	for r := range m.Domains {
+		m.Domains[r] = Domain{ID: r, Cluster: cl.Members[r]}
+	}
+
+	nC := cl.NumClusters()
+	sims := make([]float64, nC)
+	for i := range set {
+		for r := range sims {
+			sims[r] = 0
+		}
+		// Accumulate Σ_{j ∈ C_r} s_sim(S_i, S_j) from the adjacency, then
+		// add the self term (SchemaClusterSim counts i's own membership as
+		// similarity 1) and divide by |C_r|.
+		ps.ForEach(i, func(j int32, s float64) {
+			sims[cl.Assign[j]] += s
+		})
+		own := cl.Assign[i]
+		sims[own]++
+		for r := 0; r < nC; r++ {
+			sims[r] /= float64(len(cl.Members[r]))
+		}
+		m.assignFromSims(i, sims, own, opts)
+	}
+
+	m.sortDomainMembers()
+	return m, nil
+}
+
+// assignFromSims applies Algorithm 3's membership gates to one schema's
+// schema-to-cluster similarity vector: the absolute τ_c_sim gate, the
+// relative θ gate against the best cluster, probability normalization, and
+// the empty-D(S_i) fallback to the schema's own cluster.
+func (m *Model) assignFromSims(i int, sims []float64, own int, opts Options) {
+	maxSim := 0.0
+	for _, s := range sims {
+		if s > maxSim {
+			maxSim = s
+		}
+	}
+	// D(S_i): clusters passing both the absolute and relative gates.
+	var ds []int
+	total := 0.0
+	for r := range sims {
+		if sims[r] >= opts.TauCSim && maxSim > 0 && sims[r]/maxSim >= 1-opts.Theta {
+			ds = append(ds, r)
+			total += sims[r]
+		}
+	}
+	if len(ds) == 0 {
+		// Robustness fallback described in the AssignDomains comment.
+		m.addMembership(i, own, 1)
+		return
+	}
+	for _, r := range ds {
+		m.addMembership(i, r, sims[r]/total)
+	}
+}
+
+func (m *Model) sortDomainMembers() {
 	for r := range m.Domains {
 		sort.Slice(m.Domains[r].Members, func(a, b int) bool {
 			return m.Domains[r].Members[a].Schema < m.Domains[r].Members[b].Schema
 		})
 	}
-	return m, nil
 }
 
 func (m *Model) addMembership(schemaIdx, domainID int, p float64) {
@@ -192,11 +268,7 @@ func RestoreModel(set schema.Set, sp *feature.Space, cl *cluster.Result, members
 			m.addMembership(i, mem.Schema, mem.Prob)
 		}
 	}
-	for r := range m.Domains {
-		sort.Slice(m.Domains[r].Members, func(a, b int) bool {
-			return m.Domains[r].Members[a].Schema < m.Domains[r].Members[b].Schema
-		})
-	}
+	m.sortDomainMembers()
 	return m, nil
 }
 

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schemaflow/internal/schema"
+)
+
+// LargeConfig configures the scale-benchmark corpus generator.
+type LargeConfig struct {
+	// N is the number of schemas (default 100000).
+	N int
+	// Domains is the number of ground-truth domains (default max(1, N/200),
+	// i.e. 500 domains at the default N — hundreds of domains of ~200
+	// schemas, the regime the sub-quadratic build path targets).
+	Domains int
+	// ConceptsPerDomain sizes each domain's private attribute vocabulary
+	// (default 24).
+	ConceptsPerDomain int
+	// TypoProb is the per-attribute probability of a small spelling
+	// mutation (default 0.02; negative means exactly 0).
+	TypoProb float64
+	// Seed drives the generator; equal configs produce identical corpora.
+	Seed int64
+}
+
+func (c LargeConfig) normalized() LargeConfig {
+	if c.N <= 0 {
+		c.N = 100000
+	}
+	if c.Domains <= 0 {
+		c.Domains = c.N / 200
+		if c.Domains < 1 {
+			c.Domains = 1
+		}
+	}
+	if c.Domains > c.N {
+		c.Domains = c.N
+	}
+	if c.ConceptsPerDomain <= 0 {
+		c.ConceptsPerDomain = 24
+	}
+	switch {
+	case c.TypoProb == 0:
+		c.TypoProb = 0.02
+	case c.TypoProb < 0:
+		c.TypoProb = 0
+	}
+	return c
+}
+
+// largeSyllables is the alphabet for synthesized attribute words. 48
+// entries so three base-48 digits address 48³ = 110592 distinct words —
+// far beyond any realistic Domains × ConceptsPerDomain product.
+var largeSyllables = [48]string{
+	"ba", "be", "bi", "bo", "bu", "da", "de", "di",
+	"do", "du", "fa", "fe", "fi", "fo", "ga", "ge",
+	"ka", "ke", "ki", "ko", "ku", "la", "le", "li",
+	"lo", "lu", "ma", "me", "mi", "mo", "na", "ne",
+	"ni", "no", "nu", "pa", "pe", "pi", "po", "ra",
+	"re", "ri", "ro", "ru", "sa", "se", "si", "so",
+}
+
+// largeWord maps a word index to a pronounceable six-letter pseudo-word.
+// The index is first permuted by multiplication with 48271 (coprime to
+// 48³, so the map is a bijection); without the permutation, consecutive
+// indices would differ only in their last syllable and adjacent domains'
+// vocabularies would look near-identical to a substring-based term
+// similarity.
+func largeWord(i int) string {
+	const m = 48 * 48 * 48
+	p := (i * 48271) % m
+	return largeSyllables[p%48] + largeSyllables[(p/48)%48] + largeSyllables[(p/(48*48))%48]
+}
+
+// largeGenericWords is the number of domain-independent words (shared
+// "name/date/type"-style noise) every schema can sample from.
+const largeGenericWords = 30
+
+// Large generates a synthetic multi-domain corpus for scale benchmarks:
+// cfg.N schemas across cfg.Domains domains, each domain with a private
+// vocabulary of synthesized words plus a small generic vocabulary shared
+// by all domains. Schemas sample their domain's concepts with
+// rank-decaying probability — the head concepts recur in nearly every
+// member, the tail varies — which is what makes domains cohesive under
+// average-linkage clustering while cross-domain similarity stays near
+// zero (only generic words are shared).
+//
+// Names are "lg-d<domain>-<ordinal>" and every schema carries its
+// ground-truth domain label "dom<domain>", so eval metrics work unchanged.
+// Generation is single-pass and allocates only the returned set (a few
+// dozen bytes per attribute): 100k schemas fit comfortably in memory.
+// Equal configs yield byte-identical corpora.
+func Large(cfg LargeConfig) schema.Set {
+	cfg = cfg.normalized()
+	g := &gen{
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		noise: Noise{TypoProb: cfg.TypoProb},
+	}
+
+	generic := make([]string, largeGenericWords)
+	for i := range generic {
+		generic[i] = largeWord(i)
+	}
+	pools := make([][]string, cfg.Domains)
+	for d := range pools {
+		pool := make([]string, cfg.ConceptsPerDomain)
+		for k := range pool {
+			pool[k] = largeWord(largeGenericWords + d*cfg.ConceptsPerDomain + k)
+		}
+		pools[d] = pool
+	}
+
+	// Domain sizes: N/Domains each, the remainder spread over the first
+	// domains.
+	base, rem := cfg.N/cfg.Domains, cfg.N%cfg.Domains
+
+	set := make(schema.Set, 0, cfg.N)
+	for d := 0; d < cfg.Domains; d++ {
+		count := base
+		if d < rem {
+			count++
+		}
+		label := []string{fmt.Sprintf("dom%04d", d)}
+		for k := 0; k < count; k++ {
+			set = append(set, g.largeSchema(fmt.Sprintf("lg-d%04d-%05d", d, k), label, pools[d], generic))
+		}
+	}
+	return set
+}
+
+// largeSchema samples one schema: 4–12 domain concepts by rank decay plus
+// up to two generic words, each attribute possibly typo-mutated.
+func (g *gen) largeSchema(name string, labels []string, pool, generic []string) schema.Schema {
+	var attrs []string
+	seen := make(map[string]bool, 16)
+	add := func(a string) {
+		a = g.typo(a)
+		if !seen[a] {
+			seen[a] = true
+			attrs = append(attrs, a)
+		}
+	}
+	picked := 0
+	p := 0.9
+	for _, w := range pool {
+		if picked >= 12 {
+			break
+		}
+		if g.rng.Float64() < p+0.05 {
+			add(w)
+			picked++
+		}
+		p *= 0.8
+	}
+	// Floor: a schema with too few attributes would be generic noise, not
+	// a domain member; top up from the head concepts.
+	for i := 0; picked < 4 && i < len(pool); i++ {
+		if !seen[pool[i]] {
+			add(pool[i])
+			picked++
+		}
+	}
+	for t := 0; t < 2; t++ {
+		if g.rng.Float64() < 0.25 {
+			add(generic[g.rng.Intn(len(generic))])
+		}
+	}
+	return schema.Schema{Name: name, Attributes: attrs, Labels: labels}
+}

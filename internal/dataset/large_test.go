@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+func corpusDigest(cfg LargeConfig) uint64 {
+	h := fnv.New64a()
+	for _, s := range Large(cfg) {
+		fmt.Fprintln(h, s.Name, s.Attributes, s.Labels)
+	}
+	return h.Sum64()
+}
+
+// TestLargeDeterministic is the satellite seeded-determinism regression:
+// equal configs must generate byte-identical corpora, different seeds must
+// not, and the digest for one pinned config must never drift across code
+// changes (the blocked-build benchmarks compare runs across commits, so a
+// silently mutated corpus would invalidate every historical number).
+func TestLargeDeterministic(t *testing.T) {
+	cfg := LargeConfig{N: 500, Domains: 10, Seed: 42}
+	a := Large(cfg)
+	b := Large(cfg)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Attributes) != len(b[i].Attributes) {
+			t.Fatalf("schema %d differs between identical-config runs", i)
+		}
+		for j := range a[i].Attributes {
+			if a[i].Attributes[j] != b[i].Attributes[j] {
+				t.Fatalf("schema %d attribute %d differs", i, j)
+			}
+		}
+	}
+
+	if corpusDigest(cfg) == corpusDigest(LargeConfig{N: 500, Domains: 10, Seed: 43}) {
+		t.Error("different seeds produced identical corpora")
+	}
+
+	// Golden digest for the pinned config. If an intentional generator
+	// change lands, update the constant — and expect benchmark baselines to
+	// reset with it.
+	const golden uint64 = 0x9f9a394b1cab8d23
+	if got := corpusDigest(cfg); got != golden {
+		t.Errorf("corpus digest 0x%x, want 0x%x (generator output drifted)", got, golden)
+	}
+}
+
+func TestLargeShape(t *testing.T) {
+	cfg := LargeConfig{N: 1003, Domains: 10, Seed: 1}
+	set := Large(cfg)
+	if len(set) != 1003 {
+		t.Fatalf("got %d schemas, want 1003", len(set))
+	}
+	perDomain := map[string]int{}
+	for _, s := range set {
+		if len(s.Labels) != 1 {
+			t.Fatalf("schema %s has %d labels, want 1", s.Name, len(s.Labels))
+		}
+		perDomain[s.Labels[0]]++
+		if len(s.Attributes) < 3 || len(s.Attributes) > 14 {
+			t.Errorf("schema %s has %d attributes, outside the expected envelope", s.Name, len(s.Attributes))
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("schema %s invalid: %v", s.Name, err)
+		}
+	}
+	if len(perDomain) != 10 {
+		t.Fatalf("got %d domains, want 10", len(perDomain))
+	}
+	for d, c := range perDomain {
+		if c < 100 || c > 101 {
+			t.Errorf("domain %s has %d schemas, want 100 or 101", d, c)
+		}
+	}
+}
+
+func TestLargeDefaults(t *testing.T) {
+	cfg := LargeConfig{N: 4000}.normalized()
+	if cfg.Domains != 20 {
+		t.Errorf("default domains for n=4000 = %d, want 20 (n/200)", cfg.Domains)
+	}
+	if cfg.ConceptsPerDomain != 24 || cfg.TypoProb != 0.02 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if c := (LargeConfig{N: 5, Domains: 9}).normalized(); c.Domains != 5 {
+		t.Errorf("domains not clamped to n: %d", c.Domains)
+	}
+}

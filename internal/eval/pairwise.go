@@ -1,0 +1,50 @@
+package eval
+
+// PairwiseF1 compares two hard partitions of the same item set by pairwise
+// co-membership: a true positive is an item pair placed in the same
+// cluster by both partitions. It is the standard clustering-agreement
+// measure used here to score the blocked (LSH + sparse HAC) build against
+// the exact build — unlike label-based measures it needs no ground truth
+// and is insensitive to cluster id permutation. Both arguments map item
+// index to cluster id; they must have equal length.
+//
+// Counting uses the contingency table, so the cost is O(n + distinct
+// cluster pairs), never O(n²): TP = Σ_ij C(n_ij, 2) over the table,
+// pairs-in-a (TP+FP) = Σ_i C(a_i, 2) over a's cluster sizes, and likewise
+// for b. Two empty partitions — or partitions with no co-clustered pair at
+// all on either side — have F1 = 1 by convention (perfect agreement about
+// nothing).
+func PairwiseF1(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("eval: PairwiseF1 partitions differ in length")
+	}
+	type key struct{ ca, cb int }
+	cont := make(map[key]int)
+	sizeA := make(map[int]int)
+	sizeB := make(map[int]int)
+	for i := range a {
+		cont[key{a[i], b[i]}]++
+		sizeA[a[i]]++
+		sizeB[b[i]]++
+	}
+	choose2 := func(n int) float64 { return float64(n) * float64(n-1) / 2 }
+	var tp, pairsA, pairsB float64
+	for _, c := range cont {
+		tp += choose2(c)
+	}
+	for _, c := range sizeA {
+		pairsA += choose2(c)
+	}
+	for _, c := range sizeB {
+		pairsB += choose2(c)
+	}
+	if pairsA == 0 && pairsB == 0 {
+		return 1
+	}
+	if tp == 0 {
+		return 0
+	}
+	precision := tp / pairsA
+	recall := tp / pairsB
+	return 2 * precision * recall / (precision + recall)
+}

@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPairwiseF1(t *testing.T) {
+	close := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+	// Identical partitions agree perfectly, regardless of id permutation.
+	a := []int{0, 0, 1, 1, 2}
+	b := []int{7, 7, 3, 3, 9}
+	if got := PairwiseF1(a, b); !close(got, 1) {
+		t.Errorf("identical partitions: F1 = %v, want 1", got)
+	}
+
+	// All singletons on both sides: no co-clustered pairs anywhere, perfect
+	// agreement by convention.
+	if got := PairwiseF1([]int{0, 1, 2}, []int{5, 6, 7}); !close(got, 1) {
+		t.Errorf("all singletons: F1 = %v, want 1", got)
+	}
+
+	// Disjoint: a puts everything together, b all apart → no TP → 0.
+	if got := PairwiseF1([]int{0, 0, 0}, []int{0, 1, 2}); !close(got, 0) {
+		t.Errorf("opposite partitions: F1 = %v, want 0", got)
+	}
+
+	// Hand-computed partial agreement: a = {0,1}{2,3}, b = {0,1,2}{3}.
+	// TP = 1 (pair 0-1); pairs in a = 2, pairs in b = 3.
+	// precision = 1/2, recall = 1/3, F1 = 2·(1/2·1/3)/(1/2+1/3) = 0.4.
+	if got := PairwiseF1([]int{0, 0, 1, 1}, []int{0, 0, 0, 1}); !close(got, 0.4) {
+		t.Errorf("partial agreement: F1 = %v, want 0.4", got)
+	}
+
+	// Symmetry.
+	x := []int{0, 0, 1, 1, 1, 2}
+	y := []int{0, 1, 1, 1, 2, 2}
+	if !close(PairwiseF1(x, y), PairwiseF1(y, x)) {
+		t.Error("PairwiseF1 not symmetric")
+	}
+
+	// Empty input.
+	if got := PairwiseF1(nil, nil); !close(got, 1) {
+		t.Errorf("empty partitions: F1 = %v, want 1", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	PairwiseF1([]int{0}, []int{0, 1})
+}

@@ -8,6 +8,7 @@
 package feature
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -122,6 +123,16 @@ type Space struct {
 // CPUs; rows are partitioned so no two goroutines touch the same matrix
 // cell.
 func Build(set schema.Set, cfg Config) *Space {
+	sp, _ := BuildContext(context.Background(), set, cfg)
+	return sp
+}
+
+// BuildContext is Build with cooperative cancellation: the O(n²)
+// similarity fill polls ctx between rows, so a Manager shutting down
+// mid-recluster is not stuck behind minutes of memoization on large
+// corpora. On cancellation the partially built space is discarded and
+// ctx.Err() returned.
+func BuildContext(ctx context.Context, set schema.Set, cfg Config) (*Space, error) {
 	sp := BuildLite(set, cfg)
 	n := len(set)
 	sp.sims = newSimMatrix(n)
@@ -132,11 +143,17 @@ func Build(set schema.Set, cfg Config) *Space {
 	}
 	if workers <= 1 || n < 64 {
 		for i := 0; i < n; i++ {
+			if i%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			sp.fillSimRow(i)
 		}
-		return sp
+		return sp, nil
 	}
 	var next atomic.Int64
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -144,7 +161,11 @@ func Build(set schema.Set, cfg Config) *Space {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || canceled.Load() {
+					return
+				}
+				if i%64 == 0 && ctx.Err() != nil {
+					canceled.Store(true)
 					return
 				}
 				sp.fillSimRow(i)
@@ -152,7 +173,10 @@ func Build(set schema.Set, cfg Config) *Space {
 		}()
 	}
 	wg.Wait()
-	return sp
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sp, nil
 }
 
 // fillSimRow memoizes similarities of schema i against all j > i.

@@ -1,0 +1,198 @@
+package payg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"schemaflow/internal/dataset"
+	"schemaflow/internal/eval"
+	"schemaflow/internal/experiments"
+)
+
+func assignOf(s *System) []int {
+	return s.Model().Clustering.Assign
+}
+
+// TestAutoSwitch pins the CandidateGen="auto" decision boundary.
+func TestAutoSwitch(t *testing.T) {
+	for _, tc := range []struct {
+		gen     string
+		autoMin int
+		n       int
+		blocked bool
+	}{
+		{"auto", 4096, 100, false},
+		{"auto", 50, 100, true},
+		{"exact", 50, 100, false},
+		{"lsh", 4096, 100, true},
+	} {
+		o := Options{CandidateGen: tc.gen, CandidateAutoMin: tc.autoMin}.withDefaults()
+		got, err := o.useBlockedPath(tc.n)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if got != tc.blocked {
+			t.Errorf("gen=%s autoMin=%d n=%d: blocked=%v, want %v", tc.gen, tc.autoMin, tc.n, got, tc.blocked)
+		}
+	}
+	o := Options{CandidateGen: "bogus"}.withDefaults()
+	if _, err := o.useBlockedPath(10); err == nil {
+		t.Error("unknown candidate generator accepted")
+	}
+}
+
+// TestSmallCorpusDefaultStaysExact: below CandidateAutoMin the default
+// "auto" build must be bit-identical to a forced exact build — the blocked
+// machinery must not perturb small corpora at all.
+func TestSmallCorpusDefaultStaysExact(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 150, Domains: 5, Seed: 3})
+	auto, err := Build(set, Options{SkipMediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Build(set, Options{SkipMediation: true, CandidateGen: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, e := assignOf(auto), assignOf(exact)
+	for i := range a {
+		if a[i] != e[i] {
+			t.Fatalf("auto and exact diverge at schema %d: %d vs %d", i, a[i], e[i])
+		}
+	}
+	am, em := auto.Model(), exact.Model()
+	if am.NumDomains() != em.NumDomains() {
+		t.Fatalf("domain counts differ: %d vs %d", am.NumDomains(), em.NumDomains())
+	}
+	for i := range set {
+		da, de := am.DomainsOf(i), em.DomainsOf(i)
+		if len(da) != len(de) {
+			t.Fatalf("schema %d membership widths differ", i)
+		}
+		for k := range da {
+			if da[k] != de[k] {
+				t.Fatalf("schema %d membership %d differs: %+v vs %+v", i, k, da[k], de[k])
+			}
+		}
+	}
+}
+
+// TestBlockedBuildWorksOnSmallCorpus forces the LSH path where exact is
+// also cheap and checks the result is a working system with near-identical
+// clustering.
+func TestBlockedBuildWorksOnSmallCorpus(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 400, Domains: 8, Seed: 5})
+	blocked, err := Build(set, Options{SkipMediation: true, CandidateGen: "lsh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Build(set, Options{SkipMediation: true, CandidateGen: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := eval.PairwiseF1(assignOf(blocked), assignOf(exact)); f1 < 0.95 {
+		t.Errorf("blocked-vs-exact pairwise F1 = %.4f, want ≥ 0.95", f1)
+	}
+	if blocked.NumDomains() == 0 {
+		t.Fatal("blocked build produced no domains")
+	}
+	if scores := blocked.Classify("kilubu belilu"); len(scores) == 0 {
+		t.Error("blocked-built system cannot classify")
+	}
+}
+
+// TestBlockedMatchesExactOnPaperCorpora is the satellite e2e test: on the
+// paper-scale evaluation corpora, the blocked pipeline's clustering must
+// agree with the exact pipeline at pairwise F1 ≥ 0.95.
+func TestBlockedMatchesExactOnPaperCorpora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale corpora; skipped in -short")
+	}
+	c := experiments.LoadCorpora(experiments.DefaultSeed)
+	for _, tc := range []struct {
+		name string
+		set  []Schema
+	}{
+		{"dw", c.DW},
+		{"ss", c.SS},
+		{"both", c.Both},
+		{"ddh", c.DDH},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			blocked, err := Build(tc.set, Options{SkipMediation: true, CandidateGen: "lsh"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := Build(tc.set, Options{SkipMediation: true, CandidateGen: "exact"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f1 := eval.PairwiseF1(assignOf(blocked), assignOf(exact))
+			t.Logf("%s: n=%d, F1=%.4f, blocked domains=%d, exact domains=%d",
+				tc.name, len(tc.set), f1, blocked.NumDomains(), exact.NumDomains())
+			if f1 < 0.95 {
+				t.Errorf("pairwise F1 %.4f < 0.95", f1)
+			}
+		})
+	}
+}
+
+// TestManagerClosePromptlyAbortsLargeRecluster is the cancellation
+// satellite end to end: with a corpus big enough that a full rebuild takes
+// real time, Close must cancel the in-flight recluster mid-pipeline (the
+// ctx polls inside the similarity fill and HAC merge loop) rather than
+// wait it out, and the aborted rebuild must not publish.
+func TestManagerClosePromptlyAbortsLargeRecluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exact build; skipped in -short")
+	}
+	set := dataset.Large(dataset.LargeConfig{N: 2500, Domains: 20, Seed: 13})
+	opts := Options{SkipMediation: true, CandidateGen: "exact"}
+	start := time.Now()
+	sys, err := Build(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildTime := time.Since(start)
+
+	mgr, err := NewManager(sys, nil, ManagerOptions{DriftThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Ingest(Schema{Name: "late", Attributes: []string{"kilubu", "belilu"}}); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := mgr.Status().Generation
+
+	// Trigger the background flight without waiting for it, then Close.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_ = mgr.Recluster(ctx)
+
+	start = time.Now()
+	mgr.Close()
+	closeTime := time.Since(start)
+
+	bound := buildTime / 2
+	if bound < 500*time.Millisecond {
+		bound = 500 * time.Millisecond
+	}
+	if closeTime > bound {
+		t.Errorf("Close took %v with a rebuild in flight; full build is %v — cancellation is not prompt", closeTime, buildTime)
+	}
+	if gen := mgr.Status().Generation; gen != genBefore {
+		t.Errorf("aborted rebuild published: generation %d → %d", genBefore, gen)
+	}
+}
+
+// TestBlockedOptionsValidation: bad knobs must surface as Build errors.
+func TestBlockedOptionsValidation(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 50, Domains: 2, Seed: 1})
+	if _, err := Build(set, Options{CandidateGen: "bogus"}); err == nil {
+		t.Error("unknown CandidateGen accepted")
+	}
+	if _, err := Build(set, Options{CandidateGen: "lsh", LSHBands: 64, LSHRows: 65}); err == nil {
+		t.Error("oversized signature accepted")
+	}
+}

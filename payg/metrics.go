@@ -85,7 +85,25 @@ var (
 
 	mBuildPhase = obs.Default().HistogramVec(
 		"schemaflow_build_phase_duration_seconds",
-		"Duration of each Build pipeline phase (features, cluster, domains, classifier, mediation).",
+		"Duration of each Build pipeline phase (features, candidates, pairwise, cluster, domains, classifier, mediation).",
 		obs.DurationBuckets(),
 		"phase")
+
+	mBuildMode = obs.Default().CounterVec(
+		"schemaflow_build_mode_total",
+		"Builds by clustering pipeline: exact (dense all-pairs HAC) or blocked (MinHash-LSH candidates + sparse HAC).",
+		"mode")
+	mBuildCandidatePairs = obs.Default().Gauge(
+		"schemaflow_build_candidate_pairs",
+		"Candidate pairs the LSH blocking stage emitted in the most recent blocked build.")
+	mBuildCandidateFraction = obs.Default().Gauge(
+		"schemaflow_build_candidate_fraction",
+		"Candidate pairs as a fraction of all n(n-1)/2 pairs in the most recent blocked build — the work the blocking stage saved.")
+	mBuildCandidateDuration = obs.Default().Histogram(
+		"schemaflow_build_candidate_duration_seconds",
+		"Duration of MinHash signature computation plus LSH banding in blocked builds.",
+		obs.DurationBuckets())
+	mBuildHACWorkers = obs.Default().Gauge(
+		"schemaflow_build_hac_workers",
+		"Worker goroutines available to the most recent blocked build's pairwise and sparse-HAC stages.")
 )

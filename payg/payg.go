@@ -53,9 +53,11 @@ package payg
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
+	"schemaflow/internal/candgen"
 	"schemaflow/internal/classify"
 	"schemaflow/internal/cluster"
 	"schemaflow/internal/core"
@@ -140,6 +142,38 @@ type Options struct {
 	// MediationFreqThreshold is the attribute frequency threshold for
 	// mediated schemas (default 0.1).
 	MediationFreqThreshold float64
+
+	// CandidateGen selects how the clustering stage finds pairs worth
+	// comparing: "auto" (default — exact below CandidateAutoMin schemas,
+	// MinHash-LSH blocking at or above it), "exact" (always the dense
+	// all-pairs HAC), or "lsh" (always the blocked sub-quadratic path).
+	// The blocked path skips the O(n²) similarity memo and clusters over
+	// a sparse candidate-pair set; see docs/DESIGN.md.
+	CandidateGen string
+	// LSHBands and LSHRows shape the MinHash signature: LSHBands bands of
+	// LSHRows rows each (defaults 128 and 2). The defaults put the
+	// banding threshold at (1/128)^(1/2) ≈ 0.09 — deliberately well below
+	// τ_c_sim = 0.25, because average linkage needs the low-similarity
+	// pairs too: a pair at 0.1 never merges on its own but still pulls
+	// cluster-to-cluster averages, and dropping it skews merge decisions
+	// near the threshold.
+	LSHBands int
+	LSHRows  int
+	// CandidateThreshold drops LSH candidate pairs whose signature-
+	// estimated Jaccard falls below it. The default 0 keeps every banding
+	// collision (recommended for average and total linkage, which are
+	// sensitive to missing low-similarity pairs); raise it to shrink the
+	// pairwise pass when memory is tight. Negative also means 0.
+	CandidateThreshold float64
+	// CandidateAutoMin is the schema count at which CandidateGen "auto"
+	// switches from the exact to the blocked path (default 4096). Below
+	// it the dense path is both fast and bit-exact, so auto never trades
+	// accuracy for speed on corpora where exact is cheap.
+	CandidateAutoMin int
+	// Workers bounds the goroutines used by the blocked path's pairwise
+	// and clustering stages. Zero means GOMAXPROCS. Results do not depend
+	// on it.
+	Workers int
 }
 
 // withDefaults resolves the zero-value sentinels: 0 becomes the documented
@@ -167,7 +201,37 @@ func (o Options) withDefaults() Options {
 	if o.Linkage == "" {
 		o.Linkage = "avg-jaccard"
 	}
+	if o.CandidateGen == "" {
+		o.CandidateGen = "auto"
+	}
+	if o.LSHBands == 0 {
+		o.LSHBands = 128
+	}
+	if o.LSHRows == 0 {
+		o.LSHRows = 2
+	}
+	if o.CandidateThreshold < 0 {
+		o.CandidateThreshold = 0
+	}
+	if o.CandidateAutoMin == 0 {
+		o.CandidateAutoMin = 4096
+	}
 	return o
+}
+
+// useBlockedPath decides, after withDefaults, whether a build of n schemas
+// takes the sub-quadratic blocked pipeline.
+func (o Options) useBlockedPath(n int) (bool, error) {
+	switch o.CandidateGen {
+	case "exact":
+		return false, nil
+	case "lsh":
+		return true, nil
+	case "auto":
+		return n >= o.CandidateAutoMin, nil
+	default:
+		return false, fmt.Errorf("payg: unknown candidate generator %q (want auto, exact, or lsh)", o.CandidateGen)
+	}
 }
 
 func (o Options) termSim() (strsim.TermSim, error) {
@@ -247,33 +311,27 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 		return nil, err
 	}
 
+	blocked, err := opts.useBlockedPath(len(set))
+	if err != nil {
+		return nil, err
+	}
+
 	// Each pipeline phase reports its wall-clock cost to the metrics
 	// registry, so an operator can compare full-rebuild phases against the
 	// incremental ingest path from the same /metrics scrape.
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	t := time.Now()
-	sp := feature.Build(set, fcfg)
-	mBuildPhase.With("features").Observe(time.Since(t).Seconds())
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	var sp *feature.Space
+	var model *core.Model
+	if blocked {
+		sp, _, model, err = buildBlocked(ctx, set, fcfg, method, opts)
+	} else {
+		sp, _, model, err = buildExact(ctx, set, fcfg, method, opts)
 	}
-	t = time.Now()
-	cl, err := cluster.Agglomerative(sp, cluster.NewLinkage(method), opts.TauCSim)
-	if err != nil {
-		return nil, fmt.Errorf("payg: %w", err)
-	}
-	mBuildPhase.With("cluster").Observe(time.Since(t).Seconds())
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	t = time.Now()
-	model, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
 	if err != nil {
 		return nil, err
 	}
-	mBuildPhase.With("domains").Observe(time.Since(t).Seconds())
 
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -285,7 +343,7 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 	if opts.ExactClassifier {
 		ccfg.MaxExactUncertain = -1
 	}
-	t = time.Now()
+	t := time.Now()
 	cls, err := classify.New(model, ccfg)
 	if err != nil {
 		return nil, err
@@ -323,6 +381,107 @@ func (o Options) featureConfig() (feature.Config, error) {
 		cfg.Mode = feature.TermFrequency
 	}
 	return cfg, nil
+}
+
+// buildExact is the thesis pipeline: precompute all O(n²) pairwise
+// similarities, run the dense agglomerative clustering, and assign domains
+// against the full similarity matrix.
+func buildExact(ctx context.Context, set schema.Set, fcfg feature.Config, method cluster.Method, opts Options) (*feature.Space, *cluster.Result, *core.Model, error) {
+	mBuildMode.With("exact").Inc()
+	t := time.Now()
+	sp, err := feature.BuildContext(ctx, set, fcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mBuildPhase.With("features").Observe(time.Since(t).Seconds())
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	t = time.Now()
+	cl, err := cluster.AgglomerativeContext(ctx, sp, cluster.NewLinkage(method), opts.TauCSim)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("payg: %w", err)
+	}
+	mBuildPhase.With("cluster").Observe(time.Since(t).Seconds())
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+	t = time.Now()
+	model, err := core.AssignDomains(set, sp, cl, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mBuildPhase.With("domains").Observe(time.Since(t).Seconds())
+	return sp, cl, model, nil
+}
+
+// buildBlocked is the sub-quadratic pipeline for large corpora: a lite
+// feature space (no O(n²) similarity memo), MinHash-LSH candidate
+// generation, exact similarities over only the candidates, sparse
+// agglomerative clustering, and sparse domain assignment. Every stage
+// honors ctx and fans out across opts.Workers.
+func buildBlocked(ctx context.Context, set schema.Set, fcfg feature.Config, method cluster.Method, opts Options) (*feature.Space, *cluster.Result, *core.Model, error) {
+	mBuildMode.With("blocked").Inc()
+	n := len(set)
+	t := time.Now()
+	sp := feature.BuildLite(set, fcfg)
+	mBuildPhase.With("features").Observe(time.Since(t).Seconds())
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Candidate generation runs over the binary feature vectors; in
+	// term-frequency mode candidates come from the binary projection and
+	// the exact generalized-Jaccard similarity decides in the next stage.
+	ccfg := candgen.Config{
+		Bands:     opts.LSHBands,
+		Rows:      opts.LSHRows,
+		Threshold: opts.CandidateThreshold,
+		Workers:   opts.Workers,
+	}
+	t = time.Now()
+	pairs, err := candgen.Pairs(ctx, sp.Vectors, ccfg)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("payg: candidate generation: %w", err)
+	}
+	d := time.Since(t)
+	mBuildPhase.With("candidates").Observe(d.Seconds())
+	mBuildCandidateDuration.Observe(d.Seconds())
+	mBuildCandidatePairs.Set(float64(len(pairs)))
+	if n > 1 {
+		mBuildCandidateFraction.Set(float64(len(pairs)) / (float64(n) * float64(n-1) / 2))
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mBuildHACWorkers.Set(float64(workers))
+
+	t = time.Now()
+	ps, err := cluster.PairwiseSims(ctx, sp, pairs, opts.Workers)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("payg: pairwise similarities: %w", err)
+	}
+	mBuildPhase.With("pairwise").Observe(time.Since(t).Seconds())
+
+	t = time.Now()
+	cl, err := cluster.AgglomerativeSparse(ctx, sp, cluster.NewLinkage(method), opts.TauCSim, ps,
+		cluster.SparseOptions{Workers: opts.Workers})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("payg: %w", err)
+	}
+	mBuildPhase.With("cluster").Observe(time.Since(t).Seconds())
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	t = time.Now()
+	model, err := core.AssignDomainsSparse(set, sp, cl, ps, core.Options{TauCSim: opts.TauCSim, Theta: opts.Theta})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	mBuildPhase.With("domains").Observe(time.Since(t).Seconds())
+	return sp, cl, model, nil
 }
 
 func (s *System) buildMediation() error {
