@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-ingest bench-assign bench-query bench-build bench-build-smoke repro fuzz fuzz-smoke docs-check integration clean
+.PHONY: all build vet test race bench bench-ingest bench-assign bench-query bench-build bench-build-smoke bench-serve loadgen-smoke repro fuzz fuzz-smoke docs-check integration clean
 
 all: build vet test
 
@@ -50,6 +50,18 @@ bench-build:
 bench-build-smoke:
 	$(GO) test ./payg -run TestBuildBenchArtifact -bench-build-artifact=true -bench-build-out=/tmp/BENCH_build.json -timeout 600s
 
+# Serving benchmark: drive a real payg-server with the closed-loop load
+# generator through the three headline chaos scenarios — steady state,
+# recluster storm, total source blackout (writes BENCH_serve.json).
+bench-serve:
+	PAYG_INTEGRATION=1 $(GO) test ./internal/integration -run TestServeBenchArtifact -bench-serve-artifact=true -count=1 -timeout 1200s -v
+
+# CI smoke for the load generator: a few seconds of closed-loop traffic
+# against an in-process server, plus the report/percentile unit tests.
+loadgen-smoke:
+	$(GO) test ./internal/loadgen -count=1 -loadgen-secs=5
+	$(GO) test ./internal/obs -count=1 -race -run 'TestReservoir|TestConcurrent'
+
 # Short fuzz pass over every hand-written parser. FUZZTIME is overridable;
 # CI's fuzz-smoke job uses 10s per target.
 FUZZTIME ?= 30s
@@ -70,11 +82,13 @@ fuzz-smoke:
 docs-check:
 	$(GO) test ./internal/docscheck -count=1
 
-# End-to-end durability tests against the real payg-server binary:
-# SIGKILL mid-stream, restart, assert recovery; leader/follower
-# convergence. Gated so plain `make test` stays hermetic.
+# End-to-end durability and chaos tests against the real payg-server
+# binary: SIGKILL mid-stream, restart, assert recovery; leader/follower
+# convergence; SLO-gated load scenarios (recluster storm, source
+# blackout, leader crash under load). Gated so plain `make test` stays
+# hermetic.
 integration:
-	PAYG_INTEGRATION=1 $(GO) test ./internal/integration -count=1 -timeout 300s
+	PAYG_INTEGRATION=1 $(GO) test ./internal/integration -count=1 -timeout 600s
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,92 @@
+// Command payg-loadgen is a closed-loop load generator for payg-server.
+// It drives a mixed workload (classify / classify-batch / query / ingest /
+// feedback) at a target QPS against a running server, records per-endpoint
+// latency with exact-within-capacity reservoirs, and writes the
+// BENCH_serve.json report documented in docs/BENCHMARKS.md.
+//
+// Usage:
+//
+//	payg-server -in testdata/schemas.txt -tuples 50 -addr :8080 &
+//	payg-loadgen -target http://localhost:8080 -qps 200 -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"schemaflow/internal/loadgen"
+)
+
+func main() {
+	log.SetPrefix("payg-loadgen: ")
+	log.SetFlags(0)
+
+	var (
+		target     = flag.String("target", "", "base URL of the payg-server to drive (required), e.g. http://localhost:8080")
+		qps        = flag.Float64("qps", 200, "target request rate; 0 means unpaced (as fast as the workers go)")
+		workers    = flag.Int("workers", 8, "concurrent closed-loop workers")
+		duration   = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		mixSpec    = flag.String("mix", "", "traffic mix as weight pairs, e.g. classify=55,batch=5,query=30,ingest=8,feedback=2 (default mix when empty)")
+		top        = flag.Int("top", 3, "top-k domains requested per classify call")
+		batchWidth = flag.Int("batch-width", 16, "schemas per classify/batch request")
+		seed       = flag.Int64("seed", 1, "workload RNG seed (same seed + same server state = same request stream)")
+		scenario   = flag.String("scenario", "steady-state", "scenario name recorded in the report")
+		out        = flag.String("out", "BENCH_serve.json", "report output path; - writes to stdout")
+	)
+	flag.Parse()
+
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "payg-loadgen: -target is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	mix, err := loadgen.ParseMix(*mixSpec)
+	if err != nil {
+		log.Fatalf("bad -mix: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("driving %s: qps=%v workers=%d duration=%v mix=%+v", *target, *qps, *workers, *duration, mix)
+	sc, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:    *target,
+		QPS:        *qps,
+		Workers:    *workers,
+		Duration:   *duration,
+		Mix:        mix,
+		Top:        *top,
+		BatchWidth: *batchWidth,
+		Seed:       *seed,
+		Name:       *scenario,
+	})
+	if err != nil {
+		log.Fatalf("run failed: %v", err)
+	}
+
+	rep := &loadgen.Report{
+		Description: "payg-server closed-loop load benchmark (cmd/payg-loadgen)",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Scenarios:   []loadgen.Scenario{sc},
+	}
+	if err := rep.Validate(); err != nil {
+		log.Fatalf("report failed validation: %v", err)
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		log.Fatalf("write report: %v", err)
+	}
+	log.Printf("scenario %q: %d requests, %.2f qps achieved (target %v), error_rate=%v",
+		sc.Name, sc.Requests, sc.AchievedQPS, sc.TargetQPS, sc.ErrorRate)
+	if *out != "-" {
+		log.Printf("report written to %s", *out)
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"schemaflow/internal/engine"
+	"schemaflow/payg"
+)
+
+// flakeSpec is one parsed -flake directive: fault-injection knobs applied
+// to the synthetic source whose schema name matches (or to every source,
+// for "*"). It exists so chaos experiments can script outages on a stock
+// binary — the load harness starts payg-server with e.g.
+//
+//	-flake 'air1:down=2s+3s'
+//
+// and the air1 source goes hard-down from t=2s to t=5s after startup,
+// then heals itself.
+type flakeSpec struct {
+	name    string // schema name, or "*" for all sources
+	errRate float64
+	latency time.Duration
+	jitter  time.Duration
+	windows []engine.BlackoutWindow
+}
+
+// parseFlakeSpec parses NAME:key=val[,key=val...] where keys are
+// err (probability), lat / jit (durations), and down=START+DUR
+// (repeatable; a scheduled blackout window measured from startup).
+func parseFlakeSpec(s string) (flakeSpec, error) {
+	var spec flakeSpec
+	name, rest, ok := strings.Cut(s, ":")
+	if !ok || name == "" || rest == "" {
+		return spec, fmt.Errorf("want NAME:key=val[,key=val...], got %q", s)
+	}
+	spec.name = name
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return spec, fmt.Errorf("bad knob %q in %q", kv, s)
+		}
+		var err error
+		switch key {
+		case "err":
+			spec.errRate, err = strconv.ParseFloat(val, 64)
+			if err == nil && (spec.errRate < 0 || spec.errRate > 1) {
+				err = fmt.Errorf("probability out of [0,1]")
+			}
+		case "lat":
+			spec.latency, err = time.ParseDuration(val)
+		case "jit":
+			spec.jitter, err = time.ParseDuration(val)
+		case "down":
+			from, durs, ok := strings.Cut(val, "+")
+			if !ok {
+				return spec, fmt.Errorf("bad down window %q in %q: want down=START+DUR", val, s)
+			}
+			var start, dur time.Duration
+			if start, err = time.ParseDuration(from); err == nil {
+				dur, err = time.ParseDuration(durs)
+			}
+			if err == nil && dur <= 0 {
+				err = fmt.Errorf("window duration must be positive")
+			}
+			spec.windows = append(spec.windows, engine.BlackoutWindow{From: start, Until: start + dur})
+		default:
+			return spec, fmt.Errorf("unknown knob %q in %q (want err, lat, jit, or down)", key, s)
+		}
+		if err != nil {
+			return spec, fmt.Errorf("bad value for %s in %q: %v", key, s, err)
+		}
+	}
+	return spec, nil
+}
+
+// match returns the first spec applying to schema name, if any. An exact
+// name wins over "*" regardless of order.
+func matchFlake(specs []flakeSpec, name string) (flakeSpec, bool) {
+	var star flakeSpec
+	haveStar := false
+	for _, sp := range specs {
+		if sp.name == name {
+			return sp, true
+		}
+		if sp.name == "*" && !haveStar {
+			star, haveStar = sp, true
+		}
+	}
+	return star, haveStar
+}
+
+// applyFlake wraps a synthetic source in a FlakeSource carrying the
+// spec's knobs; blackout windows are armed immediately, so their clock
+// starts when the server builds its sources (i.e. at startup).
+func applyFlake(sp flakeSpec, name string, tuples []payg.Tuple, seed int64) payg.TupleSource {
+	f := engine.NewFlakeSource(name, tuples, seed)
+	f.ErrRate = sp.errRate
+	f.Latency = sp.latency
+	f.LatencyJitter = sp.jitter
+	if len(sp.windows) > 0 {
+		f.ScheduleBlackouts(sp.windows...)
+	}
+	return f
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"schemaflow/internal/engine"
+)
+
+func TestParseFlakeSpec(t *testing.T) {
+	sp, err := parseFlakeSpec("air1:err=0.1,lat=5ms,jit=2ms,down=2s+3s,down=10s+1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.name != "air1" || sp.errRate != 0.1 || sp.latency != 5*time.Millisecond || sp.jitter != 2*time.Millisecond {
+		t.Fatalf("spec = %+v", sp)
+	}
+	want := []engine.BlackoutWindow{
+		{From: 2 * time.Second, Until: 5 * time.Second},
+		{From: 10 * time.Second, Until: 11 * time.Second},
+	}
+	if len(sp.windows) != 2 || sp.windows[0] != want[0] || sp.windows[1] != want[1] {
+		t.Fatalf("windows = %+v, want %+v", sp.windows, want)
+	}
+
+	for _, bad := range []string{
+		"", "air1", "air1:", ":err=0.1", "air1:err", "air1:err=2",
+		"air1:down=2s", "air1:down=2s+0s", "air1:nope=1", "air1:lat=fast",
+	} {
+		if _, err := parseFlakeSpec(bad); err == nil {
+			t.Errorf("parseFlakeSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMatchFlake(t *testing.T) {
+	specs := []flakeSpec{
+		{name: "*", errRate: 0.5},
+		{name: "air1", errRate: 0.1},
+	}
+	if sp, ok := matchFlake(specs, "air1"); !ok || sp.errRate != 0.1 {
+		t.Fatalf("exact match lost to wildcard: %+v %v", sp, ok)
+	}
+	if sp, ok := matchFlake(specs, "bib1"); !ok || sp.errRate != 0.5 {
+		t.Fatalf("wildcard fallback: %+v %v", sp, ok)
+	}
+	if _, ok := matchFlake(specs[1:], "bib1"); ok {
+		t.Fatal("matched nothing")
+	}
+}

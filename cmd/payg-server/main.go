@@ -43,7 +43,7 @@
 //	            [-source-timeout 2s] [-retries 2]
 //	            [-drift-threshold 0.5] [-rebuild-interval 0] [-pprof]
 //	            [-data-dir /var/lib/payg] [-fsync always|interval|none]
-//	            [-checkpoint-retain 3]
+//	            [-checkpoint-retain 3] [-flake 'air1:down=2s+3s']
 //	payg-server -follow http://leader:8080 [-addr :8081] [-poll-interval 2s]
 //
 //	curl 'localhost:8080/classify?q=departure+toronto'
@@ -93,6 +93,7 @@ type options struct {
 	checkpointRetain int
 	follow           string
 	pollInterval     time.Duration
+	flakes           []flakeSpec
 }
 
 func main() {
@@ -116,6 +117,14 @@ func main() {
 	flag.IntVar(&o.checkpointRetain, "checkpoint-retain", 3, "checkpoints to keep in -data-dir (min 1)")
 	flag.StringVar(&o.follow, "follow", "", "leader base URL; run as a read-only snapshot-shipping follower")
 	flag.DurationVar(&o.pollInterval, "poll-interval", 2*time.Second, "follower poll period against the leader")
+	flag.Func("flake", "inject faults into a synthetic source: NAME:err=0.1,lat=5ms,jit=5ms,down=2s+3s (NAME=* for all; down= repeatable; flag repeatable; chaos testing only)", func(s string) error {
+		spec, err := parseFlakeSpec(s)
+		if err != nil {
+			return err
+		}
+		o.flakes = append(o.flakes, spec)
+		return nil
+	})
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("app", "payg-server"))
@@ -233,7 +242,7 @@ func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follow
 	if o.tuples > 0 {
 		cfg.Sources = make([]payg.TupleSource, len(set))
 		for i, s := range set {
-			cfg.Sources[i] = syntheticSource(s, o.tuples, int64(i))
+			cfg.Sources[i] = makeSource(logger, o, s, int64(i))
 		}
 		logger.Info("attached synthetic data", slog.Int("tuples_per_source", o.tuples))
 	}
@@ -264,7 +273,7 @@ func recoverServer(logger *slog.Logger, o options, cfg server.Config) (*server.S
 		CheckpointRetain: o.checkpointRetain,
 		ServeData:        o.tuples > 0,
 		MakeSource: func(sch payg.Schema) payg.TupleSource {
-			return syntheticSource(sch, o.tuples, int64(len(sch.Name)))
+			return makeSource(logger, o, sch, int64(len(sch.Name)))
 		},
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
@@ -321,13 +330,22 @@ func buildFollower(logger *slog.Logger, o options) (*server.Server, *server.Foll
 	return handler, follower, nil
 }
 
-// syntheticSource builds a deterministic in-memory source for a schema so
-// /query serves data without external systems.
-func syntheticSource(s payg.Schema, tuples int, seed int64) payg.TupleSource {
-	rows := dataset.GenerateTuples(s, tuples, seed)
+// makeSource builds a deterministic in-memory source for a schema so
+// /query serves data without external systems, wrapped in a fault
+// injector when a -flake spec matches the schema name.
+func makeSource(logger *slog.Logger, o options, s payg.Schema, seed int64) payg.TupleSource {
+	rows := dataset.GenerateTuples(s, o.tuples, seed)
 	ts := make([]payg.Tuple, len(rows))
 	for k, r := range rows {
 		ts[k] = r
+	}
+	if sp, ok := matchFlake(o.flakes, s.Name); ok {
+		logger.Info("flake applied to source",
+			slog.String("source", s.Name),
+			slog.Float64("err_rate", sp.errRate),
+			slog.Duration("latency", sp.latency),
+			slog.Int("blackout_windows", len(sp.windows)))
+		return applyFlake(sp, s.Name, ts, seed)
 	}
 	return payg.Source{Schema: s, Tuples: ts}
 }

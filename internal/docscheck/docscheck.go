@@ -1,9 +1,10 @@
 // Package docscheck keeps the repository's documentation verifiable: it
-// parses the metric reference table in docs/METRICS.md and the relative
-// links in the markdown docs so tests (run by `make docs-check` and CI)
-// can diff them against the live metric registry and the file tree.
-// Documentation that cannot drift silently is the only kind worth
-// shipping.
+// parses the metric reference table in docs/METRICS.md, the relative
+// links in the markdown docs, and the command-line flags of the cmd/
+// binaries so tests (run by `make docs-check` and CI) can diff them
+// against the live metric registry, the file tree, and the operator
+// runbook. Documentation that cannot drift silently is the only kind
+// worth shipping.
 package docscheck
 
 import (
@@ -48,6 +49,82 @@ func MetricRows(path string) ([]MetricRow, error) {
 		return nil, fmt.Errorf("%s: no metric table rows found", path)
 	}
 	return rows, nil
+}
+
+// Flag is one command-line flag registration found in a Go source file.
+type Flag struct {
+	Name string // flag name as registered, without the leading dash
+	Line int    // 1-based line in the source file
+}
+
+// flagREs match the stdlib flag registration forms used in this repo:
+// flag.TypeVar(&x, "name", ...), flag.Type("name", ...), and
+// flag.Func("name", ...). The name must be the first string literal of
+// the call.
+var flagREs = []*regexp.Regexp{
+	regexp.MustCompile(`\bflag\.[A-Za-z0-9]+Var\([^,]+,\s*"([^"]+)"`),
+	regexp.MustCompile(`\bflag\.(?:String|Bool|Int|Int64|Uint|Uint64|Float64|Duration|Func|TextVar)\(\s*"([^"]+)"`),
+}
+
+// FlagNames extracts every flag registered by the Go source file at
+// path. It is a textual scan, not a type-checked one — good enough to
+// keep docs/OPERATIONS.md honest, and it fails loudly (zero flags) if a
+// main.go stops registering flags in a recognizable form.
+func FlagNames(path string) ([]Flag, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var flags []Flag
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		for _, re := range flagREs {
+			for _, m := range re.FindAllStringSubmatch(sc.Text(), -1) {
+				if !seen[m[1]] {
+					seen[m[1]] = true
+					flags = append(flags, Flag{Name: m[1], Line: n})
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(flags) == 0 {
+		return nil, fmt.Errorf("%s: no flag registrations found", path)
+	}
+	return flags, nil
+}
+
+// docFlagRE matches backtick-quoted flag mentions like `-tau` or
+// `-drift-threshold`. Requiring the backtick immediately before the
+// dash keeps prose dashes and fenced command examples from matching.
+var docFlagRE = regexp.MustCompile("`-([a-zA-Z][a-zA-Z0-9-]*)`")
+
+// DocFlags returns every distinct backtick-quoted flag name mentioned
+// in the markdown file at path (without the dash), mapped to the first
+// line it appears on.
+func DocFlags(path string) (map[string]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	flags := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	for n := 1; sc.Scan(); n++ {
+		for _, m := range docFlagRE.FindAllStringSubmatch(sc.Text(), -1) {
+			if _, ok := flags[m[1]]; !ok {
+				flags[m[1]] = n
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return flags, nil
 }
 
 // Link is one markdown link found in a document.

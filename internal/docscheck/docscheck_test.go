@@ -90,6 +90,102 @@ func TestMarkdownLinks(t *testing.T) {
 	}
 }
 
+// TestFlagsDocumented diffs the flags the binaries actually register
+// against docs/OPERATIONS.md, both ways: every server and loadgen flag
+// must be documented in the runbook, and every backtick-quoted `-flag`
+// the runbook mentions must exist in one of the binaries. This is what
+// keeps the operator docs from rotting as flags come and go.
+func TestFlagsDocumented(t *testing.T) {
+	mains := []string{
+		filepath.Join("cmd", "payg-server", "main.go"),
+		filepath.Join("cmd", "payg-loadgen", "main.go"),
+	}
+	registered := make(map[string]string) // flag -> file that registers it
+	for _, rel := range mains {
+		flags, err := FlagNames(filepath.Join(repoRoot, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range flags {
+			registered[f.Name] = rel
+		}
+	}
+
+	docPath := filepath.Join("docs", "OPERATIONS.md")
+	documented, err := DocFlags(filepath.Join(repoRoot, docPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, src := range registered {
+		if _, ok := documented[name]; !ok {
+			t.Errorf("flag -%s (registered in %s) is missing from %s", name, src, docPath)
+		}
+	}
+	for name, line := range documented {
+		if _, ok := registered[name]; !ok {
+			t.Errorf("%s:%d documents flag -%s, which no binary registers", docPath, line, name)
+		}
+	}
+}
+
+// TestFlagParsers pins the registration and doc-mention grammars the
+// flags check depends on.
+func TestFlagParsers(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "main.go")
+	code := `package main
+import "flag"
+func main() {
+	var s string
+	flag.StringVar(&s, "in", "", "usage")
+	flag.DurationVar(&d, "poll-interval", 0, "usage")
+	_ = flag.Float64("qps", 200, "usage")
+	flag.Func("flake", "usage", parse)
+	notflag.StringVar(&s, "nope", "", "usage")
+}
+`
+	if err := os.WriteFile(src, []byte(code), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	flags, err := FlagNames(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	for _, f := range flags {
+		got[f.Name] = true
+	}
+	for _, want := range []string{"in", "poll-interval", "qps", "flake"} {
+		if !got[want] {
+			t.Errorf("FlagNames missed %q: %+v", want, flags)
+		}
+	}
+	if len(flags) != 4 {
+		t.Errorf("flags = %+v, want exactly 4", flags)
+	}
+
+	doc := filepath.Join(t.TempDir(), "ops.md")
+	md := "Run with `-in` and `-poll-interval`.\n" +
+		"A non-flag dash - here, prose-with-dashes, and `code -notflag` stay out.\n" +
+		"| `-qps` | 200 | target rate |\n"
+	if err := os.WriteFile(doc, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dflags, err := DocFlags(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"in": 1, "poll-interval": 1, "qps": 3}
+	if len(dflags) != len(want) {
+		t.Fatalf("DocFlags = %v, want %v", dflags, want)
+	}
+	for name, line := range want {
+		if dflags[name] != line {
+			t.Errorf("DocFlags[%q] = %d, want %d", name, dflags[name], line)
+		}
+	}
+}
+
 // TestMetricRowParser pins the table-row grammar the doc must follow.
 func TestMetricRowParser(t *testing.T) {
 	tmp := filepath.Join(t.TempDir(), "m.md")

@@ -10,10 +10,11 @@ import (
 
 // FlakeSource is a fault-injection TupleSource: an in-memory source
 // wrapped with a configurable error rate, latency distribution, a
-// deterministic fail-first-N mode, and a hard-down switch. It exists so
-// tests (and load experiments) can prove the resilience path — partial
-// results, breaker transitions, timeout handling — without real network
-// flakiness. All knobs may be flipped while queries are in flight.
+// deterministic fail-first-N mode, a hard-down switch, and scheduled
+// blackout windows (ScheduleBlackouts). It exists so tests and load/chaos
+// experiments can prove the resilience path — partial results, breaker
+// transitions, timeout handling — without real network flakiness. All
+// knobs may be flipped while queries are in flight.
 type FlakeSource struct {
 	mu sync.Mutex
 
@@ -33,6 +34,21 @@ type FlakeSource struct {
 	FailFirst int
 	// Down simulates a dead source: every Fetch fails fast.
 	Down bool
+
+	// Scheduled blackout windows: the source is hard-down inside every
+	// [From, Until) interval measured from epoch (armed by
+	// ScheduleBlackouts). This is the knob chaos scenarios use to script
+	// "source goes dark at t=2s for 3s" without holding a handle to the
+	// running process.
+	epoch   time.Time
+	windows []BlackoutWindow
+}
+
+// BlackoutWindow is one scheduled hard-down interval, measured from the
+// moment ScheduleBlackouts armed the schedule.
+type BlackoutWindow struct {
+	From  time.Duration
+	Until time.Duration
 }
 
 // NewFlakeSource wraps tuples in a healthy flake source; configure the
@@ -60,9 +76,35 @@ func (f *FlakeSource) SetDown(down bool) {
 	f.Down = down
 }
 
+// ScheduleBlackouts arms scheduled hard-down windows measured from now:
+// every Fetch whose start falls inside a [From, Until) interval fails
+// fast, exactly like Down, and the source heals itself when the window
+// passes. Calling again replaces the schedule and resets its epoch.
+func (f *FlakeSource) ScheduleBlackouts(windows ...BlackoutWindow) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epoch = time.Now()
+	f.windows = append([]BlackoutWindow(nil), windows...)
+}
+
+// inBlackout reports whether elapsed time since the epoch falls inside a
+// scheduled window. Caller holds f.mu.
+func (f *FlakeSource) inBlackout() bool {
+	if len(f.windows) == 0 {
+		return false
+	}
+	elapsed := time.Since(f.epoch)
+	for _, w := range f.windows {
+		if elapsed >= w.From && elapsed < w.Until {
+			return true
+		}
+	}
+	return false
+}
+
 // Fetch implements TupleSource, applying the configured faults in order:
-// latency first (interruptible by ctx), then hard-down, fail-first, and
-// the random error rate.
+// latency first (interruptible by ctx), then hard-down, scheduled
+// blackout, fail-first, and the random error rate.
 func (f *FlakeSource) Fetch(ctx context.Context) ([]Tuple, error) {
 	f.mu.Lock()
 	f.calls++
@@ -71,6 +113,7 @@ func (f *FlakeSource) Fetch(ctx context.Context) ([]Tuple, error) {
 		delay += time.Duration(f.rng.Int63n(int64(f.LatencyJitter)))
 	}
 	down := f.Down
+	blackout := f.inBlackout()
 	failFirst := f.calls <= f.FailFirst
 	flaky := f.ErrRate > 0 && f.rng.Float64() < f.ErrRate
 	tuples := f.tuples
@@ -89,6 +132,8 @@ func (f *FlakeSource) Fetch(ctx context.Context) ([]Tuple, error) {
 	switch {
 	case down:
 		return nil, fmt.Errorf("source %q: hard down", name)
+	case blackout:
+		return nil, fmt.Errorf("source %q: scheduled blackout", name)
 	case failFirst:
 		return nil, fmt.Errorf("source %q: transient failure", name)
 	case flaky:

@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlakeScheduledBlackout proves the scripted-outage knob: the source
+// is hard-down inside its windows and heals itself when they pass.
+func TestFlakeScheduledBlackout(t *testing.T) {
+	f := NewFlakeSource("s", []Tuple{{"a"}}, 1)
+	ctx := context.Background()
+
+	// No schedule: healthy.
+	if _, err := f.Fetch(ctx); err != nil {
+		t.Fatalf("unscheduled fetch failed: %v", err)
+	}
+
+	// Window opens immediately and lasts 80ms.
+	f.ScheduleBlackouts(BlackoutWindow{From: 0, Until: 80 * time.Millisecond})
+	if _, err := f.Fetch(ctx); err == nil || !strings.Contains(err.Error(), "scheduled blackout") {
+		t.Fatalf("fetch inside blackout window: err = %v, want scheduled blackout", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, err := f.Fetch(ctx); err != nil {
+		t.Fatalf("fetch after window passed failed: %v", err)
+	}
+
+	// A future window does not affect the present; re-arming resets the epoch.
+	f.ScheduleBlackouts(BlackoutWindow{From: time.Hour, Until: 2 * time.Hour})
+	if _, err := f.Fetch(ctx); err != nil {
+		t.Fatalf("fetch before future window failed: %v", err)
+	}
+
+	// Multiple windows: only the second is active after the first closes.
+	f.ScheduleBlackouts(
+		BlackoutWindow{From: 0, Until: 10 * time.Millisecond},
+		BlackoutWindow{From: 40 * time.Millisecond, Until: time.Hour},
+	)
+	if _, err := f.Fetch(ctx); err == nil {
+		t.Fatal("fetch inside first window succeeded")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := f.Fetch(ctx); err != nil {
+		t.Fatalf("fetch in the gap between windows failed: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := f.Fetch(ctx); err == nil {
+		t.Fatal("fetch inside second window succeeded")
+	}
+}

@@ -1,0 +1,439 @@
+// Chaos and load scenarios: drive the real payg-server binary with the
+// closed-loop generator from internal/loadgen and hold it to explicit
+// SLO gates — bounded error rate, bounded p99, zero lost acks — while
+// injecting the failures operators actually see (source blackouts,
+// recluster storms, leader crashes). Gated behind PAYG_INTEGRATION=1
+// like the rest of this package; `make bench-serve` additionally runs
+// TestServeBenchArtifact to regenerate BENCH_serve.json.
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"schemaflow/internal/loadgen"
+)
+
+// SLO gates for the chaos scenarios. The p99 ceiling is deliberately
+// generous: CI runs this on one shared CPU with the server, generator,
+// and recluster storms all competing for it. The point is catching
+// cliffs (timeouts, stalls, lost writes), not benchmarking.
+const (
+	sloMaxErrorRate = 0.01 // transport + 5xx
+	sloMaxP99Ms     = 2000
+)
+
+var (
+	loadSecs           = flag.Float64("load-secs", 4, "duration of each chaos load scenario in seconds")
+	benchServeArtifact = flag.Bool("bench-serve-artifact", false, "write BENCH_serve.json at the repo root (make bench-serve)")
+	benchServeSecs     = flag.Float64("bench-serve-secs", 8, "per-scenario duration for the BENCH_serve.json artifact")
+	benchServeOut      = flag.String("bench-serve-out", "", "artifact output path (default <repo root>/BENCH_serve.json)")
+)
+
+// sharedBin compiles cmd/payg-server once for all load tests in the
+// package run; the per-test t.TempDir would delete it out from under
+// later tests. The directory lives until the OS cleans its temp space.
+var sharedBin = struct {
+	once sync.Once
+	path string
+	err  error
+}{}
+
+func loadTestBinary(t *testing.T) string {
+	t.Helper()
+	sharedBin.once.Do(func() {
+		dir, err := os.MkdirTemp("", "payg-loadtest")
+		if err != nil {
+			sharedBin.err = err
+			return
+		}
+		sharedBin.path = buildServerBinary(t, dir)
+	})
+	if sharedBin.err != nil {
+		t.Fatal(sharedBin.err)
+	}
+	return sharedBin.path
+}
+
+func integrationGate(t *testing.T) {
+	t.Helper()
+	if os.Getenv("PAYG_INTEGRATION") != "1" {
+		t.Skip("set PAYG_INTEGRATION=1 to run integration tests")
+	}
+}
+
+// startLoadServer starts a payg-server with synthetic data attached and
+// drift-triggered rebuilds disabled (scenarios script their own
+// reclusters), plus any extra flags.
+func startLoadServer(t *testing.T, extra ...string) *serverProc {
+	t.Helper()
+	bin := loadTestBinary(t)
+	work := t.TempDir()
+	schemaPath := filepath.Join(work, "schemas.txt")
+	if err := os.WriteFile(schemaPath, []byte(schemasFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	addr := freeAddr(t)
+	args := append([]string{
+		"-in", schemaPath,
+		"-addr", addr,
+		"-tuples", "20",
+		"-drift-threshold", "-1",
+	}, extra...)
+	p := startServer(t, bin, args...)
+	t.Cleanup(p.stop)
+	p.base = "http://" + addr
+	waitHealthy(t, p)
+	return p
+}
+
+// runLoad drives one closed-loop scenario against base.
+func runLoad(t *testing.T, base, name string, mix loadgen.Mix, qps float64) loadgen.Scenario {
+	t.Helper()
+	sc, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  base,
+		QPS:      qps,
+		Workers:  6,
+		Duration: time.Duration(*loadSecs * float64(time.Second)),
+		Mix:      mix,
+		Seed:     1,
+		Name:     name,
+	})
+	if err != nil {
+		t.Fatalf("loadgen run %q: %v", name, err)
+	}
+	if sc.Requests == 0 || sc.AchievedQPS <= 0 {
+		t.Fatalf("scenario %q produced no throughput: %+v", name, sc)
+	}
+	return sc
+}
+
+// checkSLO applies the availability and latency gates to a finished
+// scenario. Client errors (4xx) are reported but not gated — stale
+// domain ids during reclusters are correct server behavior.
+func checkSLO(t *testing.T, sc loadgen.Scenario) {
+	t.Helper()
+	t.Logf("scenario %q: %d requests, %.1f qps, errors=%d client_errors=%d error_rate=%v",
+		sc.Name, sc.Requests, sc.AchievedQPS, sc.Errors, sc.ClientErrors, sc.ErrorRate)
+	if sc.ErrorRate > sloMaxErrorRate {
+		t.Errorf("scenario %q: error rate %v breaches SLO %v; logs may show why", sc.Name, sc.ErrorRate, sloMaxErrorRate)
+	}
+	for name, ep := range sc.Endpoints {
+		t.Logf("  %-14s n=%-6d p50=%vms p95=%vms p99=%vms max=%vms", name, ep.Requests, ep.P50Ms, ep.P95Ms, ep.P99Ms, ep.MaxMs)
+		if ep.P99Ms > sloMaxP99Ms {
+			t.Errorf("scenario %q endpoint %q: p99 %vms breaches SLO %vms", sc.Name, name, ep.P99Ms, sloMaxP99Ms)
+		}
+	}
+}
+
+// lostAcks verifies the zero-lost-acks invariant: every 202-acked ingest
+// is still present server-side after the run, as a clustered schema or a
+// pending journal entry. The count can legitimately exceed the floor —
+// a client-side timeout drops the response but the WAL kept the write —
+// so only a deficit is a loss.
+func lostAcks(t *testing.T, base string, initialSchemas uint64, sc loadgen.Scenario) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz after %q: %v", sc.Name, err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Schemas float64 `json:"schemas"`
+		Pending float64 `json:"pending_schemas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	have := uint64(st.Schemas) + uint64(st.Pending)
+	want := initialSchemas + sc.AckedIngests
+	t.Logf("scenario %q: acked %d ingests; server holds %d schemas+pending (floor %d)", sc.Name, sc.AckedIngests, have, want)
+	if have < want {
+		return want - have
+	}
+	return 0
+}
+
+// counterTotal sums a counter family's samples from GET /metrics?format=json.
+func counterTotal(t *testing.T, base, family string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Families []struct {
+			Name    string `json:"name"`
+			Metrics []struct {
+				Value *float64 `json:"value"`
+			} `json:"metrics"`
+		} `json:"families"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, f := range doc.Families {
+		if f.Name != family {
+			continue
+		}
+		for _, m := range f.Metrics {
+			if m.Value != nil {
+				total += *m.Value
+			}
+		}
+	}
+	return total
+}
+
+// TestLoadSteadyState is the baseline: a healthy server under the default
+// mixed workload must hold every SLO gate with nothing going wrong.
+func TestLoadSteadyState(t *testing.T) {
+	integrationGate(t)
+	p := startLoadServer(t)
+	sc := runLoad(t, p.base, "steady-state", loadgen.DefaultMix(), 150)
+	sc.LostAcks = lostAcks(t, p.base, 4, sc)
+	checkSLO(t, sc)
+	if sc.LostAcks != 0 {
+		t.Errorf("steady-state lost %d acked ingests", sc.LostAcks)
+	}
+}
+
+// TestLoadReclusterStorm forces a full background recluster every 300ms
+// while mixed traffic runs. Swaps are atomic and the journal folds into
+// each new model, so availability and acked writes must hold; 4xx from
+// stale domain ids are expected and excluded from the gate.
+func TestLoadReclusterStorm(t *testing.T) {
+	integrationGate(t)
+	p := startLoadServer(t)
+
+	stop := make(chan struct{})
+	var storms int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(300 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				resp, err := http.Post(p.base+"/admin/recluster", "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+					storms++
+				}
+			}
+		}
+	}()
+
+	sc := runLoad(t, p.base, "recluster-storm", loadgen.DefaultMix(), 150)
+	close(stop)
+	wg.Wait()
+	if storms == 0 {
+		t.Fatal("storm goroutine never reclustered")
+	}
+	t.Logf("forced %d reclusters during load", storms)
+
+	sc.LostAcks = lostAcks(t, p.base, 4, sc)
+	checkSLO(t, sc)
+	if sc.LostAcks != 0 {
+		t.Errorf("recluster storm lost %d acked ingests", sc.LostAcks)
+	}
+	if gen := healthGeneration(t, p.base); gen < 2 {
+		t.Errorf("generation %d after a recluster storm; swaps are not happening", gen)
+	}
+}
+
+// TestLoadSourceBlackout scripts a total source outage mid-run via the
+// server's -flake flag: every synthetic source goes hard-down from t=1s
+// to t=3s. The resilience path must convert that into degraded 200s
+// (partial results with a degraded report), not 5xx — so the error-rate
+// gate still applies, and the degraded-queries counter must move.
+func TestLoadSourceBlackout(t *testing.T) {
+	integrationGate(t)
+	p := startLoadServer(t, "-flake", "*:down=1s+2s")
+
+	mix := loadgen.Mix{Classify: 20, Batch: 5, Query: 65, Ingest: 8, Feedback: 2}
+	sc := runLoad(t, p.base, "source-blackout", mix, 150)
+	sc.LostAcks = lostAcks(t, p.base, 4, sc)
+	checkSLO(t, sc)
+	if sc.LostAcks != 0 {
+		t.Errorf("blackout lost %d acked ingests", sc.LostAcks)
+	}
+	if degraded := counterTotal(t, p.base, "schemaflow_queries_degraded_total"); degraded == 0 {
+		t.Errorf("blackout ran but schemaflow_queries_degraded_total = 0; the outage never bit (queries=%d)",
+			sc.Endpoints["query"].Requests)
+	}
+}
+
+// TestLoadFollowerPromotionUnderLoad kills the durable leader while a
+// read-only workload runs against its follower. The follower must keep
+// serving reads from its last shipped snapshot through the outage, and
+// converge again once the leader restarts from its WAL.
+func TestLoadFollowerPromotionUnderLoad(t *testing.T) {
+	integrationGate(t)
+	bin := loadTestBinary(t)
+	work := t.TempDir()
+	schemaPath := filepath.Join(work, "schemas.txt")
+	if err := os.WriteFile(schemaPath, []byte(schemasFile), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(work, "leader-data")
+
+	leaderAddr := freeAddr(t)
+	leaderArgs := []string{
+		"-in", schemaPath,
+		"-addr", leaderAddr,
+		"-data-dir", dataDir,
+		"-tuples", "0",
+		"-drift-threshold", "-1",
+	}
+	leader := startServer(t, bin, leaderArgs...)
+	t.Cleanup(leader.stop)
+	leader.base = "http://" + leaderAddr
+	waitHealthy(t, leader)
+
+	followerAddr := freeAddr(t)
+	follower := startServer(t, bin,
+		"-addr", followerAddr,
+		"-follow", leader.base,
+		"-poll-interval", "100ms",
+	)
+	t.Cleanup(follower.stop)
+	follower.base = "http://" + followerAddr
+	waitHealthy(t, follower)
+
+	// Seed a write and a recluster so the follower has a generation to track.
+	postSchema(t, leader.base, "cruise1", []string{"departure port", "destination port", "price"})
+	resp, err := http.Post(leader.base+"/admin/recluster", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Kill the leader partway through the read load, restart it after a
+	// beat. Reads against the follower must not notice.
+	done := make(chan struct{})
+	var restarted *serverProc
+	go func() {
+		defer close(done)
+		time.Sleep(time.Duration(*loadSecs * float64(time.Second) / 3))
+		leader.kill(t)
+		time.Sleep(500 * time.Millisecond)
+		restarted = startServer(t, bin, leaderArgs...)
+		restarted.base = leader.base
+	}()
+
+	// Followers have no sources (/query is 503 there) and refuse writes,
+	// so the follower-side mix is classify-only.
+	sc := runLoad(t, follower.base, "follower-promotion", loadgen.Mix{Classify: 4, Batch: 1}, 150)
+	<-done
+	if restarted == nil {
+		t.Fatal("leader never restarted")
+	}
+	t.Cleanup(restarted.stop)
+	waitHealthy(t, restarted)
+
+	checkSLO(t, sc)
+
+	// Convergence: after the leader recovers, the follower must reach its
+	// generation again.
+	leaderGen := healthGeneration(t, restarted.base)
+	deadline := time.Now().Add(10 * time.Second)
+	for healthGeneration(t, follower.base) < leaderGen {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck below restarted leader generation %d; follower logs:\n%s",
+				leaderGen, follower.logs.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestServeBenchArtifact regenerates BENCH_serve.json (make bench-serve):
+// the three headline chaos scenarios, run back-to-back on fresh servers,
+// each a bit longer than the SLO-gate tests.
+func TestServeBenchArtifact(t *testing.T) {
+	integrationGate(t)
+	if !*benchServeArtifact {
+		t.Skip("run via make bench-serve (-bench-serve-artifact)")
+	}
+	*loadSecs = *benchServeSecs
+
+	var scenarios []loadgen.Scenario
+
+	{ // steady-state
+		p := startLoadServer(t)
+		sc := runLoad(t, p.base, "steady-state", loadgen.DefaultMix(), 150)
+		sc.LostAcks = lostAcks(t, p.base, 4, sc)
+		scenarios = append(scenarios, sc)
+		p.stop()
+	}
+
+	{ // recluster-storm
+		p := startLoadServer(t)
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(300 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if resp, err := http.Post(p.base+"/admin/recluster", "application/json", nil); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+		sc := runLoad(t, p.base, "recluster-storm", loadgen.DefaultMix(), 150)
+		close(stop)
+		wg.Wait()
+		sc.LostAcks = lostAcks(t, p.base, 4, sc)
+		scenarios = append(scenarios, sc)
+		p.stop()
+	}
+
+	{ // source-blackout: dark from 1/4 into the run for half the run
+		from := time.Duration(*benchServeSecs * float64(time.Second) / 4)
+		dur := time.Duration(*benchServeSecs * float64(time.Second) / 2)
+		p := startLoadServer(t, "-flake", "*:down="+from.String()+"+"+dur.String())
+		sc := runLoad(t, p.base, "source-blackout", loadgen.Mix{Classify: 20, Batch: 5, Query: 65, Ingest: 8, Feedback: 2}, 150)
+		sc.LostAcks = lostAcks(t, p.base, 4, sc)
+		scenarios = append(scenarios, sc)
+		p.stop()
+	}
+
+	rep := &loadgen.Report{
+		Description: "payg-server closed-loop load benchmark: steady state, recluster storm, and total source blackout (make bench-serve)",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Scenarios:   scenarios,
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("artifact failed validation: %v", err)
+	}
+	out := *benchServeOut
+	if out == "" {
+		out = filepath.Join(repoRoot(t), "BENCH_serve.json")
+	}
+	if err := rep.WriteFile(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,581 @@
+// Package loadgen is a closed-loop load generator for payg-server: N
+// workers drive mixed traffic (classify / classify-batch / query / ingest
+// / feedback at configurable ratios) against a live server at a target
+// aggregate QPS, recording per-endpoint latency into the obs histogram
+// buckets plus exact-percentile reservoirs, and emit a JSON report
+// (BENCH_serve.json — see docs/BENCHMARKS.md for the schema).
+//
+// "Closed-loop" means each worker waits for its response before issuing
+// the next request, so the generator cannot outrun the server into an
+// unbounded queue: when the server is slower than the target rate the
+// achieved QPS in the report drops below target instead of latency
+// exploding meaninglessly (coordinated omission stays visible as the gap
+// between target_qps and achieved_qps).
+//
+// The generator is self-bootstrapping: it reads GET /domains and
+// GET /healthz at startup to learn the serving vocabulary, mediated
+// schemas, and id ranges, and keeps refreshing that corpus in the
+// background so queries stay mostly valid across recluster swaps. The
+// cmd/payg-loadgen binary is a thin flag wrapper around Config.Run; the
+// chaos suite in internal/integration drives the same Config in-process.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schemaflow/internal/obs"
+)
+
+// Mix weighs the five request types. Weights are relative (they need not
+// sum to 100); a zero weight disables the type.
+type Mix struct {
+	Classify int
+	Batch    int
+	Query    int
+	Ingest   int
+	Feedback int
+}
+
+// DefaultMix is a read-heavy production-shaped blend.
+func DefaultMix() Mix {
+	return Mix{Classify: 55, Batch: 5, Query: 30, Ingest: 8, Feedback: 2}
+}
+
+func (m Mix) total() int { return m.Classify + m.Batch + m.Query + m.Ingest + m.Feedback }
+
+// ParseMix parses "classify=55,batch=5,query=30,ingest=8,feedback=2".
+// Omitted types get weight 0; an empty string yields DefaultMix.
+func ParseMix(s string) (Mix, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultMix(), nil
+	}
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("mix: %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("mix: bad weight %q for %q", v, k)
+		}
+		switch k {
+		case "classify":
+			m.Classify = w
+		case "batch":
+			m.Batch = w
+		case "query":
+			m.Query = w
+		case "ingest":
+			m.Ingest = w
+		case "feedback":
+			m.Feedback = w
+		default:
+			return Mix{}, fmt.Errorf("mix: unknown request type %q (want classify|batch|query|ingest|feedback)", k)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("mix: all weights are zero")
+	}
+	return m, nil
+}
+
+// Config describes one load scenario. Zero values select the defaults
+// noted on each field.
+type Config struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// QPS is the target aggregate request rate across all workers;
+	// 0 runs unpaced (every worker as fast as its responses allow).
+	QPS float64
+	// Workers is the closed-loop concurrency (default 8).
+	Workers int
+	// Duration is the wall-clock run length (default 10s).
+	Duration time.Duration
+	// Mix weighs the request types (zero value: DefaultMix).
+	Mix Mix
+	// Top is the k passed to classify endpoints (default 3).
+	Top int
+	// BatchWidth is queries per POST /classify/batch (default 16).
+	BatchWidth int
+	// Seed makes workload generation reproducible (default 1).
+	Seed int64
+	// Name labels the scenario in the report (default "steady-state").
+	Name string
+	// IngestPrefix prefixes generated schema names so runs are traceable
+	// server-side (default "loadgen").
+	IngestPrefix string
+	// RefreshInterval is how often the domain/vocabulary corpus is re-read
+	// from the server so requests track recluster swaps (default 500ms).
+	RefreshInterval time.Duration
+	// Client overrides the HTTP client (default: 10s timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Top <= 0 {
+		c.Top = 3
+	}
+	if c.BatchWidth <= 0 {
+		c.BatchWidth = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Name == "" {
+		c.Name = "steady-state"
+	}
+	if c.IngestPrefix == "" {
+		c.IngestPrefix = "loadgen"
+	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 500 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return c
+}
+
+// Endpoint labels used as report keys.
+const (
+	epClassify = "classify"
+	epBatch    = "classify_batch"
+	epQuery    = "query"
+	epIngest   = "ingest"
+	epFeedback = "feedback"
+)
+
+// endpointRec is the concurrent-safe per-endpoint recorder: obs histogram
+// buckets for shape, an exact-percentile reservoir for p50/p95/p99, and
+// atomic outcome counters.
+type endpointRec struct {
+	hist         *obs.Histogram
+	res          *obs.Reservoir
+	requests     atomic.Uint64
+	errors       atomic.Uint64 // transport failures + 5xx
+	clientErrors atomic.Uint64 // 4xx
+}
+
+func newEndpointRec(seed int64) *endpointRec {
+	return &endpointRec{
+		hist: obs.NewHistogram(obs.DurationBuckets()),
+		res:  obs.NewReservoir(1<<17, seed), // exact percentiles up to 131k samples
+	}
+}
+
+// record classifies one outcome. Latency is recorded for every completed
+// HTTP exchange, including error responses; transport failures have no
+// meaningful latency and only count as errors.
+func (e *endpointRec) record(seconds float64, status int, transportErr bool) {
+	e.requests.Add(1)
+	switch {
+	case transportErr:
+		e.errors.Add(1)
+		return
+	case status >= 500:
+		e.errors.Add(1)
+	case status >= 400:
+		e.clientErrors.Add(1)
+	}
+	e.hist.Observe(seconds)
+	e.res.Observe(seconds)
+}
+
+func (e *endpointRec) snapshot() Endpoint {
+	q := e.res.Quantiles(0.5, 0.95, 0.99)
+	ep := Endpoint{
+		Requests:     e.requests.Load(),
+		Errors:       e.errors.Load(),
+		ClientErrors: e.clientErrors.Load(),
+		P50Ms:        roundMs(q[0]),
+		P95Ms:        roundMs(q[1]),
+		P99Ms:        roundMs(q[2]),
+		MaxMs:        roundMs(e.res.Max()),
+	}
+	if n := e.hist.Count(); n > 0 {
+		ep.MeanMs = roundMs(e.hist.Sum() / float64(n))
+		ep.Histogram = histogramJSON(e.hist)
+	}
+	return ep
+}
+
+// corpus is what the workers know about the serving model; refreshed in
+// the background so requests track recluster swaps.
+type corpus struct {
+	domains []domainInfo // domains with a non-empty mediated schema
+	vocab   []string     // distinct words across all mediated attributes
+	schemas int          // serving schema count (feedback id range)
+	nDoms   int          // total domain count (feedback id range)
+}
+
+type domainInfo struct {
+	id       int
+	mediated []string
+}
+
+// runner is the per-Run state shared by the workers.
+type runner struct {
+	cfg     Config
+	corpus  atomic.Pointer[corpus]
+	recs    map[string]*endpointRec
+	acked   atomic.Uint64 // 202s from POST /schemas
+	ackedFb atomic.Uint64 // 200s from POST /feedback
+	ingSeq  atomic.Uint64 // unique ingest-name sequence
+}
+
+// Run executes the scenario and returns its aggregate report. It fails
+// only when the server cannot be bootstrapped (unreachable, no domains);
+// per-request failures are data, recorded in the result instead.
+func Run(ctx context.Context, cfg Config) (Scenario, error) {
+	cfg = cfg.withDefaults()
+	r := &runner{cfg: cfg, recs: map[string]*endpointRec{
+		epClassify: newEndpointRec(cfg.Seed + 100),
+		epBatch:    newEndpointRec(cfg.Seed + 200),
+		epQuery:    newEndpointRec(cfg.Seed + 300),
+		epIngest:   newEndpointRec(cfg.Seed + 400),
+		epFeedback: newEndpointRec(cfg.Seed + 500),
+	}}
+	if err := r.refreshCorpus(ctx); err != nil {
+		return Scenario{}, fmt.Errorf("bootstrapping from %s: %w", cfg.BaseURL, err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Background corpus refresh: best-effort, keeps domain ids and
+	// vocabulary current across swaps.
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		t := time.NewTicker(cfg.RefreshInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				_ = r.refreshCorpus(runCtx) // a failed refresh keeps the last corpus
+			}
+		}
+	}()
+
+	// Pacer: one token per 1/QPS interval into a bounded channel. Workers
+	// block on a token, so the aggregate rate is capped; the small buffer
+	// absorbs scheduler jitter without accumulating an unbounded backlog.
+	var tokens chan struct{}
+	if cfg.QPS > 0 {
+		tokens = make(chan struct{}, cfg.Workers*4)
+		interval := time.Duration(float64(time.Second) / cfg.QPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // workers saturated; drop the tick
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r.worker(runCtx, id, tokens)
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	bg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	s := Scenario{
+		Name:            cfg.Name,
+		TargetQPS:       cfg.QPS,
+		Workers:         cfg.Workers,
+		DurationSeconds: roundMs(elapsed) / 1e3,
+		AckedIngests:    r.acked.Load(),
+		AckedFeedback:   r.ackedFb.Load(),
+		Endpoints:       make(map[string]Endpoint, len(r.recs)),
+	}
+	for name, rec := range r.recs {
+		if rec.requests.Load() == 0 {
+			continue
+		}
+		ep := rec.snapshot()
+		s.Endpoints[name] = ep
+		s.Requests += ep.Requests
+		s.Errors += ep.Errors
+		s.ClientErrors += ep.ClientErrors
+	}
+	s.ErrorRate = roundRate(s.Errors, s.Requests)
+	if elapsed > 0 {
+		s.AchievedQPS = math.Round(float64(s.Requests)/elapsed*100) / 100
+	}
+	return s, nil
+}
+
+// worker is one closed loop: take a pacing token (if paced), issue one
+// weighted-random request, record the outcome, repeat until the run ends.
+func (r *runner) worker(ctx context.Context, id int, tokens <-chan struct{}) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(id)*7919))
+	for {
+		if tokens != nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tokens:
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		r.doOne(ctx, id, rng)
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// doOne picks a request type by mix weight and issues it.
+func (r *runner) doOne(ctx context.Context, id int, rng *rand.Rand) {
+	m := r.cfg.Mix
+	c := r.corpus.Load()
+	pick := rng.Intn(m.total())
+	switch {
+	case pick < m.Classify:
+		r.doClassify(ctx, rng, c)
+	case pick < m.Classify+m.Batch:
+		r.doBatch(ctx, rng, c)
+	case pick < m.Classify+m.Batch+m.Query:
+		r.doQuery(ctx, rng, c)
+	case pick < m.Classify+m.Batch+m.Query+m.Ingest:
+		r.doIngest(ctx, id, rng, c)
+	default:
+		r.doFeedback(ctx, rng, c)
+	}
+}
+
+// keywordQuery samples 2–4 vocabulary words.
+func keywordQuery(rng *rand.Rand, c *corpus) string {
+	n := 2 + rng.Intn(3)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = c.vocab[rng.Intn(len(c.vocab))]
+	}
+	return strings.Join(words, " ")
+}
+
+func (r *runner) doClassify(ctx context.Context, rng *rand.Rand, c *corpus) {
+	u := r.cfg.BaseURL + "/classify?top=" + strconv.Itoa(r.cfg.Top) +
+		"&q=" + url.QueryEscape(keywordQuery(rng, c))
+	r.get(ctx, epClassify, u)
+}
+
+func (r *runner) doBatch(ctx context.Context, rng *rand.Rand, c *corpus) {
+	queries := make([]string, r.cfg.BatchWidth)
+	for i := range queries {
+		queries[i] = keywordQuery(rng, c)
+	}
+	r.post(ctx, epBatch, r.cfg.BaseURL+"/classify/batch",
+		map[string]any{"queries": queries, "top": r.cfg.Top})
+}
+
+func (r *runner) doQuery(ctx context.Context, rng *rand.Rand, c *corpus) {
+	if len(c.domains) == 0 {
+		r.doClassify(ctx, rng, c) // no mediated schemas: degrade to reads
+		return
+	}
+	d := c.domains[rng.Intn(len(c.domains))]
+	n := 1 + rng.Intn(2)
+	if n > len(d.mediated) {
+		n = len(d.mediated)
+	}
+	sel := make([]string, n)
+	for i := range sel {
+		sel[i] = d.mediated[rng.Intn(len(d.mediated))]
+	}
+	r.post(ctx, epQuery, r.cfg.BaseURL+"/query",
+		map[string]any{"domain": d.id, "select": sel, "limit": 5})
+}
+
+func (r *runner) doIngest(ctx context.Context, id int, rng *rand.Rand, c *corpus) {
+	n := 3 + rng.Intn(4)
+	attrs := make([]string, 0, n+1)
+	seen := map[string]bool{}
+	for len(attrs) < n {
+		w := c.vocab[rng.Intn(len(c.vocab))]
+		if !seen[w] {
+			seen[w] = true
+			attrs = append(attrs, w)
+		}
+	}
+	// One novel term per arrival keeps the drift window honest without
+	// flooding the vocabulary.
+	attrs = append(attrs, fmt.Sprintf("field%06d", rng.Intn(1_000_000)))
+	name := fmt.Sprintf("%s-%d-w%d-%d", r.cfg.IngestPrefix, r.cfg.Seed, id, r.ingSeq.Add(1))
+	status := r.post(ctx, epIngest, r.cfg.BaseURL+"/schemas",
+		map[string]any{"name": name, "attributes": attrs})
+	if status == http.StatusAccepted {
+		r.acked.Add(1)
+	}
+}
+
+func (r *runner) doFeedback(ctx context.Context, rng *rand.Rand, c *corpus) {
+	if c.schemas == 0 || c.nDoms == 0 {
+		return
+	}
+	// A single random move: ids may be stale across swaps, in which case
+	// the server's 400 is coherent and lands in client_errors.
+	body := map[string]any{"moves": []map[string]int{{
+		"schema": rng.Intn(c.schemas),
+		"domain": rng.Intn(c.nDoms),
+	}}}
+	status := r.post(ctx, epFeedback, r.cfg.BaseURL+"/feedback", body)
+	if status == http.StatusOK {
+		r.ackedFb.Add(1)
+	}
+}
+
+// get issues one GET and records it; returns the status (0 on transport
+// error).
+func (r *runner) get(ctx context.Context, ep, u string) int {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		r.recs[ep].record(0, 0, true)
+		return 0
+	}
+	return r.send(ep, req)
+}
+
+// post issues one JSON POST and records it; returns the status.
+func (r *runner) post(ctx context.Context, ep, u string, body any) int {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		r.recs[ep].record(0, 0, true)
+		return 0
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
+	if err != nil {
+		r.recs[ep].record(0, 0, true)
+		return 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.send(ep, req)
+}
+
+func (r *runner) send(ep string, req *http.Request) int {
+	start := time.Now()
+	resp, err := r.cfg.Client.Do(req)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		// A request cut off by the run deadline is the harness stopping,
+		// not a server failure; drop it rather than counting an error.
+		if req.Context().Err() != nil {
+			return 0
+		}
+		r.recs[ep].record(0, 0, true)
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	r.recs[ep].record(elapsed, resp.StatusCode, false)
+	return resp.StatusCode
+}
+
+// refreshCorpus re-reads /domains and /healthz into a fresh corpus. The
+// previous corpus stays active on any failure.
+func (r *runner) refreshCorpus(ctx context.Context) error {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+
+	var domains []struct {
+		ID       int      `json:"id"`
+		Mediated []string `json:"mediated_schema"`
+	}
+	if err := r.getJSON(reqCtx, "/domains", &domains); err != nil {
+		return err
+	}
+	var health struct {
+		Schemas int `json:"schemas"`
+		Domains int `json:"domains"`
+	}
+	if err := r.getJSON(reqCtx, "/healthz", &health); err != nil {
+		return err
+	}
+
+	c := &corpus{schemas: health.Schemas, nDoms: health.Domains}
+	seen := map[string]bool{}
+	for _, d := range domains {
+		if len(d.Mediated) > 0 {
+			c.domains = append(c.domains, domainInfo{id: d.ID, mediated: d.Mediated})
+		}
+		for _, attr := range d.Mediated {
+			for _, w := range strings.Fields(attr) {
+				// The classifier drops terms shorter than 3 chars; skip
+				// them so keyword queries always carry signal.
+				if len(w) >= 3 && !seen[w] {
+					seen[w] = true
+					c.vocab = append(c.vocab, w)
+				}
+			}
+		}
+	}
+	if len(c.vocab) == 0 {
+		return fmt.Errorf("no usable vocabulary in /domains (no mediated schemas?)")
+	}
+	r.corpus.Store(c)
+	return nil
+}
+
+func (r *runner) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.cfg.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"schemaflow/internal/obs"
+)
+
+// Report is the top-level BENCH_serve.json document: one run of the load
+// harness, holding one scenario per workload it drove. The schema is
+// documented in docs/BENCHMARKS.md; the golden-file test in this package
+// pins the encoding.
+type Report struct {
+	Description string     `json:"description"`
+	GoVersion   string     `json:"go_version,omitempty"`
+	NumCPU      int        `json:"num_cpu,omitempty"`
+	Scenarios   []Scenario `json:"scenarios"`
+}
+
+// Scenario is the aggregate result of one closed-loop run against one
+// server under one traffic mix and chaos condition.
+type Scenario struct {
+	Name            string  `json:"name"`
+	TargetQPS       float64 `json:"target_qps"`
+	Workers         int     `json:"workers"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Requests        uint64  `json:"requests"`
+	// Errors counts transport failures and 5xx responses — the failures an
+	// SLO cares about. 4xx responses land in ClientErrors instead: during
+	// a recluster storm domain ids legitimately go stale mid-flight, and
+	// the server answering 400 to a stale id is correct behavior, not an
+	// availability loss (see docs/OPERATIONS.md § Reclustering).
+	Errors       uint64  `json:"errors"`
+	ClientErrors uint64  `json:"client_errors"`
+	ErrorRate    float64 `json:"error_rate"` // Errors / Requests
+	AchievedQPS  float64 `json:"achieved_qps"`
+	// AckedIngests counts POST /schemas requests that returned 202. The
+	// chaos harness checks every one of them is still present server-side
+	// after the run (LostAcks stays 0).
+	AckedIngests  uint64 `json:"acked_ingests"`
+	AckedFeedback uint64 `json:"acked_feedback"`
+	// LostAcks is filled by the harness comparing AckedIngests against the
+	// server's post-run schema count; the generator itself always writes 0.
+	LostAcks uint64 `json:"lost_acks"`
+
+	Endpoints map[string]Endpoint `json:"endpoints"`
+}
+
+// Endpoint is the per-endpoint latency and error breakdown. Percentiles
+// come from an exact-within-capacity reservoir (obs.Reservoir); the
+// bucketed histogram ships alongside so downstream tooling can recompute
+// coarser aggregates.
+type Endpoint struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	ClientErrors uint64  `json:"client_errors"`
+	MeanMs       float64 `json:"mean_ms"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+
+	Histogram *HistogramJSON `json:"histogram,omitempty"`
+}
+
+// HistogramJSON is the wire form of one obs histogram: finite upper
+// bounds in seconds plus cumulative counts, the +Inf bucket last.
+type HistogramJSON struct {
+	UppersSeconds []float64 `json:"uppers_seconds"`
+	Cumulative    []uint64  `json:"cumulative"`
+}
+
+// histogramJSON snapshots an obs histogram into wire form.
+func histogramJSON(h *obs.Histogram) *HistogramJSON {
+	return &HistogramJSON{UppersSeconds: h.Uppers(), Cumulative: h.Cumulative()}
+}
+
+// Write writes the report as indented JSON. Map keys are emitted in
+// sorted order by encoding/json, so the output is deterministic for a
+// given report — which is what makes the golden-file test possible.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path ("-" means stdout).
+func (r *Report) WriteFile(path string) error {
+	if path == "-" {
+		return r.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Validate sanity-checks a report the way the smoke test and CI consume
+// it: every scenario must have traffic, internally consistent totals, and
+// ordered percentiles.
+func (r *Report) Validate() error {
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("report has no scenarios")
+	}
+	for _, s := range r.Scenarios {
+		if s.Requests == 0 {
+			return fmt.Errorf("scenario %q: zero requests", s.Name)
+		}
+		if s.AchievedQPS <= 0 {
+			return fmt.Errorf("scenario %q: achieved_qps = %v", s.Name, s.AchievedQPS)
+		}
+		var sum uint64
+		for name, ep := range s.Endpoints {
+			sum += ep.Requests
+			if ep.P50Ms > ep.P95Ms+1e-9 || ep.P95Ms > ep.P99Ms+1e-9 || ep.P99Ms > ep.MaxMs+1e-9 {
+				return fmt.Errorf("scenario %q endpoint %q: percentiles out of order (p50=%v p95=%v p99=%v max=%v)",
+					s.Name, name, ep.P50Ms, ep.P95Ms, ep.P99Ms, ep.MaxMs)
+			}
+		}
+		if sum != s.Requests {
+			return fmt.Errorf("scenario %q: endpoint requests sum to %d, scenario says %d", s.Name, sum, s.Requests)
+		}
+		if got := roundRate(s.Errors, s.Requests); math.Abs(got-s.ErrorRate) > 1e-9 {
+			return fmt.Errorf("scenario %q: error_rate %v inconsistent with errors/requests %v", s.Name, s.ErrorRate, got)
+		}
+	}
+	return nil
+}
+
+// roundRate is errors/requests rounded to 6 decimal places — enough
+// resolution for any SLO bound while keeping reports diff-friendly.
+func roundRate(errors, requests uint64) float64 {
+	if requests == 0 {
+		return 0
+	}
+	return math.Round(float64(errors)/float64(requests)*1e6) / 1e6
+}
+
+// roundMs converts seconds to milliseconds rounded to 3 decimal places
+// (microsecond resolution), keeping reports readable and diffs small.
+func roundMs(seconds float64) float64 {
+	return math.Round(seconds*1e6) / 1e3
+}

@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schemaflow/internal/obs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenReport is a hand-built report covering every field the writer can
+// emit, including an attached histogram and a zero-error endpoint.
+func goldenReport() *Report {
+	h := obs.NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.0004)
+	h.Observe(0.004)
+	h.Observe(0.004)
+	h.Observe(0.25)
+	return &Report{
+		Description: "payg-server closed-loop load benchmark (golden fixture)",
+		GoVersion:   "go1.24.0",
+		NumCPU:      1,
+		Scenarios: []Scenario{{
+			Name:            "steady-state",
+			TargetQPS:       200,
+			Workers:         8,
+			DurationSeconds: 10,
+			Requests:        2000,
+			Errors:          3,
+			ClientErrors:    17,
+			ErrorRate:       roundRate(3, 2000),
+			AchievedQPS:     199.87,
+			AckedIngests:    160,
+			AckedFeedback:   40,
+			LostAcks:        0,
+			Endpoints: map[string]Endpoint{
+				"classify": {
+					Requests:     1100,
+					Errors:       0,
+					ClientErrors: 0,
+					MeanMs:       roundMs(0.0021),
+					P50Ms:        roundMs(0.0018),
+					P95Ms:        roundMs(0.0051),
+					P99Ms:        roundMs(0.0094),
+					MaxMs:        roundMs(0.0213),
+					Histogram:    histogramJSON(h),
+				},
+				"query": {
+					Requests:     900,
+					Errors:       3,
+					ClientErrors: 17,
+					MeanMs:       roundMs(0.0058),
+					P50Ms:        roundMs(0.0044),
+					P95Ms:        roundMs(0.0160),
+					P99Ms:        roundMs(0.0291),
+					MaxMs:        roundMs(0.1202),
+				},
+			},
+		}},
+	}
+}
+
+// TestReportGolden pins the BENCH_serve.json encoding byte-for-byte; run
+// with -update-golden after a deliberate schema change (and update
+// docs/BENCHMARKS.md to match).
+func TestReportGolden(t *testing.T) {
+	rep := goldenReport()
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("golden fixture invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "report_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-golden)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("report encoding drifted from golden file; if intentional, re-run with -update-golden and update docs/BENCHMARKS.md.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"no scenarios", func(r *Report) { r.Scenarios = nil }},
+		{"zero requests", func(r *Report) {
+			r.Scenarios[0].Requests = 0
+		}},
+		{"endpoint sum mismatch", func(r *Report) {
+			ep := r.Scenarios[0].Endpoints["query"]
+			ep.Requests++
+			r.Scenarios[0].Endpoints["query"] = ep
+		}},
+		{"percentiles out of order", func(r *Report) {
+			ep := r.Scenarios[0].Endpoints["classify"]
+			ep.P50Ms = ep.P99Ms + 1
+			r.Scenarios[0].Endpoints["classify"] = ep
+		}},
+		{"error rate inconsistent", func(r *Report) {
+			r.Scenarios[0].ErrorRate = 0.5
+		}},
+	}
+	for _, tc := range cases {
+		rep := goldenReport()
+		tc.mutate(rep)
+		if err := rep.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+	}
+}

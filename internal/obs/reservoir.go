@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Reservoir is a fixed-capacity uniform sample of a float64 stream
+// (Vitter's Algorithm R) with exact min/max tracking, built for latency
+// percentiles where fixed histogram buckets are too coarse: as long as
+// the stream fits the capacity the quantiles are exact, and beyond it
+// they degrade gracefully into an unbiased estimate over a uniform
+// sample. All methods are safe for concurrent use; the seed makes the
+// sampling decisions reproducible for a single-writer stream.
+//
+// The load harness (internal/loadgen) pairs one Reservoir per endpoint
+// with a bucketed Histogram: the histogram gives the cheap always-exact
+// shape, the reservoir gives p50/p95/p99 without bucket quantization.
+type Reservoir struct {
+	mu       sync.Mutex
+	vals     []float64
+	capacity int
+	n        int64 // total observations, including those not retained
+	min, max float64
+	rng      *rand.Rand
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples
+// (minimum 1). Quantiles are exact while Count() <= capacity.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		vals:     make([]float64, 0, capacity),
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe records one value. NaN observations are dropped, matching
+// Histogram.Observe.
+func (r *Reservoir) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 || v < r.min {
+		r.min = v
+	}
+	if r.n == 0 || v > r.max {
+		r.max = v
+	}
+	r.n++
+	if len(r.vals) < r.capacity {
+		r.vals = append(r.vals, v)
+		return
+	}
+	// Algorithm R: keep each of the n values with probability cap/n.
+	if j := r.rng.Int63n(r.n); j < int64(r.capacity) {
+		r.vals[j] = v
+	}
+}
+
+// Count returns the total number of observations, retained or not.
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Min returns the smallest observation ever seen (exact, independent of
+// sampling), or 0 before any observation.
+func (r *Reservoir) Min() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.min
+}
+
+// Max returns the largest observation ever seen (exact, independent of
+// sampling), or 0 before any observation.
+func (r *Reservoir) Max() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample
+// by the nearest-rank method; q=0 yields the sample minimum and q=1 the
+// exact maximum. It returns 0 before any observation. Exact whenever the
+// stream has not exceeded the capacity.
+func (r *Reservoir) Quantile(q float64) float64 {
+	return r.Quantiles(q)[0]
+}
+
+// Quantiles returns the quantiles for each q in qs, sorting the retained
+// sample once.
+func (r *Reservoir) Quantiles(qs ...float64) []float64 {
+	r.mu.Lock()
+	sorted := append([]float64(nil), r.vals...)
+	max := r.max
+	r.mu.Unlock()
+	sort.Float64s(sorted)
+
+	out := make([]float64, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, q := range qs {
+		switch {
+		case q >= 1:
+			out[i] = max
+		case q <= 0:
+			out[i] = sorted[0]
+		default:
+			idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sorted) {
+				idx = len(sorted) - 1
+			}
+			out[i] = sorted[idx]
+		}
+	}
+	return out
+}

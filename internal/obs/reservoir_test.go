@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the reference nearest-rank quantile over the full
+// (unsampled) data set.
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	switch {
+	case q <= 0:
+		return sorted[0]
+	case q >= 1:
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TestReservoirExactWithinCapacity is the property test backing the load
+// report's percentile columns: while the stream fits the capacity, every
+// quantile must equal the nearest-rank quantile of the fully sorted data.
+func TestReservoirExactWithinCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(2000)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Mix of distributions: uniform, heavy-tailed, and duplicates.
+			switch trial % 3 {
+			case 0:
+				vals[i] = rng.Float64() * 100
+			case 1:
+				vals[i] = math.Exp(rng.NormFloat64() * 3)
+			default:
+				vals[i] = float64(rng.Intn(10))
+			}
+		}
+		r := NewReservoir(4096, int64(trial))
+		for _, v := range vals {
+			r.Observe(v)
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+
+		if r.Count() != int64(n) {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, r.Count(), n)
+		}
+		if r.Min() != sorted[0] || r.Max() != sorted[n-1] {
+			t.Fatalf("trial %d: min/max = %v/%v, want %v/%v",
+				trial, r.Min(), r.Max(), sorted[0], sorted[n-1])
+		}
+		got := r.Quantiles(qs...)
+		for i, q := range qs {
+			want := exactQuantile(sorted, q)
+			if got[i] != want {
+				t.Errorf("trial %d n=%d: Quantile(%v) = %v, want %v", trial, n, q, got[i], want)
+			}
+			if single := r.Quantile(q); single != got[i] {
+				t.Errorf("trial %d: Quantile(%v)=%v disagrees with Quantiles=%v", trial, q, single, got[i])
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+}
+
+// TestReservoirSampledEstimate checks the degraded mode: when the stream
+// overflows the capacity, quantiles stay close to the truth (uniform
+// sampling bound; deterministic via the seed) and min/max stay exact.
+func TestReservoirSampledEstimate(t *testing.T) {
+	const n, capacity = 50000, 1024
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, n)
+	r := NewReservoir(capacity, 9)
+	for i := range vals {
+		vals[i] = rng.Float64()
+		r.Observe(vals[i])
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+
+	if r.Count() != n {
+		t.Fatalf("Count = %d, want %d", r.Count(), n)
+	}
+	if r.Min() != sorted[0] || r.Max() != sorted[n-1] {
+		t.Fatalf("sampled reservoir lost exact min/max: %v/%v vs %v/%v",
+			r.Min(), r.Max(), sorted[0], sorted[n-1])
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := r.Quantile(q), exactQuantile(sorted, q)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("Quantile(%v) = %v, want %v +/- 0.05", q, got, want)
+		}
+	}
+}
+
+func TestReservoirEdgeCases(t *testing.T) {
+	r := NewReservoir(0, 1) // clamps to capacity 1
+	if got := r.Quantile(0.5); got != 0 {
+		t.Fatalf("empty reservoir Quantile = %v, want 0", got)
+	}
+	r.Observe(math.NaN()) // dropped
+	if r.Count() != 0 {
+		t.Fatalf("NaN was counted: %d", r.Count())
+	}
+	r.Observe(2)
+	r.Observe(5) // capacity 1: one retained, but min/max exact
+	if r.Count() != 2 || r.Min() != 2 || r.Max() != 5 {
+		t.Fatalf("count/min/max = %d/%v/%v", r.Count(), r.Min(), r.Max())
+	}
+	if got := r.Quantile(1); got != 5 {
+		t.Fatalf("Quantile(1) = %v, want exact max 5", got)
+	}
+}
+
+// TestConcurrentRecording hammers a standalone histogram and a reservoir
+// from many goroutines — the -race proof for the load generator's shared
+// per-endpoint recorders.
+func TestConcurrentRecording(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	r := NewReservoir(512, 1)
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				v := rng.Float64()
+				h.Observe(v)
+				r.Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram Count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	if r.Count() != workers*perWorker {
+		t.Fatalf("reservoir Count = %d, want %d", r.Count(), workers*perWorker)
+	}
+	if q := r.Quantile(0.5); q <= 0 || q >= 1 {
+		t.Fatalf("median %v outside (0,1)", q)
+	}
+}
