@@ -29,6 +29,21 @@
 // locally, rejects writes with 403, and polls the leader every
 // -poll-interval, atomically swapping in each new generation.
 //
+// The serving tier also shards horizontally (see DESIGN.md § 11):
+//
+//   - payg-server -data-dir /var/lib/payg -shard-split 2 -shard-out /var/lib/shards
+//     cuts the newest single-node checkpoint into per-shard data dirs
+//     (shard-0, shard-1, ...) and exits.
+//   - payg-server -data-dir /var/lib/shards/shard-0 serves one shard: the
+//     shard.json manifest written by the splitter is auto-detected, the
+//     system recovers domain-pruned, and drift/interval rebuilds are
+//     disabled (a recluster is a topology-wide operation).
+//   - payg-server -route http://s0:8081,http://s1:8082 -data-dir /var/lib/payg-router
+//     runs the scatter-gather router: it speaks the ordinary API, merges
+//     per-shard classification partials bit-identically to a single node,
+//     routes ingests to the winning shard, and journals unroutable
+//     arrivals under -data-dir.
+//
 // The server is observable in production: GET /metrics exposes the full
 // metrics registry (Prometheus text format; JSON with Accept:
 // application/json), GET /healthz reports ingestion status, serving
@@ -65,12 +80,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"schemaflow/internal/cli"
 	"schemaflow/internal/dataset"
 	"schemaflow/internal/server"
+	"schemaflow/internal/shard"
 	"schemaflow/payg"
 )
 
@@ -93,6 +110,9 @@ type options struct {
 	checkpointRetain int
 	follow           string
 	pollInterval     time.Duration
+	route            string
+	shardSplit       int
+	shardOut         string
 	flakes           []flakeSpec
 }
 
@@ -117,6 +137,9 @@ func main() {
 	flag.IntVar(&o.checkpointRetain, "checkpoint-retain", 3, "checkpoints to keep in -data-dir (min 1)")
 	flag.StringVar(&o.follow, "follow", "", "leader base URL; run as a read-only snapshot-shipping follower")
 	flag.DurationVar(&o.pollInterval, "poll-interval", 2*time.Second, "follower poll period against the leader")
+	flag.StringVar(&o.route, "route", "", "comma-separated shard base URLs; run as a scatter-gather router (-data-dir holds the unroutable-arrival journal)")
+	flag.IntVar(&o.shardSplit, "shard-split", 0, "split -data-dir's newest checkpoint into this many shard data dirs under -shard-out, then exit")
+	flag.StringVar(&o.shardOut, "shard-out", "", "output directory for -shard-split (shard-0, shard-1, ... are created inside it)")
 	flag.Func("flake", "inject faults into a synthetic source: NAME:err=0.1,lat=5ms,jit=5ms,down=2s+3s (NAME=* for all; down= repeatable; flag repeatable; chaos testing only)", func(s string) error {
 		spec, err := parseFlakeSpec(s)
 		if err != nil {
@@ -128,22 +151,37 @@ func main() {
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil)).With(slog.String("app", "payg-server"))
+	if o.shardSplit > 0 {
+		if err := runSplit(logger, o); err != nil {
+			logger.Error("fatal", slog.Any("error", err))
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(logger, o); err != nil {
 		logger.Error("fatal", slog.Any("error", err))
 		os.Exit(1)
 	}
 }
 
+// app is one assembled serving mode: the handler to mount, an optional
+// follower poll loop, and the teardown for whatever the mode owns.
+type app struct {
+	handler  http.Handler
+	follower *server.Follower
+	close    func()
+}
+
 func run(logger *slog.Logger, o options) error {
-	handler, follower, err := buildServer(logger, o)
+	a, err := buildApp(logger, o)
 	if err != nil {
 		return err
 	}
-	defer handler.Close()
+	defer a.close()
 
 	srv := &http.Server{
 		Addr:              o.addr,
-		Handler:           handler,
+		Handler:           a.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -151,15 +189,16 @@ func run(logger *slog.Logger, o options) error {
 	// SIGINT/SIGTERM drain in-flight connections before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if follower != nil {
-		go follower.Run(ctx)
+	if a.follower != nil {
+		go a.follower.Run(ctx)
 	}
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("listening",
 			slog.String("addr", o.addr),
 			slog.Bool("pprof", o.pprofOn),
-			slog.Bool("follower", follower != nil))
+			slog.Bool("follower", a.follower != nil),
+			slog.Bool("router", o.route != ""))
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -181,12 +220,19 @@ func run(logger *slog.Logger, o options) error {
 	}
 }
 
-// buildServer picks the startup path: follower replica, recovery from an
-// initialized data dir, or a fresh build from the schema file.
-func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follower, error) {
+// buildApp picks the startup path: scatter-gather router, follower
+// replica, recovery from an initialized data dir (shard or single-node),
+// or a fresh build from the schema file.
+func buildApp(logger *slog.Logger, o options) (*app, error) {
+	if o.route != "" {
+		if o.follow != "" {
+			return nil, errors.New("-route and -follow are mutually exclusive")
+		}
+		return buildRouter(logger, o)
+	}
 	if o.follow != "" {
 		if o.dataDir != "" {
-			return nil, nil, errors.New("-follow and -data-dir are mutually exclusive: durability lives on the leader")
+			return nil, errors.New("-follow and -data-dir are mutually exclusive: durability lives on the leader")
 		}
 		return buildFollower(logger, o)
 	}
@@ -207,21 +253,33 @@ func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follow
 	cfg.Policy = policy
 
 	if o.dataDir != "" {
+		// A shard.json manifest marks the dir as one slice of a sharded
+		// topology (written by -shard-split); serve it domain-pruned.
+		man, sharded, err := shard.ReadManifest(o.dataDir)
+		if err != nil {
+			return nil, err
+		}
 		ok, err := payg.HasCheckpoint(o.dataDir)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
+		}
+		if sharded {
+			if !ok {
+				return nil, fmt.Errorf("%s has a shard manifest but no checkpoint; re-run -shard-split", o.dataDir)
+			}
+			return recoverServer(logger, o, cfg, &man)
 		}
 		if ok {
-			return recoverServer(logger, o, cfg)
+			return recoverServer(logger, o, cfg, nil)
 		}
 	}
 
 	if o.in == "" {
-		return nil, nil, errors.New("-in is required (no -data-dir checkpoint to recover, not following)")
+		return nil, errors.New("-in is required (no -data-dir checkpoint to recover, not following)")
 	}
 	set, err := cli.ReadSchemasFile(o.in)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	start := time.Now()
 	sys, err := payg.Build(set, payg.Options{
@@ -232,7 +290,7 @@ func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follow
 		CandidateThreshold: o.candThreshold,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	logger.Info("system built",
 		slog.Int("domains", sys.NumDomains()),
@@ -249,20 +307,82 @@ func buildServer(logger *slog.Logger, o options) (*server.Server, *server.Follow
 
 	handler, err := server.NewWithConfig(sys, cfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return handler, nil, nil
+	return &app{handler: handler, close: handler.Close}, nil
+}
+
+// buildRouter assembles the scatter-gather front-end over -route's shard
+// URLs; -data-dir (required) holds the unroutable-arrival journal.
+func buildRouter(logger *slog.Logger, o options) (*app, error) {
+	if o.dataDir == "" {
+		return nil, errors.New("-route requires -data-dir for the unroutable-arrival journal")
+	}
+	var urls []string
+	for _, u := range strings.Split(o.route, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return nil, errors.New("-route lists no shard URLs")
+	}
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Shards:     urls,
+		Logger:     logger,
+		JournalDir: o.dataDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("routing over shards", slog.Int("shards", len(urls)), slog.Any("urls", urls))
+	return &app{handler: rt, close: func() {
+		if err := rt.Close(); err != nil {
+			logger.Warn("closing router journal", slog.Any("error", err))
+		}
+	}}, nil
+}
+
+// runSplit is the offline checkpoint splitter: -data-dir's newest
+// checkpoint becomes -shard-split pruned shard dirs under -shard-out.
+func runSplit(logger *slog.Logger, o options) error {
+	if o.dataDir == "" {
+		return errors.New("-shard-split requires -data-dir (the single-node checkpoint to split)")
+	}
+	if o.shardOut == "" {
+		return errors.New("-shard-split requires -shard-out")
+	}
+	start := time.Now()
+	sum, err := shard.SplitCheckpoint(o.dataDir, o.shardOut, o.shardSplit)
+	if err != nil {
+		return err
+	}
+	for i, dir := range sum.Dirs {
+		logger.Info("shard written",
+			slog.Int("shard", i),
+			slog.String("dir", dir),
+			slog.Int("local_domains", sum.LocalDomains[i]),
+			slog.Int("pending", sum.Pending[i]))
+	}
+	logger.Info("split complete",
+		slog.Int("shards", o.shardSplit),
+		slog.Int("domains", sum.Domains),
+		slog.Int("generation", sum.Generation),
+		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
+	return nil
 }
 
 // recoverServer restores the pre-crash state from the data dir: newest
 // checkpoint plus WAL replay. -in is ignored — the durable state is the
-// source of truth.
-func recoverServer(logger *slog.Logger, o options, cfg server.Config) (*server.Server, *server.Follower, error) {
+// source of truth. A non-nil manifest serves the dir as one shard of a
+// sharded topology: the recovered system is re-pruned to the manifest's
+// slice of the hash ring after every rebuild, and local drift/interval
+// reclusters are disabled (a recluster is a topology-wide operation).
+func recoverServer(logger *slog.Logger, o options, cfg server.Config, man *shard.Manifest) (*app, error) {
 	if o.in != "" {
 		logger.Warn("ignoring -in: recovering state from -data-dir", slog.String("data_dir", o.dataDir))
 	}
-	start := time.Now()
-	mgr, err := payg.LoadManagerDir(o.dataDir, payg.ManagerOptions{
+	opts := payg.ManagerOptions{
 		Policy:           cfg.Policy,
 		DriftThreshold:   o.driftThreshold,
 		DriftWindow:      cfg.DriftWindow,
@@ -278,9 +398,18 @@ func recoverServer(logger *slog.Logger, o options, cfg server.Config) (*server.S
 		Logf: func(format string, args ...any) {
 			logger.Info(fmt.Sprintf(format, args...))
 		},
-	})
+	}
+	if man != nil {
+		opts.DriftThreshold = -1
+		opts.RebuildInterval = 0
+		opts.Transform = func(sys *payg.System) (*payg.System, error) {
+			return sys.Shard(shard.LocalDomains(sys.NumDomains(), man.Index, man.Shards))
+		}
+	}
+	start := time.Now()
+	mgr, err := payg.LoadManagerDir(o.dataDir, opts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("recovering from %s: %w", o.dataDir, err)
+		return nil, fmt.Errorf("recovering from %s: %w", o.dataDir, err)
 	}
 	st := mgr.Status()
 	logger.Info("recovered from data dir",
@@ -290,17 +419,24 @@ func recoverServer(logger *slog.Logger, o options, cfg server.Config) (*server.S
 		slog.Int("pending", st.Pending),
 		slog.Int("generation", st.Generation),
 		slog.Duration("took", time.Since(start).Round(time.Millisecond)))
-	return server.NewWithManager(mgr, cfg), nil, nil
+	if man != nil {
+		logger.Info("serving as shard",
+			slog.Int("shard", man.Index),
+			slog.Int("shards", man.Shards),
+			slog.Int("local_domains", mgr.System().NumLocalDomains()))
+	}
+	handler := server.NewWithManager(mgr, cfg)
+	return &app{handler: handler, close: handler.Close}, nil
 }
 
 // buildFollower bootstraps a read-only replica from the leader's current
 // snapshot and returns the poll loop that keeps it converged.
-func buildFollower(logger *slog.Logger, o options) (*server.Server, *server.Follower, error) {
+func buildFollower(logger *slog.Logger, o options) (*app, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	snap, gen, err := server.FetchSnapshot(ctx, nil, o.follow)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bootstrapping from leader %s: %w", o.follow, err)
+		return nil, fmt.Errorf("bootstrapping from leader %s: %w", o.follow, err)
 	}
 	mgr, err := payg.LoadManagerAt(bytes.NewReader(snap), gen, nil, payg.ManagerOptions{
 		QueryCacheSize: o.queryCache,
@@ -309,7 +445,7 @@ func buildFollower(logger *slog.Logger, o options) (*server.Server, *server.Foll
 		},
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("loading leader snapshot: %w", err)
+		return nil, fmt.Errorf("loading leader snapshot: %w", err)
 	}
 	st := mgr.Status()
 	logger.Info("bootstrapped from leader",
@@ -327,7 +463,7 @@ func buildFollower(logger *slog.Logger, o options) (*server.Server, *server.Foll
 		Interval: o.pollInterval,
 		Logger:   logger,
 	})
-	return handler, follower, nil
+	return &app{handler: handler, follower: follower, close: handler.Close}, nil
 }
 
 // makeSource builds a deterministic in-memory source for a schema so

@@ -65,6 +65,18 @@ type Assignment struct {
 // schemas) instead of O(n × total terms). The model itself is read, never
 // written.
 func Assign(m *core.Model, s schema.Schema) (*Assignment, error) {
+	return AssignRestricted(m, s, nil)
+}
+
+// AssignRestricted is Assign with the cluster comparison restricted to the
+// domains for which include returns true (nil includes every domain) — the
+// primitive behind a shard's read-only assignment probe. Excluded domains
+// are skipped entirely: they contribute neither a similarity, nor a gate
+// pass, nor a Best candidate. Because Algorithm 3's per-cluster similarity
+// is independent of other clusters, the restricted Best/BestSim equal the
+// unrestricted ones whenever the unrestricted winner is included — which is
+// what lets a router recover the global argmax from per-shard probes.
+func AssignRestricted(m *core.Model, s schema.Schema, include func(r int) bool) (*Assignment, error) {
 	start := time.Now()
 	defer func() { mAssignDuration.Observe(time.Since(start).Seconds()) }()
 	if err := s.Validate(); err != nil {
@@ -77,16 +89,24 @@ func Assign(m *core.Model, s schema.Schema) (*Assignment, error) {
 	sims := make([]float64, nD)
 	a := &Assignment{Best: -1}
 	for r := 0; r < nD; r++ {
+		if include != nil && !include(r) {
+			continue
+		}
 		sims[r] = cluster.SchemaClusterSim(sp, newIdx, m.Clustering.Members[r])
 		if sims[r] > a.BestSim {
 			a.BestSim, a.Best = sims[r], r
 		}
 	}
 
-	// D(S_i): every cluster passing the absolute and relative gates.
+	// D(S_i): every cluster passing the absolute and relative gates. The
+	// include check is needed here too: with a literal τ_c_sim of 0, an
+	// excluded domain's zero similarity would otherwise pass the gate.
 	var ds []int
 	total := 0.0
 	for r := 0; r < nD; r++ {
+		if include != nil && !include(r) {
+			continue
+		}
 		if sims[r] >= m.Opts.TauCSim && a.BestSim > 0 && sims[r]/a.BestSim >= 1-m.Opts.Theta {
 			ds = append(ds, r)
 			total += sims[r]

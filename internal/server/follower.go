@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	neturl "net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -76,6 +77,13 @@ func (c FollowerConfig) withDefaults() FollowerConfig {
 type Follower struct {
 	mgr *payg.Manager
 	cfg FollowerConfig
+
+	// epoch is the leader incarnation observed on the last response (empty
+	// until first contact). It is echoed back on every poll so a restarted
+	// leader — possibly counting generations from 0 again — ships a full
+	// snapshot instead of false-304ing at a coincidentally equal number.
+	// Sync runs on a single goroutine (Run), so a plain field suffices.
+	epoch string
 }
 
 // NewFollower wraps a manager (serving without data sources) as a
@@ -118,12 +126,18 @@ func FetchSnapshot(ctx context.Context, client *http.Client, base string) ([]byt
 }
 
 // Sync performs one poll: a conditional snapshot request that downloads
-// and swaps in the leader's state only when its generation advanced past
-// the local one. It reports whether a new generation was adopted.
+// and swaps in the leader's state whenever the leader is at a different
+// generation — higher or lower — or a different epoch (a restarted
+// leader). It reports whether a new state was adopted. A leader restarted
+// at a lower generation is adopted, not ignored: its state is different,
+// and "behind the follower" is not a concept snapshot shipping has.
 func (f *Follower) Sync(ctx context.Context) (bool, error) {
 	mFollowerPolls.Inc()
 	local := f.mgr.Generation()
 	url := fmt.Sprintf("%s/admin/snapshot?after=%d", f.cfg.Leader, local)
+	if f.epoch != "" {
+		url += "&epoch=" + neturl.QueryEscape(f.epoch)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		mFollowerSyncErrors.Inc()
@@ -138,11 +152,18 @@ func (f *Follower) Sync(ctx context.Context) (bool, error) {
 	if gen, err := strconv.Atoi(resp.Header.Get(generationHeader)); err == nil {
 		mFollowerLeaderGeneration.Set(float64(gen))
 	}
+	if e := resp.Header.Get(epochHeader); e != "" {
+		f.epoch = e
+	}
 	switch resp.StatusCode {
 	case http.StatusNotModified:
 		return false, nil
 	case http.StatusOK:
 	default:
+		// Drain before the deferred close so the connection can be reused;
+		// abandoning an unread body forces a fresh TCP+TLS handshake per
+		// poll during an error storm, exactly when the leader is sickest.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxSnapshotBytes)) //nolint:errcheck
 		mFollowerSyncErrors.Inc()
 		return false, fmt.Errorf("polling leader: unexpected status %s", resp.Status)
 	}
@@ -172,10 +193,20 @@ func (f *Follower) Sync(ctx context.Context) (bool, error) {
 	return true, nil
 }
 
-// Run polls until ctx is cancelled. Sync errors are logged and retried at
-// the next tick — a follower outlives leader restarts and network blips.
+// maxBackoffIntervals caps the consecutive-error backoff at this many
+// poll intervals, so a dead leader is polled at a gentle rate instead of
+// the full tick rate (each failed poll also costs a cold connection — see
+// the drain in Sync) while recovery is still noticed within ~16 ticks.
+const maxBackoffIntervals = 16
+
+// Run polls until ctx is cancelled. Sync errors are logged and retried
+// with capped exponential backoff — each consecutive failure doubles the
+// wait up to maxBackoffIntervals poll intervals; the first success snaps
+// back to the configured interval. A follower outlives leader restarts
+// and network blips without hammering a dead leader.
 func (f *Follower) Run(ctx context.Context) {
-	t := time.NewTicker(f.cfg.Interval)
+	delay := f.cfg.Interval
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	for {
 		select {
@@ -183,8 +214,17 @@ func (f *Follower) Run(ctx context.Context) {
 			return
 		case <-t.C:
 			if _, err := f.Sync(ctx); err != nil && ctx.Err() == nil {
-				f.cfg.Logger.Warn("follower: sync failed; will retry", slog.Any("error", err))
+				delay *= 2
+				if max := f.cfg.Interval * maxBackoffIntervals; delay > max {
+					delay = max
+				}
+				f.cfg.Logger.Warn("follower: sync failed; will retry",
+					slog.Any("error", err),
+					slog.Duration("backoff", delay))
+			} else {
+				delay = f.cfg.Interval
 			}
+			t.Reset(delay)
 		}
 	}
 }

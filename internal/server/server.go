@@ -145,6 +145,10 @@ type Server struct {
 	cfg     Config
 	logger  *slog.Logger
 	handler http.Handler
+
+	// epoch identifies this server incarnation for snapshot polling; see
+	// epochHeader.
+	epoch string
 }
 
 // New builds the handler over in-memory sources with the default
@@ -196,7 +200,7 @@ func NewWithConfig(sys *payg.System, cfg Config) (*Server, error) {
 // manager (Sources, DataDir, drift tuning) are ignored.
 func NewWithManager(mgr *payg.Manager, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{mgr: mgr, cfg: cfg, logger: cfg.Logger}
+	s := &Server{mgr: mgr, cfg: cfg, logger: cfg.Logger, epoch: newRequestID()}
 	// mutating wraps a handler with the read-only guard: follower
 	// replicas answer every read but refuse writes, which belong on the
 	// leader.
@@ -221,6 +225,7 @@ func NewWithManager(mgr *payg.Manager, cfg Config) *Server {
 	mux.HandleFunc("POST /schemas", route("/schemas", mutating(s.handleIngest)))
 	mux.HandleFunc("POST /admin/recluster", route("/admin/recluster", mutating(s.handleRecluster)))
 	mux.HandleFunc("GET /admin/snapshot", route("/admin/snapshot", s.handleSnapshot))
+	s.registerShardRoutes(mux)
 	if cfg.EnablePprof {
 		// No method prefix: pprof.Symbol accepts GET and POST. The request
 		// timeout exempts this subtree so long CPU/trace profiles survive.
@@ -633,11 +638,23 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // at; followers publish the downloaded state at exactly this generation.
 const generationHeader = "X-Schemaflow-Generation"
 
+// epochHeader identifies one leader incarnation: a random id minted when
+// the server starts. Generations alone cannot distinguish "nothing new"
+// from "different leader history at the same number" — a leader restarted
+// on a wiped data dir counts from 0 again, and a follower comparing only
+// generations would either stall (old condition: leader <= follower) or
+// false-304 at an equal number. Followers echo the epoch back in ?epoch=;
+// a mismatch forces a full snapshot regardless of the generation.
+const epochHeader = "X-Schemaflow-Epoch"
+
 // handleSnapshot streams the current serving state (system + pending
-// journal) in Manager.Save format, stamped with its generation. A
-// follower that already holds generation N polls with ?after=N and gets
-// 304 Not Modified until a swap advances the leader — one cheap request
-// per poll instead of a full download.
+// journal) in Manager.Save format, stamped with its generation and the
+// server's epoch. A follower that already holds generation N polls with
+// ?after=N&epoch=E and gets 304 Not Modified only while the leader is at
+// exactly generation N in the same epoch — one cheap request per poll
+// instead of a full download. Equality (not <=) is what lets a follower
+// that outlived a leader restarted at a lower generation reconverge: the
+// lower generation is not "already seen", it is a different state.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if after := r.URL.Query().Get("after"); after != "" {
 		gen, err := strconv.Atoi(after)
@@ -645,8 +662,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad after parameter")
 			return
 		}
-		if s.mgr.Generation() <= gen {
+		epoch := r.URL.Query().Get("epoch")
+		sameEpoch := epoch == "" || epoch == s.epoch
+		if sameEpoch && s.mgr.Generation() == gen {
 			w.Header().Set(generationHeader, strconv.Itoa(s.mgr.Generation()))
+			w.Header().Set(epochHeader, s.epoch)
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
@@ -662,6 +682,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(snap)))
 	w.Header().Set(generationHeader, strconv.Itoa(gen))
+	w.Header().Set(epochHeader, s.epoch)
 	if _, err := w.Write(snap); err != nil {
 		s.logger.Warn("streaming snapshot", slog.Any("error", err))
 	}

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"schemaflow/internal/shard"
+	"schemaflow/payg"
+)
+
+// Shard backend endpoints: the raw-partial API a scatter-gather router
+// consumes. They are mounted on every server — on an unsharded system
+// every domain is local, so the partial is simply the whole answer —
+// which keeps a 1-shard "topology" indistinguishable from a single node
+// and lets the router tests pin bit-identity against the same binary.
+//
+//	GET  /shard/classify?q=...&top=k   local domains' raw log posteriors
+//	POST /shard/classify/batch         {"queries": [...], "top": k} — batched partials
+//	POST /shard/assign                 {"name": ..., "attributes": [...]} — read-only
+//	                                   Algorithm-3 probe (no journal, no WAL, no ack)
+//
+// All three are read-only against the serving state, so they stay mounted
+// in follower mode too.
+
+// registerShardRoutes mounts the shard backend API on mux.
+func (s *Server) registerShardRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /shard/classify", route("/shard/classify", s.handleShardClassify))
+	mux.HandleFunc("POST /shard/classify/batch", route("/shard/classify/batch", s.handleShardClassifyBatch))
+	mux.HandleFunc("POST /shard/assign", route("/shard/assign", s.handleShardAssign))
+}
+
+// servingState loads a consistent (system, generation) pair: the manager
+// publishes both in one atomic swap, but exposes them through separate
+// loads, so re-check the generation and retry on the (rare) race with a
+// concurrent swap.
+func (s *Server) servingState() (*payg.System, int) {
+	for {
+		gen := s.mgr.Generation()
+		sys := s.mgr.System()
+		if s.mgr.Generation() == gen {
+			return sys, gen
+		}
+	}
+}
+
+func (s *Server) handleShardClassify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	top := 3
+	if t := r.URL.Query().Get("top"); t != "" {
+		v, err := strconv.Atoi(t)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad top parameter")
+			return
+		}
+		top = v
+	}
+	sys, gen := s.servingState()
+	scores := s.mgr.Classify(q)
+	writeJSON(w, http.StatusOK, shard.ClassifyPartial{
+		Generation:   gen,
+		TotalDomains: sys.NumDomains(),
+		Scores:       shard.PartialScores(scores, sys, top),
+	})
+}
+
+func (s *Server) handleShardClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req classifyBatchRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty query list")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("too many queries: %d > %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	for i, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("empty query at index %d", i))
+			return
+		}
+	}
+	top := req.Top
+	if top == 0 {
+		top = 3
+	}
+	if top < 1 {
+		writeError(w, http.StatusBadRequest, "bad top value")
+		return
+	}
+	sys, gen := s.servingState()
+	rankings := s.mgr.ClassifyBatch(req.Queries)
+	out := shard.BatchPartial{
+		Generation:   gen,
+		TotalDomains: sys.NumDomains(),
+		Results:      make([][]shard.PartialScore, len(rankings)),
+	}
+	for i, scores := range rankings {
+		out.Results[i] = shard.PartialScores(scores, sys, top)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleShardAssign(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := s.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing schema name")
+		return
+	}
+	if len(req.Attributes) == 0 {
+		writeError(w, http.StatusBadRequest, "empty attribute list")
+		return
+	}
+	sys, gen := s.servingState()
+	// Read-only probe: nothing is journaled or WAL-logged — the router
+	// decides where (and whether) the arrival is actually ingested.
+	a, err := sys.IngestLocal(payg.Schema{Name: req.Name, Attributes: req.Attributes})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, shard.AssignProbe{
+		Generation: gen,
+		BestDomain: a.BestDomain,
+		BestSim:    a.BestSim,
+		Fresh:      a.Fresh,
+	})
+}

@@ -1,0 +1,75 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the file inside a shard's data dir that marks it as one
+// slice of a sharded topology. A data dir without it is a plain
+// single-node dir; payg-server auto-detects the file to enter shard mode.
+const ManifestName = "shard.json"
+
+// Manifest pins a shard data dir to its place in the topology. The
+// splitter writes it next to the pruned checkpoint; the serving binary
+// refuses to serve a manifest whose Index/Shards are out of range, and
+// uses (Index, Shards) to recompute the rendezvous partition after every
+// rebuild or feedback apply.
+type Manifest struct {
+	// Index is this shard's position in [0, Shards).
+	Index int `json:"index"`
+	// Shards is the topology width the split was computed for.
+	Shards int `json:"shards"`
+	// Generation is the source checkpoint's generation at split time
+	// (informational; the live generation advances independently).
+	Generation int `json:"generation"`
+	// Domains is the total domain count at split time (informational).
+	Domains int `json:"domains"`
+}
+
+// Validate rejects manifests that cannot describe a real shard.
+func (m Manifest) Validate() error {
+	if m.Shards < 1 {
+		return fmt.Errorf("shard: manifest shards %d < 1", m.Shards)
+	}
+	if m.Index < 0 || m.Index >= m.Shards {
+		return fmt.Errorf("shard: manifest index %d out of range [0,%d)", m.Index, m.Shards)
+	}
+	return nil
+}
+
+// WriteManifest writes the manifest into dir.
+func WriteManifest(dir string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	p, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(p, '\n'), 0o644); err != nil {
+		return fmt.Errorf("shard: writing manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads dir's manifest. ok is false (with a nil error) when
+// the dir holds no manifest — i.e. it is a plain single-node data dir.
+func ReadManifest(dir string) (m Manifest, ok bool, err error) {
+	p, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	if err := json.Unmarshal(p, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, false, err
+	}
+	return m, true, nil
+}

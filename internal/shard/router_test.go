@@ -1,0 +1,417 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"schemaflow/internal/server"
+	"schemaflow/internal/shard"
+	"schemaflow/payg"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func routerCorpus() []payg.Schema {
+	return []payg.Schema{
+		{Name: "flights", Attributes: []string{"departure airport", "destination airport", "airline", "class"}},
+		{Name: "trips", Attributes: []string{"departure", "destination", "departing date", "returning date"}},
+		{Name: "tickets", Attributes: []string{"departure city", "destination city", "airline", "price"}},
+		{Name: "papers", Attributes: []string{"title", "authors", "publication year", "conference"}},
+		{Name: "books", Attributes: []string{"title", "author", "publisher", "year"}},
+		{Name: "oddball", Attributes: []string{"telescope aperture", "seismograph reading"}},
+	}
+}
+
+// topology is one in-process sharded deployment plus the single-node
+// reference it must be indistinguishable from.
+type topology struct {
+	single *server.Server
+	router *shard.Router
+	shards []*httptest.Server
+}
+
+// newTopology splits the corpus over n shard servers using the
+// production ring and fronts them with a router, mirroring exactly what
+// -shard-split + -route assemble from checkpoints.
+func newTopology(t *testing.T, n int) *topology {
+	t.Helper()
+	schemas := routerCorpus()
+	sys, err := payg.Build(schemas, payg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tupleSources := make([]payg.TupleSource, len(schemas))
+	for i, s := range schemas {
+		row := make(payg.Tuple, len(s.Attributes))
+		for j := range row {
+			row[j] = s.Name
+		}
+		tupleSources[i] = payg.Source{Schema: s, Tuples: []payg.Tuple{row}}
+	}
+	single, err := server.NewWithConfig(sys, server.Config{Logger: quietLogger(), Sources: tupleSources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := &topology{single: single}
+	t.Cleanup(tp.single.Close)
+
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		shSys, err := sys.Shard(shard.LocalDomains(sys.NumDomains(), i, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, shards := i, n
+		mgr, err := payg.NewManager(shSys, tupleSources, payg.ManagerOptions{
+			Transform: func(s *payg.System) (*payg.System, error) {
+				return s.Shard(shard.LocalDomains(s.NumDomains(), idx, shards))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.NewWithManager(mgr, server.Config{Logger: quietLogger()})
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		tp.shards = append(tp.shards, ts)
+		urls[i] = ts.URL
+	}
+	rt, err := shard.NewRouter(shard.RouterConfig{
+		Shards:     urls,
+		Logger:     quietLogger(),
+		JournalDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rt.Close() })
+	tp.router = rt
+	return tp
+}
+
+func do(t *testing.T, h http.Handler, method, target, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+var routerQueries = []string{
+	"/classify?q=departure+toronto",
+	"/classify?q=airline+tickets",
+	"/classify?q=title+author+year",
+	"/classify?q=telescope+aperture",
+	"/classify?q=zebra+xylophone",
+	"/classify?q=departure+title&top=6",
+	"/classify?q=conference&top=1",
+}
+
+// The healthy router must be byte-for-byte the single node: same JSON,
+// same float formatting, same order — the tentpole acceptance property.
+func TestRouterClassifyByteIdentical(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		tp := newTopology(t, n)
+		for _, q := range routerQueries {
+			wantCode, want := do(t, tp.single, http.MethodGet, q, "")
+			gotCode, got := do(t, tp.router, http.MethodGet, q, "")
+			if gotCode != wantCode {
+				t.Fatalf("n=%d %s: code %d, single node %d (%s)", n, q, gotCode, wantCode, got)
+			}
+			if got != want {
+				t.Fatalf("n=%d %s:\nrouter: %s\nsingle: %s", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestRouterClassifyBatchByteIdentical(t *testing.T) {
+	tp := newTopology(t, 2)
+	body := `{"queries":["departure toronto","title author","telescope"],"top":4}`
+	wantCode, want := do(t, tp.single, http.MethodPost, "/classify/batch", body)
+	gotCode, got := do(t, tp.router, http.MethodPost, "/classify/batch", body)
+	if gotCode != wantCode || got != want {
+		t.Fatalf("batch mismatch: code %d vs %d\nrouter: %s\nsingle: %s", gotCode, wantCode, got, want)
+	}
+	// Validation must also match the single node.
+	for _, bad := range []string{`{}`, `{"queries":[]}`, `{"queries":[" "]}`, `{"queries":["x"],"top":-1}`} {
+		wc, _ := do(t, tp.single, http.MethodPost, "/classify/batch", bad)
+		gc, _ := do(t, tp.router, http.MethodPost, "/classify/batch", bad)
+		if gc != wc {
+			t.Fatalf("validation drift on %s: router %d, single %d", bad, gc, wc)
+		}
+	}
+}
+
+func TestRouterDomainsByteIdentical(t *testing.T) {
+	tp := newTopology(t, 2)
+	wantCode, want := do(t, tp.single, http.MethodGet, "/domains", "")
+	gotCode, got := do(t, tp.router, http.MethodGet, "/domains", "")
+	if gotCode != wantCode || got != want {
+		t.Fatalf("domains mismatch: code %d vs %d\nrouter: %s\nsingle: %s", gotCode, wantCode, got, want)
+	}
+}
+
+// One shard down: still 200, still correctly ordered over the covered
+// domains, explicitly flagged degraded — never a 5xx.
+func TestRouterClassifyDegraded(t *testing.T) {
+	tp := newTopology(t, 2)
+	tp.shards[1].Close()
+	code, body := do(t, tp.router, http.MethodGet, "/classify?q=departure+toronto&top=6", "")
+	if code != http.StatusOK {
+		t.Fatalf("degraded classify: code %d body %s", code, body)
+	}
+	var resp struct {
+		Results []struct {
+			Domain int `json:"domain"`
+		} `json:"results"`
+		Degraded struct {
+			Failed []struct {
+				Shard int `json:"shard"`
+			} `json:"failed"`
+			CoveredDomains int `json:"covered_domains"`
+			TotalDomains   int `json:"total_domains"`
+		} `json:"degraded"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("degraded body not an object: %v (%s)", err, body)
+	}
+	if len(resp.Degraded.Failed) != 1 || resp.Degraded.Failed[0].Shard != 1 {
+		t.Fatalf("degraded report %+v", resp.Degraded)
+	}
+	if resp.Degraded.CoveredDomains >= resp.Degraded.TotalDomains {
+		t.Fatalf("degraded coverage %d/%d not partial", resp.Degraded.CoveredDomains, resp.Degraded.TotalDomains)
+	}
+	// Every returned domain must belong to the shard that is still up.
+	for _, sc := range resp.Results {
+		if shard.Owner(sc.Domain, 2) != 0 {
+			t.Fatalf("domain %d served but its owner is down", sc.Domain)
+		}
+	}
+	// With every shard down the router finally gives up with a 502.
+	tp.shards[0].Close()
+	code, _ = do(t, tp.router, http.MethodGet, "/classify?q=departure", "")
+	if code != http.StatusBadGateway {
+		t.Fatalf("all-down classify: code %d", code)
+	}
+}
+
+// Ingest: a schema claimed by an existing domain is routed to the shard
+// owning the winning domain and acked by that shard's real pipeline.
+func TestRouterIngestRoutesToWinner(t *testing.T) {
+	tp := newTopology(t, 2)
+	code, body := do(t, tp.router, http.MethodPost, "/schemas",
+		`{"name":"charters","attributes":["departure airport","destination airport","price"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest: code %d body %s", code, body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["fresh"] == true {
+		t.Fatalf("travel-like arrival judged fresh: %s", body)
+	}
+	if resp["router_journaled"] == true {
+		t.Fatalf("routable arrival was journaled at the router: %s", body)
+	}
+	// Exactly one shard (the winner) should now hold the pending schema,
+	// and the router health must aggregate it.
+	code, body = do(t, tp.router, http.MethodGet, "/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: code %d", code)
+	}
+	var health struct {
+		Router         bool `json:"router"`
+		Pending        int  `json:"pending_schemas"`
+		ShardsAlive    int  `json:"shards_alive"`
+		RouterJournal  int  `json:"router_journal"`
+		Status         string
+		StatusRaw      json.RawMessage `json:"status"`
+		Schemas        int             `json:"schemas"`
+		TotalShardsRaw int             `json:"shards_total"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Router || health.ShardsAlive != 2 || health.Pending != 1 || health.RouterJournal != 0 {
+		t.Fatalf("health after routed ingest: %s", body)
+	}
+}
+
+// A globally fresh arrival is journaled at the router: durable 202,
+// counted in pending, owned by no shard until the next re-split.
+func TestRouterIngestFreshJournals(t *testing.T) {
+	tp := newTopology(t, 2)
+	code, body := do(t, tp.router, http.MethodPost, "/schemas",
+		`{"name":"minerals","attributes":["hardness","crystal system"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh ingest: code %d body %s", code, body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["fresh"] != true || resp["router_journaled"] != true {
+		t.Fatalf("fresh arrival response: %s", body)
+	}
+	_, hb := do(t, tp.router, http.MethodGet, "/healthz", "")
+	var health struct {
+		Pending       int `json:"pending_schemas"`
+		RouterJournal int `json:"router_journal"`
+	}
+	if err := json.Unmarshal([]byte(hb), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.RouterJournal != 1 || health.Pending != 1 {
+		t.Fatalf("health after fresh ingest: %s", hb)
+	}
+}
+
+// With a shard down the probe coverage is partial, so even a routable
+// arrival must fall back to the journal (the true winner might live on
+// the dead shard) — and the ack must still be a 2xx, never a loss.
+func TestRouterIngestDegradedJournals(t *testing.T) {
+	tp := newTopology(t, 2)
+	tp.shards[0].Close()
+	code, body := do(t, tp.router, http.MethodPost, "/schemas",
+		`{"name":"charters","attributes":["departure airport","destination airport","price"]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("degraded ingest: code %d body %s", code, body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["router_journaled"] != true {
+		t.Fatalf("degraded arrival not journaled: %s", body)
+	}
+	if _, ok := resp["degraded"]; !ok {
+		t.Fatalf("degraded ingest response missing degraded report: %s", body)
+	}
+}
+
+// Feedback demands unanimity: all shards → forward the shard answer;
+// a partial apply is surfaced as divergence, not hidden.
+func TestRouterFeedback(t *testing.T) {
+	tp := newTopology(t, 2)
+	code, body := do(t, tp.router, http.MethodPost, "/feedback", `{"splits":[0]}`)
+	if code != http.StatusOK {
+		t.Fatalf("unanimous feedback: code %d body %s", code, body)
+	}
+	// Uniform validation error forwards the shard verdict.
+	code, _ = do(t, tp.router, http.MethodPost, "/feedback", `{"splits":[99]}`)
+	if code < 400 || code >= 500 {
+		t.Fatalf("bad feedback: code %d, want a 4xx", code)
+	}
+	tp.shards[1].Close()
+	code, body = do(t, tp.router, http.MethodPost, "/feedback", `{"splits":[1]}`)
+	if code != http.StatusBadGateway {
+		t.Fatalf("partial feedback: code %d body %s", code, body)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["diverged"] != true {
+		t.Fatalf("partial feedback not flagged diverged: %s", body)
+	}
+}
+
+// /query proxies to the domain's owner and matches the single node;
+// when the owner is down the answer degrades to zero tuples, not a 5xx.
+func TestRouterQueryProxy(t *testing.T) {
+	tp := newTopology(t, 2)
+	_, domBody := do(t, tp.single, http.MethodGet, "/domains", "")
+	var doms []struct {
+		ID       int      `json:"id"`
+		Mediated []string `json:"mediated_schema"`
+	}
+	if err := json.Unmarshal([]byte(domBody), &doms); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range doms {
+		if len(d.Mediated) == 0 {
+			continue
+		}
+		body := `{"domain":` + itoa(d.ID) + `,"select":["` + d.Mediated[0] + `"]}`
+		wantCode, want := do(t, tp.single, http.MethodPost, "/query", body)
+		gotCode, got := do(t, tp.router, http.MethodPost, "/query", body)
+		if gotCode != wantCode || got != want {
+			t.Fatalf("query domain %d: code %d vs %d\nrouter: %s\nsingle: %s", d.ID, gotCode, wantCode, got, want)
+		}
+	}
+	// Kill shard 0 and query one of its domains.
+	var victim = -1
+	for _, d := range doms {
+		if shard.Owner(d.ID, 2) == 0 && len(d.Mediated) > 0 {
+			victim = d.ID
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no mediated domain owned by shard 0")
+	}
+	tp.shards[0].Close()
+	code, body := do(t, tp.router, http.MethodPost, "/query",
+		`{"domain":`+itoa(victim)+`,"select":["x"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("dead-owner query: code %d body %s", code, body)
+	}
+	var resp struct {
+		Tuples   []any          `json:"tuples"`
+		Degraded map[string]any `json:"degraded"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Tuples) != 0 || resp.Degraded == nil {
+		t.Fatalf("dead-owner query body: %s", body)
+	}
+}
+
+func TestRouterReclusterNotImplemented(t *testing.T) {
+	tp := newTopology(t, 2)
+	code, _ := do(t, tp.router, http.MethodPost, "/admin/recluster", "")
+	if code != http.StatusNotImplemented {
+		t.Fatalf("recluster: code %d", code)
+	}
+}
+
+// Health flips to degraded when a shard goes dark.
+func TestRouterHealthDegraded(t *testing.T) {
+	tp := newTopology(t, 2)
+	tp.shards[1].Close()
+	code, body := do(t, tp.router, http.MethodGet, "/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: code %d", code)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		ShardsAlive int    `json:"shards_alive"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.ShardsAlive != 1 {
+		t.Fatalf("health after blackout: %s", body)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,126 @@
+package shard_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"schemaflow/internal/shard"
+	"schemaflow/payg"
+)
+
+// seedDataDir builds a single-node durable dir with one checkpoint and
+// two pending arrivals (one assigned, one fresh) — the splitter's input.
+func seedDataDir(t *testing.T, dir string) *payg.Manager {
+	t.Helper()
+	sys, err := payg.Build(routerCorpus(), payg.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := payg.NewManager(sys, nil, payg.ManagerOptions{DataDir: dir, DriftThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []payg.Schema{
+		{Name: "charters", Attributes: []string{"departure airport", "destination airport", "price"}},
+		{Name: "minerals", Attributes: []string{"hardness", "crystal system"}},
+	} {
+		if _, err := mgr.Ingest(sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mgr
+}
+
+func TestSplitCheckpoint(t *testing.T) {
+	src, out := t.TempDir(), t.TempDir()
+	mgr := seedDataDir(t, src)
+	defer mgr.Close()
+	full := mgr.System()
+
+	const n = 2
+	sum, err := shard.SplitCheckpoint(src, out, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Domains != full.NumDomains() || len(sum.Dirs) != n {
+		t.Fatalf("summary %+v", sum)
+	}
+	wantPending := 0
+	for i := range sum.Pending {
+		wantPending += sum.Pending[i]
+	}
+	if wantPending != 2 {
+		t.Fatalf("pending routed: %v, want 2 total", sum.Pending)
+	}
+
+	totalLocal := 0
+	for i := 0; i < n; i++ {
+		dir := filepath.Join(out, shard.ShardDirName(i))
+		man, ok, err := shard.ReadManifest(dir)
+		if err != nil || !ok {
+			t.Fatalf("shard %d manifest: ok=%v err=%v", i, ok, err)
+		}
+		if man.Index != i || man.Shards != n || man.Generation != sum.Generation {
+			t.Fatalf("shard %d manifest %+v", i, man)
+		}
+		// Recover exactly as payg-server does: Transform re-prunes after
+		// any future rebuild; the loaded checkpoint is already pruned.
+		smgr, err := payg.LoadManagerDir(dir, payg.ManagerOptions{
+			DriftThreshold: -1,
+			Transform: func(s *payg.System) (*payg.System, error) {
+				return s.Shard(shard.LocalDomains(s.NumDomains(), man.Index, man.Shards))
+			},
+		})
+		if err != nil {
+			t.Fatalf("recovering shard %d: %v", i, err)
+		}
+		defer smgr.Close()
+		ssys := smgr.System()
+		want := shard.LocalDomains(full.NumDomains(), i, n)
+		if got := ssys.LocalDomains(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d local domains %v, want %v", i, got, want)
+		}
+		totalLocal += ssys.NumLocalDomains()
+		if smgr.Generation() != sum.Generation {
+			t.Fatalf("shard %d generation %d, want %d", i, smgr.Generation(), sum.Generation)
+		}
+		// Local log posteriors must be bit-identical to the full system's.
+		for _, q := range []string{"departure toronto", "title author", "telescope"} {
+			fullScores := full.Classify(q)
+			byDomain := map[int]float64{}
+			for _, sc := range fullScores {
+				byDomain[sc.Domain] = sc.LogPosterior
+			}
+			for _, sc := range ssys.Classify(q) {
+				if !ssys.IsLocalDomain(sc.Domain) {
+					continue
+				}
+				if sc.LogPosterior != byDomain[sc.Domain] {
+					t.Fatalf("shard %d domain %d lp %v, full %v", i, sc.Domain, sc.LogPosterior, byDomain[sc.Domain])
+				}
+			}
+		}
+	}
+	if totalLocal != full.NumDomains() {
+		t.Fatalf("shards own %d domains, full system has %d", totalLocal, full.NumDomains())
+	}
+
+	// Splitting into occupied target dirs must refuse.
+	if _, err := shard.SplitCheckpoint(src, out, n); err == nil {
+		t.Fatal("re-split into occupied dirs accepted")
+	}
+	// Splitting an already-sharded checkpoint must refuse.
+	if _, err := shard.SplitCheckpoint(filepath.Join(out, shard.ShardDirName(0)), t.TempDir(), 2); err == nil {
+		t.Fatal("splitting a shard checkpoint accepted")
+	}
+}
+
+func TestSplitRejectsBadInput(t *testing.T) {
+	if _, err := shard.SplitCheckpoint(t.TempDir(), t.TempDir(), 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := shard.SplitCheckpoint(t.TempDir(), t.TempDir(), 2); err == nil {
+		t.Fatal("empty source dir accepted")
+	}
+}

@@ -166,6 +166,31 @@ func listCheckpoints(dir string) ([]int, error) {
 	return gens, nil
 }
 
+// NewestCheckpoint returns the generation and path of the newest
+// checkpoint snapshot in dir. Tools that operate on checkpoints offline —
+// the shard splitter, backup verifiers — use it to find the same file
+// LoadManagerDir would recover from. The error wraps os.ErrNotExist when
+// dir has no checkpoint (or does not exist).
+func NewestCheckpoint(dir string) (gen int, path string, err error) {
+	gens, err := listCheckpoints(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, "", fmt.Errorf("payg: no checkpoint in %s: %w", dir, os.ErrNotExist)
+		}
+		return 0, "", fmt.Errorf("payg: scanning data dir %s: %w", dir, err)
+	}
+	if len(gens) == 0 {
+		return 0, "", fmt.Errorf("payg: no checkpoint in %s: %w", dir, os.ErrNotExist)
+	}
+	gen = gens[len(gens)-1]
+	return gen, filepath.Join(dir, checkpointName(gen)), nil
+}
+
+// CheckpointFileName renders the canonical generation-stamped checkpoint
+// filename ("checkpoint-000000012.snap" for generation 12), for tools that
+// write checkpoints a durable manager will later recover.
+func CheckpointFileName(gen int) string { return checkpointName(gen) }
+
 // HasCheckpoint reports whether dir holds at least one checkpoint
 // snapshot — the switch a serving binary uses to choose between
 // bootstrapping a fresh durable manager (NewManager with DataDir) and

@@ -76,6 +76,13 @@ type ManagerOptions struct {
 	// longer aligns with it). False leaves the recovered manager without
 	// data: classification and ingestion work, /query does not.
 	ServeData bool
+	// Transform, when non-nil, post-processes every newly built serving
+	// system before it is published — after a rebuild and after a feedback
+	// apply (including WAL replay on recovery). It must be deterministic:
+	// replicas replaying the same inputs through the same Transform must
+	// converge on the same state. Shard replicas use it to re-prune a
+	// rebuilt full system down to their local domains.
+	Transform func(*System) (*System, error)
 }
 
 func (o ManagerOptions) withDefaults() ManagerOptions {
@@ -453,6 +460,12 @@ func (m *Manager) runRebuild(ctx context.Context, cancel context.CancelFunc, st 
 		union = append(union, e.Schema)
 	}
 	newSys, err := BuildContext(ctx, union, st.sys.opts)
+	if err == nil && m.opts.Transform != nil {
+		newSys, err = m.opts.Transform(newSys)
+		if err != nil {
+			err = fmt.Errorf("payg: transforming rebuilt system: %w", err)
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -533,6 +546,12 @@ func (m *Manager) applyFeedback(fb Feedback, logWAL bool) (*FeedbackResult, erro
 	res, err := st.sys.ApplyFeedback(fb)
 	if err != nil {
 		return nil, err
+	}
+	if m.opts.Transform != nil {
+		res.System, err = m.opts.Transform(res.System)
+		if err != nil {
+			return nil, fmt.Errorf("payg: transforming corrected system: %w", err)
+		}
 	}
 	// Validation passed (ApplyFeedback builds the corrected system without
 	// mutating the serving one). Persist before publishing: if the WAL

@@ -278,6 +278,12 @@ type System struct {
 	model      *core.Model
 	classifier *classify.Classifier
 	mediated   []*mediate.Mediated
+
+	// local / localSet are set only on sharded systems (see Shard): the
+	// sorted domain ids held locally and the same set as a bitmap over the
+	// global id range. Nil on a full system, where every domain is local.
+	local    []int
+	localSet []bool
 }
 
 // Build runs the full pipeline: feature vectors → hierarchical clustering →
@@ -505,6 +511,9 @@ func (s *System) buildMediationContext(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if s.localSet != nil && !s.localSet[r] {
+			continue // remote domain: another shard owns its mediation
+		}
 		var members schema.Set
 		for _, mem := range s.model.Domains[r].Members {
 			members = append(members, s.schemas[mem.Schema])
@@ -527,19 +536,22 @@ func (s *System) NumSchemas() int { return len(s.schemas) }
 
 // Domains describes every discovered domain.
 func (s *System) Domains() []DomainInfo {
-	out := make([]DomainInfo, s.model.NumDomains())
+	out := make([]DomainInfo, 0, s.model.NumDomains())
 	for r := range s.model.Domains {
+		if s.localSet != nil && !s.localSet[r] {
+			continue // a shard lists only the domains it owns
+		}
 		d := &s.model.Domains[r]
 		info := DomainInfo{ID: r, Unclustered: len(d.Cluster) == 1}
 		for _, mem := range d.Members {
 			info.Schemas = append(info.Schemas, DomainMember{Name: s.schemas[mem.Schema].Name, Prob: mem.Prob})
 		}
-		if s.mediated != nil {
+		if s.mediated != nil && s.mediated[r] != nil {
 			for _, a := range s.mediated[r].Attrs {
 				info.MediatedAttributes = append(info.MediatedAttributes, a.Name)
 			}
 		}
-		out[r] = info
+		out = append(out, info)
 	}
 	return out
 }
@@ -580,6 +592,9 @@ func (s *System) MediatedAttributes(domain int) ([]string, error) {
 	}
 	if domain < 0 || domain >= len(s.mediated) {
 		return nil, fmt.Errorf("payg: no domain %d", domain)
+	}
+	if s.mediated[domain] == nil {
+		return nil, fmt.Errorf("payg: domain %d is not local to this shard", domain)
 	}
 	var out []string
 	for _, a := range s.mediated[domain].Attrs {
@@ -635,6 +650,9 @@ func (s *System) domainExecutor(domain int, pick func(mem int) (engine.TupleSour
 	}
 	if domain < 0 || domain >= len(s.mediated) {
 		return nil, fmt.Errorf("payg: no domain %d", domain)
+	}
+	if s.mediated[domain] == nil {
+		return nil, fmt.Errorf("payg: domain %d is not local to this shard", domain)
 	}
 	d := &s.model.Domains[domain]
 	var srcs []engine.TupleSource

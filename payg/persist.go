@@ -23,17 +23,26 @@ import (
 // Version 2 adds Pending: schemas accepted by the online ingestion
 // pipeline but not yet folded into the model by a recluster, so a restart
 // keeps the journal. Version-1 snapshots decode with an empty journal.
+//
+// Version 3 adds the sharding fields: Sharded marks a snapshot of a
+// sharded (domain-pruned) system and LocalDomains lists the domains it
+// holds. Both are needed — gob encodes an empty slice as nil, so a bare
+// LocalDomains could not distinguish "full system" from "shard owning
+// zero domains" (possible when shards outnumber domains). Version-1/2
+// snapshots decode as full systems.
 type snapshot struct {
-	Version     int
-	Opts        Options
-	Schemas     schema.Set
-	Assign      []int
-	Memberships [][]core.Membership
-	Classifier  *classify.Snapshot
-	Pending     schema.Set
+	Version      int
+	Opts         Options
+	Schemas      schema.Set
+	Assign       []int
+	Memberships  [][]core.Membership
+	Classifier   *classify.Snapshot
+	Pending      schema.Set
+	Sharded      bool
+	LocalDomains []int
 }
 
-const snapshotVersion = 2
+const snapshotVersion = 3
 
 // Save serializes the system so that Load can reconstruct it without
 // re-running clustering or classifier setup. The snapshot carries no
@@ -56,15 +65,24 @@ func (m *Manager) Save(w io.Writer) error {
 	return st.sys.saveWithPending(w, m.journal.Schemas())
 }
 
+// SaveWithPending serializes the system together with an explicit pending
+// journal — the primitive tools like the checkpoint splitter use to write
+// a (possibly sharded) system plus its routed share of the journal.
+func (s *System) SaveWithPending(w io.Writer, pending []Schema) error {
+	return s.saveWithPending(w, pending)
+}
+
 func (s *System) saveWithPending(w io.Writer, pending schema.Set) error {
 	snap := snapshot{
-		Version:     snapshotVersion,
-		Opts:        s.opts,
-		Schemas:     s.schemas,
-		Assign:      s.model.Clustering.Assign,
-		Memberships: make([][]core.Membership, len(s.schemas)),
-		Classifier:  s.classifier.Snapshot(),
-		Pending:     pending,
+		Version:      snapshotVersion,
+		Opts:         s.opts,
+		Schemas:      s.schemas,
+		Assign:       s.model.Clustering.Assign,
+		Memberships:  make([][]core.Membership, len(s.schemas)),
+		Classifier:   s.classifier.Snapshot(),
+		Pending:      pending,
+		Sharded:      s.localSet != nil,
+		LocalDomains: s.local,
 	}
 	for i := range s.schemas {
 		snap.Memberships[i] = s.model.DomainsOf(i)
@@ -120,6 +138,22 @@ func LoadWithPending(r io.Reader) (*System, []Schema, error) {
 		return nil, nil, err
 	}
 	sys := &System{opts: opts, schemas: snap.Schemas, space: sp, model: model, classifier: cls}
+	if snap.Sharded {
+		// Restore the local-domain view before mediation so only local
+		// domains are re-mediated — the whole point of the pruned form.
+		nD := model.NumDomains()
+		sys.local = snap.LocalDomains
+		if sys.local == nil {
+			sys.local = []int{} // gob nil/empty collapse; Sharded says pruned
+		}
+		sys.localSet = make([]bool, nD)
+		for _, r := range sys.local {
+			if r < 0 || r >= nD {
+				return nil, nil, fmt.Errorf("payg: snapshot local domain %d out of range [0,%d)", r, nD)
+			}
+			sys.localSet[r] = true
+		}
+	}
 	if !opts.SkipMediation {
 		if err := sys.buildMediation(); err != nil {
 			return nil, nil, err
