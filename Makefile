@@ -31,9 +31,12 @@ bench-ingest:
 	$(GO) test ./payg -run TestIngestBenchArtifact -bench-artifact=true
 
 # Per-arrival assignment: incremental feature-space extension vs full
-# rebuild, at n = 300 and 1000 (writes BENCH_assign.json).
+# rebuild at n = 300 and 1000, then the per-vectorizer-backend online-path
+# rows (term exact vs ngram ANN-pruned). Both steps write BENCH_assign.json;
+# the second merges into the first's output.
 bench-assign:
 	$(GO) test ./internal/ingest -run TestAssignBenchArtifact -bench-assign-artifact=true
+	$(GO) test ./payg -run TestAssignBackendBenchArtifact -bench-assign-backends=true
 
 # Repeated-query classification: generation-keyed result cache vs uncached
 # Classify, plus the parallel batch path (writes BENCH_query.json).

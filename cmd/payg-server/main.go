@@ -98,6 +98,10 @@ type options struct {
 	lshBands         int
 	lshRows          int
 	candThreshold    float64
+	vectorizer       string
+	annM             int
+	annEf            int
+	annK             int
 	tuples           int
 	sourceTimeout    time.Duration
 	retries          int
@@ -125,6 +129,10 @@ func main() {
 	flag.IntVar(&o.lshBands, "lsh-bands", 128, "LSH bands for the blocked build")
 	flag.IntVar(&o.lshRows, "lsh-rows", 2, "MinHash rows per LSH band")
 	flag.Float64Var(&o.candThreshold, "cand-threshold", 0, "minimum estimated Jaccard for an LSH candidate pair (0 keeps every collision)")
+	flag.StringVar(&o.vectorizer, "vectorizer", "term", "embedding backend: term (exact, thesis behavior) or ngram (dense char-3-gram embeddings with ANN-pruned assignment and classification)")
+	flag.IntVar(&o.annM, "ann-m", 0, "HNSW graph degree for -vectorizer=ngram (0 = default 16)")
+	flag.IntVar(&o.annEf, "ann-ef", 0, "HNSW search beam width for -vectorizer=ngram (0 = default 64)")
+	flag.IntVar(&o.annK, "ann-k", 0, "ANN shortlist size before exact verification for -vectorizer=ngram (0 = default 32, negative disables pruning)")
 	flag.IntVar(&o.tuples, "tuples", 20, "synthetic tuples per source for /query (0 disables data)")
 	flag.DurationVar(&o.sourceTimeout, "source-timeout", 2*time.Second, "per-attempt timeout for each data-source fetch")
 	flag.IntVar(&o.retries, "retries", 2, "retries per data-source fetch after the first failure")
@@ -288,6 +296,10 @@ func buildApp(logger *slog.Logger, o options) (*app, error) {
 		LSHBands:           o.lshBands,
 		LSHRows:            o.lshRows,
 		CandidateThreshold: o.candThreshold,
+		Vectorizer:         o.vectorizer,
+		ANNM:               o.annM,
+		ANNEfSearch:        o.annEf,
+		ANNShortlistK:      o.annK,
 	})
 	if err != nil {
 		return nil, err

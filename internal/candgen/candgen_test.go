@@ -1,4 +1,4 @@
-package candgen
+package candgen_test
 
 import (
 	"context"
@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"schemaflow/internal/bitvec"
+	. "schemaflow/internal/candgen"
 	"schemaflow/internal/dataset"
 	"schemaflow/internal/feature"
 )
@@ -48,8 +49,8 @@ func TestSignaturesDeterministicAndSeeded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.sigs {
-		if a.sigs[i] != b.sigs[i] {
+	for i := range RawSigs(a) {
+		if RawSigs(a)[i] != RawSigs(b)[i] {
 			t.Fatalf("signatures differ at component %d across worker counts", i)
 		}
 	}
@@ -58,8 +59,8 @@ func TestSignaturesDeterministicAndSeeded(t *testing.T) {
 		t.Fatal(err)
 	}
 	same := true
-	for i := range a.sigs {
-		if a.sigs[i] != c.sigs[i] {
+	for i := range RawSigs(a) {
+		if RawSigs(a)[i] != RawSigs(c)[i] {
 			same = false
 			break
 		}

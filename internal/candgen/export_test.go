@@ -1,0 +1,6 @@
+package candgen
+
+// RawSigs exposes the packed signature components to the external test
+// package (the tests moved out-of-package when internal/feature started
+// importing candgen — an in-package test would be an import cycle).
+func RawSigs(s *SignatureSet) []uint32 { return s.sigs }

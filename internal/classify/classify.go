@@ -395,6 +395,45 @@ func (c *Classifier) ClassifyBatch(queries [][]string) [][]Score {
 	return out
 }
 
+// ClassifySubset ranks only the listed domains for the query, best first.
+// Each listed domain's LogPosterior is identical to what Classify computes
+// for it (the per-domain score is independent of the other domains);
+// Posterior is normalized within the subset. Out-of-range and duplicate
+// domain ids are skipped. This is the exact-verification half of
+// ANN-pruned classification: an embedding backend shortlists plausible
+// domains, and this call scores the shortlist with the full naive-Bayes
+// rule.
+func (c *Classifier) ClassifySubset(keywords []string, domains []int) []Score {
+	sc := c.scratch.Get().(*queryScratch)
+	c.model.Space.QueryVectorInto(keywords, sc.vec)
+	sc.idx = sc.vec.IndicesAppend(sc.idx[:0])
+
+	nD := c.model.NumDomains()
+	seen := make(map[int]bool, len(domains))
+	scores := make([]Score, 0, len(domains))
+	for _, r := range domains {
+		if r < 0 || r >= nD || seen[r] {
+			continue
+		}
+		seen[r] = true
+		lp := c.logPrior[r]
+		if !math.IsInf(lp, -1) {
+			lp += c.sumLog0[r]
+			for _, j := range sc.idx {
+				lp += c.delta[r][j]
+			}
+		}
+		scores = append(scores, Score{Domain: r, LogPosterior: lp})
+	}
+	c.scratch.Put(sc)
+	normalize(scores)
+	sort.SliceStable(scores, func(a, b int) bool {
+		return scores[a].LogPosterior > scores[b].LogPosterior
+	})
+	observeClassification(scores)
+	return scores
+}
+
 // Top returns the best-ranked k domains for the query (k > len → all).
 func (c *Classifier) Top(keywords []string, k int) []Score {
 	s := c.Classify(keywords)

@@ -410,3 +410,57 @@ func TestRestoreValidation(t *testing.T) {
 		t.Fatal("domain-count mismatch accepted")
 	}
 }
+
+func TestClassifySubsetMatchesFull(t *testing.T) {
+	m := buildModel(t, travelBibSet(), 0.25)
+	c, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw := []string{"departure", "airline"}
+	full := c.Classify(kw)
+	byDomain := make(map[int]float64, len(full))
+	for _, s := range full {
+		byDomain[s.Domain] = s.LogPosterior
+	}
+
+	// Every listed domain's LogPosterior must equal the full run's; order
+	// must be best-first; duplicates and out-of-range ids are dropped.
+	domains := []int{1, 0, 1, -3, m.NumDomains() + 5}
+	sub := c.ClassifySubset(kw, domains)
+	if len(sub) != 2 {
+		t.Fatalf("subset returned %d scores, want 2 (dedup + range filter)", len(sub))
+	}
+	for i, s := range sub {
+		if got, want := s.LogPosterior, byDomain[s.Domain]; got != want {
+			t.Fatalf("domain %d: subset LogPosterior %v, full %v", s.Domain, got, want)
+		}
+		if i > 0 && sub[i-1].LogPosterior < s.LogPosterior {
+			t.Fatal("subset not sorted best-first")
+		}
+	}
+
+	// Subset posteriors renormalize within the subset.
+	sum := 0.0
+	for _, s := range sub {
+		sum += s.Posterior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("subset posteriors sum to %v", sum)
+	}
+
+	// Full-id-set subset reproduces Classify exactly.
+	all := make([]int, m.NumDomains())
+	for i := range all {
+		all[i] = i
+	}
+	same := c.ClassifySubset(kw, all)
+	if len(same) != len(full) {
+		t.Fatalf("full subset returned %d scores, want %d", len(same), len(full))
+	}
+	for i := range same {
+		if same[i] != full[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, same[i], full[i])
+		}
+	}
+}

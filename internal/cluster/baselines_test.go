@@ -184,3 +184,26 @@ func TestGammaQ(t *testing.T) {
 		t.Fatal("gammaQ with invalid a should be NaN")
 	}
 }
+
+func TestKMeansLiteralZeroIterations(t *testing.T) {
+	// Negative MaxIter requests literally zero update rounds: the result is
+	// each schema attached to its nearest k-means++ seed — a valid
+	// assignment, never the -1 "unassigned" placeholder.
+	set := twoDomainSet()[:5]
+	sp := buildSpace(t, set)
+	res := KMeans(sp, KMeansOptions{K: 2, MaxIter: -1, Seed: 42})
+	for i, c := range res.Assign {
+		if c < 0 || c >= 2 {
+			t.Fatalf("schema %d assigned to %d under MaxIter=-1, want [0,2)", i, c)
+		}
+	}
+	// Zero still means the default iteration budget, which must converge to
+	// the same clustering as an explicit large budget.
+	a := KMeans(sp, KMeansOptions{K: 2, MaxIter: 0, Seed: 42})
+	b := KMeans(sp, KMeansOptions{K: 2, MaxIter: 100, Seed: 42})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("MaxIter 0 and 100 diverge at %d: %d vs %d", i, a.Assign[i], b.Assign[i])
+		}
+	}
+}

@@ -14,7 +14,11 @@ import (
 type KMeansOptions struct {
 	// K is the number of clusters; it must be positive.
 	K int
-	// MaxIter bounds the number of reassignment rounds. Zero means 100.
+	// MaxIter bounds the number of reassignment rounds. Zero means 100; to
+	// request literally zero rounds (return the k-means++ seeding
+	// assignment untouched), pass any negative value — the same
+	// zero-vs-default escape hatch as feature.Config.Tau and
+	// terms.Options.MinLength.
 	MaxIter int
 	// Seed seeds centroid initialization (k-means++-style seeding on the
 	// cosine distance).
@@ -33,8 +37,11 @@ func KMeans(sp *feature.Space, opts KMeansOptions) *Result {
 		k = n
 	}
 	maxIter := opts.MaxIter
-	if maxIter <= 0 {
+	switch {
+	case maxIter == 0:
 		maxIter = 100
+	case maxIter < 0:
+		maxIter = 0
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	dim := sp.Dim()
@@ -54,7 +61,8 @@ func KMeans(sp *feature.Space, opts KMeansOptions) *Result {
 		assign[i] = -1
 	}
 
-	for iter := 0; iter < maxIter; iter++ {
+	// One reassignment pass; reports whether any point moved.
+	assignPass := func() bool {
 		changed := false
 		for i, p := range points {
 			best, bestD := 0, math.Inf(1)
@@ -70,9 +78,14 @@ func KMeans(sp *feature.Space, opts KMeansOptions) *Result {
 				changed = true
 			}
 		}
-		if !changed {
-			break
-		}
+		return changed
+	}
+
+	// The seeding assignment always runs — MaxIter bounds only the
+	// centroid-update rounds, so a literal 0 (negative MaxIter) returns
+	// each schema attached to its nearest k-means++ seed.
+	assignPass()
+	for iter := 0; iter < maxIter; iter++ {
 		// Recompute centroids as coordinate means.
 		counts := make([]int, k)
 		for c := range centroids {
@@ -97,6 +110,9 @@ func KMeans(sp *feature.Space, opts KMeansOptions) *Result {
 			for j := range centroids[c] {
 				centroids[c][j] *= inv
 			}
+		}
+		if !assignPass() {
+			break
 		}
 	}
 	return FromAssignment(assign)

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"schemaflow/internal/eval"
+	"schemaflow/internal/queries"
+	"schemaflow/internal/schema"
+	"schemaflow/payg"
+)
+
+// Backend ablation (DESIGN.md §12): the candidate-generation and
+// query-pruning backend is swappable — MinHash-LSH over the exact
+// term-match space ("term") versus hashed character-3-gram embeddings with
+// an HNSW index ("ngram"). Both feed the same exact term-space scoring, so
+// the ablation measures what the approximation costs end to end: domain
+// structure (precision/recall over labels) and ANN-pruned classification
+// accuracy against ground truth.
+
+// VectorizerAblationRow evaluates one backend end to end.
+type VectorizerAblationRow struct {
+	Backend string
+	Metrics eval.Metrics
+	Domains int
+	// BuildTime covers the full blocked offline build: candidate
+	// generation (LSH or ANN neighbor pairs), sparse linkage, HAC, and
+	// classifier setup.
+	BuildTime time.Duration
+	// Top1 and Top3 are label-level classification accuracy over generated
+	// keyword queries (Section 6.1.3 protocol). For the ngram backend the
+	// ranking is ANN-shortlisted then exactly verified, so any pruning loss
+	// shows up here.
+	Top1 float64
+	Top3 float64
+	// QueryTime is the mean wall-clock per classified query.
+	QueryTime time.Duration
+}
+
+// VectorizerAblation builds the system once per backend over the blocked
+// (candidate-generation) path and compares clustering quality and
+// classification accuracy at identical parameters. The backends may propose
+// different candidate pairs, so domain counts can drift slightly; exact
+// term-space similarity still decides every merge.
+func VectorizerAblation(set schema.Set, tau float64, seed int64) ([]VectorizerAblationRow, error) {
+	var out []VectorizerAblationRow
+	for _, backend := range []string{"term", "ngram"} {
+		start := time.Now()
+		sys, err := payg.Build(set, payg.Options{
+			CandidateGen:  "lsh",
+			SkipMediation: true,
+			TauCSim:       tau,
+			Vectorizer:    backend,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s backend build: %w", backend, err)
+		}
+		row := VectorizerAblationRow{
+			Backend:   backend,
+			BuildTime: time.Since(start),
+			Metrics:   eval.Evaluate(sys.Model(), set),
+			Domains:   sys.NumDomains(),
+		}
+
+		gen, err := queries.NewGenerator(set, queries.Options{MinFrac: DefaultQueryFrac, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		dl := eval.LabelDomains(sys.Model(), set)
+		var top1, top3, total int
+		var queryTime time.Duration
+		for size := 1; size <= 5; size++ {
+			for i := 0; i < QueriesPerSize; i++ {
+				q := gen.Generate(size)
+				qs := time.Now()
+				scores := sys.ClassifyKeywords(q.Keywords)
+				queryTime += time.Since(qs)
+				total++
+				for rank, s := range scores {
+					if rank >= 3 {
+						break
+					}
+					if hasLabel(dl, s.Domain, q.Label) {
+						if rank == 0 {
+							top1++
+						}
+						top3++
+						break
+					}
+				}
+			}
+		}
+		row.Top1 = float64(top1) / float64(total)
+		row.Top3 = float64(top3) / float64(total)
+		row.QueryTime = queryTime / time.Duration(total)
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func hasLabel(dl *eval.DomainLabeling, domain int, label string) bool {
+	if domain < 0 || domain >= len(dl.Labels) {
+		return false
+	}
+	for _, l := range dl.Labels[domain] {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderVectorizerAblation prints the backend comparison.
+func RenderVectorizerAblation(rows []VectorizerAblationRow, tau float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: vectorizer backend (blocked build, tau_c_sim=%.2f)\n", tau)
+	fmt.Fprintf(&sb, "%-8s %10s %8s %10s %8s %8s %8s %10s %12s\n",
+		"backend", "precision", "recall", "unclust", "domains", "top-1", "top-3", "build", "query")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8s %10.3f %8.3f %10.3f %8d %8.2f %8.2f %10s %12s\n",
+			r.Backend, r.Metrics.Precision, r.Metrics.Recall, r.Metrics.FracUnclustered,
+			r.Domains, r.Top1, r.Top3,
+			r.BuildTime.Round(time.Millisecond), r.QueryTime.Round(time.Microsecond))
+	}
+	return sb.String()
+}

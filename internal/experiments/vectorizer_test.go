@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVectorizerAblationGolden is the backend-ablation golden run: both
+// backends over the DW∪SS corpus at the default parameters, with
+// tolerances instead of exact values (the corpora are synthetic, so shapes
+// are pinned, not digits). The ngram backend proposes candidates and
+// shortlists approximately but every decision is re-scored exactly in term
+// space, so its quality must track the term backend closely.
+func TestVectorizerAblationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vectorizer ablation in short mode")
+	}
+	c := testCorpora(t)
+	rows, err := VectorizerAblation(c.Both, 0.25, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d backend rows", len(rows))
+	}
+	term, ngram := rows[0], rows[1]
+	if term.Backend != "term" || ngram.Backend != "ngram" {
+		t.Fatalf("row order: %+v", rows)
+	}
+	t.Logf("term:  %+v", term)
+	t.Logf("ngram: %+v", ngram)
+
+	// Golden shape 1: both backends recover high-precision domain
+	// structure (exact term-space similarity decides every merge).
+	for _, r := range rows {
+		if r.Metrics.Precision < 0.8 {
+			t.Errorf("%s backend precision %.3f < 0.80", r.Backend, r.Metrics.Precision)
+		}
+		if r.Top1 < 0.5 {
+			t.Errorf("%s backend top-1 accuracy %.3f < 0.50", r.Backend, r.Top1)
+		}
+		if r.Top3 < r.Top1 {
+			t.Errorf("%s backend top-3 %.3f below top-1 %.3f", r.Backend, r.Top3, r.Top1)
+		}
+	}
+
+	// Golden shape 2: the approximation is cheap in quality — ngram stays
+	// within tolerance of term on every headline number.
+	if d := term.Metrics.Precision - ngram.Metrics.Precision; d > 0.05 {
+		t.Errorf("ngram precision trails term by %.3f (tolerance 0.05)", d)
+	}
+	if d := term.Metrics.Recall - ngram.Metrics.Recall; d > 0.10 {
+		t.Errorf("ngram recall trails term by %.3f (tolerance 0.10)", d)
+	}
+	if d := term.Top1 - ngram.Top1; d > 0.05 {
+		t.Errorf("ngram top-1 accuracy trails term by %.3f (tolerance 0.05)", d)
+	}
+	lo, hi := term.Domains*8/10, term.Domains*12/10+2
+	if ngram.Domains < lo || ngram.Domains > hi {
+		t.Errorf("ngram found %d domains, term found %d (tolerance [%d,%d])",
+			ngram.Domains, term.Domains, lo, hi)
+	}
+
+	out := RenderVectorizerAblation(rows, 0.25)
+	if !strings.Contains(out, "term") || !strings.Contains(out, "ngram") {
+		t.Error("render broken")
+	}
+}

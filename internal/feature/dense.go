@@ -1,0 +1,196 @@
+package feature
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"schemaflow/internal/ann"
+	"schemaflow/internal/candgen"
+)
+
+// NGramConfig tunes the dense hashed character-n-gram backend.
+type NGramConfig struct {
+	// Dim is the embedding dimensionality (hashing-trick buckets). Zero
+	// means 256 — wide enough that 3-gram collisions stay rare at schema
+	// vocabulary sizes, small enough that a 100k-schema index fits in
+	// ~100 MB.
+	Dim int
+	// ANN configures the HNSW index built over the embeddings.
+	ANN ann.Config
+	// CandidateK is the per-schema neighbor count used by CandidatePairs
+	// (each schema contributes its CandidateK nearest neighbors as
+	// candidate pairs). Zero means 64 — wide enough that average linkage,
+	// which needs low-similarity pairs for its cluster-to-cluster means,
+	// sees the bulk of each schema's true neighborhood; too small a K
+	// fragments large domains because the missing intra-domain pairs
+	// count as zero similarity in the sparse averages.
+	CandidateK int
+}
+
+func (c NGramConfig) normalized() NGramConfig {
+	if c.Dim <= 0 {
+		c.Dim = 256
+	}
+	if c.CandidateK <= 0 {
+		c.CandidateK = 64
+	}
+	return c
+}
+
+// NGramVectorizer embeds each schema's term set as an L2-normalized bag of
+// hashed character 3-grams and answers neighbor queries from an HNSW index
+// over those embeddings. Cosine similarity in this space is a cheap proxy
+// for the term-space similarity: schemas sharing (fuzzily matching) terms
+// share most of their 3-grams. The backend is used only to propose —
+// candidate pairs for offline clustering and shortlists for online
+// assignment/classification — and every proposal is re-scored exactly in
+// term space, so embedding noise costs recall, never precision.
+type NGramVectorizer struct {
+	cfg NGramConfig
+
+	sp    *Space
+	vecs  [][]float32
+	index *ann.Index
+}
+
+// NewNGramVectorizer returns an unfitted dense backend.
+func NewNGramVectorizer(cfg NGramConfig) *NGramVectorizer {
+	return &NGramVectorizer{cfg: cfg.normalized()}
+}
+
+// Name implements Vectorizer.
+func (v *NGramVectorizer) Name() string { return "ngram" }
+
+// Fit implements Vectorizer: it embeds every schema term set and builds the
+// HNSW index. Embeddings are a pure function of the term sets and the
+// config, so re-fitting after a Space rebuild (or snapshot load) is
+// deterministic.
+func (v *NGramVectorizer) Fit(sp *Space) error {
+	v.sp = sp
+	v.vecs = make([][]float32, len(sp.TermSets))
+	for i, ts := range sp.TermSets {
+		terms := make([]string, 0, len(ts))
+		for t := range ts {
+			terms = append(terms, t)
+		}
+		v.vecs[i] = v.Embed(terms)
+	}
+	ix, err := ann.Build(v.vecs, v.cfg.ANN)
+	if err != nil {
+		return fmt.Errorf("feature: building ANN index: %w", err)
+	}
+	v.index = ix
+	return nil
+}
+
+// Embed maps a term list to its L2-normalized hashed character-3-gram
+// vector. Term order and duplicates do not matter beyond duplicate terms
+// accumulating weight; a nil or all-filtered input embeds to the zero
+// vector.
+func (v *NGramVectorizer) Embed(terms []string) []float32 {
+	vec := make([]float32, v.cfg.Dim)
+	for _, t := range terms {
+		// Pad so 1- and 2-letter terms still emit a gram and boundary
+		// grams are distinguished from interior ones.
+		padded := "\x02" + t + "\x03"
+		for i := 0; i+3 <= len(padded); i++ {
+			h := hashGram(padded[i : i+3])
+			j := int(h % uint64(v.cfg.Dim))
+			if h&(1<<63) != 0 {
+				vec[j]--
+			} else {
+				vec[j]++
+			}
+		}
+	}
+	var norm float64
+	for _, x := range vec {
+		norm += float64(x) * float64(x)
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for j := range vec {
+			vec[j] *= inv
+		}
+	}
+	return vec
+}
+
+// hashGram hashes one 3-byte gram: FNV-1a mixed through a splitmix64
+// finalizer so the low bits used for bucketing are well distributed.
+func hashGram(g string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(g); i++ {
+		h ^= uint64(g[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// CandidatePairs implements Vectorizer: each schema proposes its
+// CandidateK approximate nearest neighbors. The union (deduplicated,
+// A < B, sorted) replaces the MinHash-LSH candidate set; downstream sparse
+// linkage scores these pairs exactly in term space.
+func (v *NGramVectorizer) CandidatePairs(ctx context.Context) ([]candgen.Pair, error) {
+	if v.index == nil {
+		return nil, fmt.Errorf("feature: ngram vectorizer not fitted")
+	}
+	n := v.index.Len()
+	seen := make(map[candgen.Pair]bool)
+	for i := 0; i < n; i++ {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		// k+1 because the query point is in the index and ranks first.
+		for _, r := range v.index.Search(v.vecs[i], v.cfg.CandidateK+1, 0) {
+			if r.ID == i {
+				continue
+			}
+			p := candgen.Pair{A: int32(i), B: int32(r.ID)}
+			if p.B < p.A {
+				p.A, p.B = p.B, p.A
+			}
+			seen[p] = true
+		}
+	}
+	pairs := make([]candgen.Pair, 0, len(seen))
+	for p := range seen {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].A != pairs[b].A {
+			return pairs[a].A < pairs[b].A
+		}
+		return pairs[a].B < pairs[b].B
+	})
+	return pairs, nil
+}
+
+// Shortlist implements Vectorizer: the ANN top-k schemas for the query's
+// canonical terms, most-similar-first. The caller re-scores the shortlist
+// exactly (restricted assignment or subset classification), preserving
+// ranked output.
+func (v *NGramVectorizer) Shortlist(terms []string, k int) []int {
+	if v.index == nil || k <= 0 {
+		return nil
+	}
+	res := v.index.Search(v.Embed(terms), k, 0)
+	out := make([]int, len(res))
+	for i, r := range res {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -76,9 +76,11 @@ func (c Config) normalized() Config {
 	} else if c.Tau < 0 {
 		c.Tau = 0
 	}
-	if c.TermOpts.MinLength == 0 {
-		c.TermOpts = terms.DefaultOptions()
-	}
+	// Per-field normalization: replacing the whole struct with
+	// DefaultOptions() when MinLength was unset used to clobber an explicit
+	// StopWords map (the "empty map disables stop-words" contract) and
+	// KeepDigits=true.
+	c.TermOpts = c.TermOpts.Normalized()
 	return c
 }
 
@@ -294,6 +296,7 @@ func BuildLite(set schema.Set, cfg Config) *Space {
 func (sp *Space) Extend(s schema.Schema) (*Space, int) {
 	newIdx := len(sp.TermSets)
 	if sp.cfg.Mode == TermFrequency {
+		mExtendFallback.Inc()
 		return BuildLite(append(sp.set[:newIdx:newIdx], s), sp.cfg), newIdx
 	}
 

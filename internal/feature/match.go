@@ -278,7 +278,11 @@ type gramStrategy struct {
 
 func newGramStrategy(vocab []string, tau float64, minLen int) *gramStrategy {
 	if minLen <= 0 {
-		minLen = 3
+		// A literal MinLength of 0 (terms.Options' negative escape hatch)
+		// admits single-letter terms, so the soundness argument below must
+		// assume length ≥ 1 — clamping to the default 3 here would pick a
+		// gram width that misses short-term matches.
+		minLen = 1
 	}
 	// Any pair of terms of length >= minLen matching at tau shares a common
 	// substring of length >= ceil(tau*minLen), since (len(a)+len(b))/2 >=

@@ -88,9 +88,9 @@ func (o Options) normalized() Options {
 	if o.TermTau == 0 {
 		o.TermTau = 0.8
 	}
-	if o.TermOpts.MinLength == 0 {
-		o.TermOpts = terms.DefaultOptions()
-	}
+	// Per-field: a wholesale DefaultOptions() swap on unset MinLength would
+	// clobber an explicit StopWords map or KeepDigits=true.
+	o.TermOpts = o.TermOpts.Normalized()
 	if o.MaxMappings == 0 {
 		o.MaxMappings = 4
 	}

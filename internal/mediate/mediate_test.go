@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"schemaflow/internal/schema"
+	"schemaflow/internal/terms"
 )
 
 func facultySet() schema.Set {
@@ -284,5 +285,28 @@ func TestDescribe(t *testing.T) {
 	med, _ := Build(facultySet(), DefaultOptions())
 	if med.Describe() == "" {
 		t.Fatal("empty description")
+	}
+}
+
+func TestBuildPreservesTermOptions(t *testing.T) {
+	// "all" and "other" are default stop words. With an explicit empty
+	// stop-word map both attributes extract {all, other} and fuse into one
+	// mediated attribute; under the old wholesale-defaults clobber both
+	// term sets came out empty, similarity was 0, and the names stayed
+	// separate mediated attributes.
+	set := schema.Set{
+		{Name: "s1", Attributes: []string{"all other", "price"}},
+		{Name: "s2", Attributes: []string{"other all", "price"}},
+	}
+	med, err := Build(set, Options{TermOpts: terms.Options{StopWords: map[string]bool{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := med.AttrIndex("all other")
+	if fi < 0 {
+		t.Fatal("no 'all other' mediated attribute")
+	}
+	if got := len(med.Attrs[fi].Sources); got != 2 {
+		t.Fatalf("'all other'/'other all' spread over separate mediated attributes (got %d sources, want 2): explicit StopWords map clobbered", got)
 	}
 }

@@ -63,9 +63,9 @@ func NewGenerator(set schema.Set, opts Options) (*Generator, error) {
 	if opts.MinFrac <= 0 {
 		opts.MinFrac = 0.25
 	}
-	if opts.TermOpts.MinLength == 0 {
-		opts.TermOpts = terms.DefaultOptions()
-	}
+	// Per-field: a wholesale DefaultOptions() swap on unset MinLength would
+	// clobber an explicit StopWords map or KeepDigits=true.
+	opts.TermOpts = opts.TermOpts.Normalized()
 	byLabel := set.ByLabel()
 	labels := set.Labels()
 	if len(labels) == 0 {

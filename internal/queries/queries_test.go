@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"schemaflow/internal/schema"
+	"schemaflow/internal/terms"
 )
 
 func corpus() schema.Set {
@@ -159,5 +160,29 @@ func TestLabelsAccessor(t *testing.T) {
 	ls := g.Labels()
 	if len(ls) != 2 {
 		t.Fatalf("Labels = %v", ls)
+	}
+}
+
+func TestNewGeneratorPreservesStopWords(t *testing.T) {
+	// The corpus' only term, "other", is a default stop word. With the
+	// explicit empty stop-word map it is a candidate and generation works;
+	// under the old wholesale-defaults clobber every term set was empty and
+	// NewGenerator failed with "no label has candidate terms".
+	set := schema.Set{
+		{Name: "s1", Labels: []string{"X"}, Attributes: []string{"other"}},
+		{Name: "s2", Labels: []string{"X"}, Attributes: []string{"other"}},
+	}
+	g, err := NewGenerator(set, Options{Seed: 1, TermOpts: terms.Options{StopWords: map[string]bool{}}})
+	if err != nil {
+		t.Fatalf("explicit empty StopWords map clobbered by defaults: %v", err)
+	}
+	q := g.Generate(2)
+	if q.Label != "X" {
+		t.Fatalf("label = %q, want X", q.Label)
+	}
+	for _, kw := range q.Keywords {
+		if kw != "other" {
+			t.Fatalf("keyword = %q, want \"other\"", kw)
+		}
 	}
 }

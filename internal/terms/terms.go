@@ -14,12 +14,17 @@ import (
 	"unicode"
 )
 
-// Options controls term extraction. The zero value is not useful; use
-// DefaultOptions.
+// Options controls term extraction. The zero value selects the defaults of
+// DefaultOptions, resolved field by field (Normalized): consumers never
+// replace a partially filled Options wholesale, so an explicit StopWords or
+// KeepDigits setting survives leaving MinLength unset.
 type Options struct {
 	// MinLength is the minimum number of letters a term must have to be
 	// kept. The thesis drops "extremely short terms (e.g., terms with less
-	// than three letters)", so the default is 3.
+	// than three letters)", so the default is 3. Zero means the default;
+	// to request a literal minimum of 0 (keep every term), pass any
+	// negative value — the same zero-vs-default escape hatch as
+	// feature.Config.Tau.
 	MinLength int
 
 	// StopWords maps canonical-form words to be discarded. If nil,
@@ -37,6 +42,25 @@ type Options struct {
 // experiments.
 func DefaultOptions() Options {
 	return Options{MinLength: 3, StopWords: nil, KeepDigits: false}
+}
+
+// Normalized resolves the zero-vs-default sentinels field by field:
+// MinLength 0 becomes the default 3 and negative MinLength becomes a
+// literal 0; StopWords and KeepDigits pass through untouched (nil
+// StopWords already means DefaultStopWords at filter time, an explicit
+// empty map disables stop-word removal, and KeepDigits' zero value is the
+// documented default). Consumers must call this instead of substituting
+// DefaultOptions() for the whole struct — the wholesale swap silently
+// discarded an explicit StopWords map or KeepDigits=true whenever
+// MinLength was left unset.
+func (o Options) Normalized() Options {
+	switch {
+	case o.MinLength == 0:
+		o.MinLength = 3
+	case o.MinLength < 0:
+		o.MinLength = 0
+	}
+	return o
 }
 
 // DefaultStopWords is the stop-word list applied during extraction. It covers

@@ -156,3 +156,38 @@ func TestPropertyExtractSubsetOfAttributeTerms(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestNormalizedSentinels(t *testing.T) {
+	// Zero MinLength means the default 3; everything else passes through.
+	got := Options{}.Normalized()
+	if got.MinLength != 3 {
+		t.Fatalf("zero MinLength normalized to %d, want 3", got.MinLength)
+	}
+	// Negative MinLength is the literal-0 escape hatch.
+	if got := (Options{MinLength: -1}).Normalized(); got.MinLength != 0 {
+		t.Fatalf("negative MinLength normalized to %d, want 0", got.MinLength)
+	}
+	if got := (Options{MinLength: 5}).Normalized(); got.MinLength != 5 {
+		t.Fatalf("explicit MinLength clobbered to %d", got.MinLength)
+	}
+}
+
+func TestNormalizedPreservesExplicitFields(t *testing.T) {
+	// An explicit empty stop-word map (disable removal) and KeepDigits=true
+	// must survive normalization even when MinLength is left unset — the
+	// old wholesale DefaultOptions() swap in consumers discarded both.
+	in := Options{StopWords: map[string]bool{}, KeepDigits: true}
+	got := in.Normalized()
+	if got.StopWords == nil {
+		t.Fatal("explicit empty StopWords map replaced with nil (default list)")
+	}
+	if len(got.StopWords) != 0 {
+		t.Fatalf("explicit empty StopWords map gained %d entries", len(got.StopWords))
+	}
+	if !got.KeepDigits {
+		t.Fatal("KeepDigits=true clobbered back to false")
+	}
+	if got.MinLength != 3 {
+		t.Fatalf("MinLength = %d, want default 3", got.MinLength)
+	}
+}

@@ -7,7 +7,6 @@ import (
 
 	"schemaflow/internal/dataset"
 	"schemaflow/internal/eval"
-	"schemaflow/internal/experiments"
 )
 
 func assignOf(s *System) []int {
@@ -109,15 +108,18 @@ func TestBlockedMatchesExactOnPaperCorpora(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-scale corpora; skipped in -short")
 	}
-	c := experiments.LoadCorpora(experiments.DefaultSeed)
+	// The paper corpora, generated directly (experiments.LoadCorpora would
+	// be an import cycle now that experiments' backend ablation drives payg).
+	dw := dataset.DW(1)
+	ss := dataset.SS(2)
 	for _, tc := range []struct {
 		name string
 		set  []Schema
 	}{
-		{"dw", c.DW},
-		{"ss", c.SS},
-		{"both", c.Both},
-		{"ddh", c.DDH},
+		{"dw", dw},
+		{"ss", ss},
+		{"both", dataset.Union(dw, ss)},
+		{"ddh", dataset.DDH(3)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			blocked, err := Build(tc.set, Options{SkipMediation: true, CandidateGen: "lsh"})

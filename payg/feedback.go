@@ -98,12 +98,22 @@ func (s *System) rebuildFromModel(m *core.Model) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fit a fresh backend instance against the updated space — the old
+	// system may still be serving queries from its own fitted state.
+	vec, err := s.opts.newVectorizer()
+	if err != nil {
+		return nil, err
+	}
+	if err := vec.Fit(m.Space); err != nil {
+		return nil, err
+	}
 	sys := &System{
 		opts:       s.opts,
 		schemas:    m.Schemas,
 		space:      m.Space,
 		model:      m,
 		classifier: cls,
+		vectorizer: vec,
 	}
 	if !s.opts.SkipMediation {
 		if err := sys.buildMediation(); err != nil {

@@ -44,7 +44,11 @@ type Assignment struct {
 // Execute. To actually grow a serving system use Manager.Ingest, which
 // journals the schema and folds it into the next background rebuild.
 func (s *System) Ingest(sch Schema) (*Assignment, error) {
-	a, err := ingest.Assign(s.model, sch)
+	// A pruning backend (ngram) restricts Algorithm 3 to the domains
+	// holding the arrival's ANN-nearest schemas; the restricted comparison
+	// is exact, so Best/BestSim match the unrestricted answer whenever the
+	// true winner's domain made the shortlist. nil include = compare all.
+	a, err := ingest.AssignRestricted(s.model, sch, s.shortlistInclude(sch))
 	if err != nil {
 		return nil, fmt.Errorf("payg: %w", err)
 	}
@@ -53,4 +57,25 @@ func (s *System) Ingest(sch Schema) (*Assignment, error) {
 		out.Domains = append(out.Domains, DomainProb{Domain: d.Schema, Prob: d.Prob})
 	}
 	return out, nil
+}
+
+// shortlistInclude builds the domain-include predicate for an arriving
+// schema from the backend's ANN shortlist over the schema's attribute
+// terms, or nil when the backend does not prune (then every domain is
+// compared — the exact path).
+func (s *System) shortlistInclude(sch Schema) func(r int) bool {
+	if s.vectorizer == nil {
+		return nil
+	}
+	sl := s.vectorizer.Shortlist(s.space.QueryTerms(sch.Attributes), s.opts.ANNShortlistK)
+	if sl == nil {
+		return nil
+	}
+	set := make([]bool, s.model.NumDomains())
+	for _, si := range sl {
+		for _, mem := range s.model.DomainsOf(si) {
+			set[mem.Schema] = true
+		}
+	}
+	return func(r int) bool { return set[r] }
 }

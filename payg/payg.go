@@ -55,8 +55,11 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"schemaflow/internal/ann"
 	"schemaflow/internal/candgen"
 	"schemaflow/internal/classify"
 	"schemaflow/internal/cluster"
@@ -174,6 +177,27 @@ type Options struct {
 	// and clustering stages. Zero means GOMAXPROCS. Results do not depend
 	// on it.
 	Workers int
+
+	// Vectorizer selects the embedding backend: "term" (default — the
+	// thesis' term-match space: exact scoring over every domain, MinHash-
+	// LSH candidate generation on the blocked path) or "ngram" (dense
+	// hashed character-3-gram embeddings with an HNSW ANN index: ANN
+	// candidate pairs, and ANN-pruned assignment and classification —
+	// shortlist approximately, verify exactly). The term backend is
+	// bit-identical to builds that predate backends.
+	Vectorizer string
+	// ANNM is the HNSW graph degree for the ngram backend (0 means 16;
+	// ignored by the term backend).
+	ANNM int
+	// ANNEfSearch is the HNSW search beam width for the ngram backend
+	// (0 means 64; ignored by the term backend).
+	ANNEfSearch int
+	// ANNShortlistK is how many nearest schemas the ngram backend
+	// shortlists before exact verification of classification and
+	// incremental assignment. Zero means 32; negative disables pruning
+	// (the ngram backend then only accelerates candidate generation).
+	// Ignored by the term backend.
+	ANNShortlistK int
 }
 
 // withDefaults resolves the zero-value sentinels: 0 becomes the documented
@@ -216,7 +240,45 @@ func (o Options) withDefaults() Options {
 	if o.CandidateAutoMin == 0 {
 		o.CandidateAutoMin = 4096
 	}
+	if o.Vectorizer == "" {
+		o.Vectorizer = "term"
+	}
+	switch {
+	case o.ANNShortlistK == 0:
+		o.ANNShortlistK = 32
+	case o.ANNShortlistK < 0:
+		o.ANNShortlistK = 0
+	}
 	return o
+}
+
+// candgenConfig is the MinHash-LSH tuning the blocked build path has always
+// used; the term backend carries it so its candidate pairs stay
+// bit-identical to pre-backend builds.
+func (o Options) candgenConfig() candgen.Config {
+	return candgen.Config{
+		Bands:     o.LSHBands,
+		Rows:      o.LSHRows,
+		Threshold: o.CandidateThreshold,
+		Workers:   o.Workers,
+	}
+}
+
+// newVectorizer constructs an unfitted backend from the resolved options.
+// Every System owns a private fitted instance (fitting binds it to that
+// system's feature space), so rebuilds never mutate a backend another
+// generation is serving from.
+func (o Options) newVectorizer() (feature.Vectorizer, error) {
+	switch o.Vectorizer {
+	case "term":
+		return feature.NewTermVectorizer(o.candgenConfig()), nil
+	case "ngram":
+		return feature.NewNGramVectorizer(feature.NGramConfig{
+			ANN: ann.Config{M: o.ANNM, EfSearch: o.ANNEfSearch},
+		}), nil
+	default:
+		return nil, fmt.Errorf("payg: unknown vectorizer %q (want term or ngram)", o.Vectorizer)
+	}
 }
 
 // useBlockedPath decides, after withDefaults, whether a build of n schemas
@@ -279,6 +341,11 @@ type System struct {
 	classifier *classify.Classifier
 	mediated   []*mediate.Mediated
 
+	// vectorizer is the fitted embedding backend (see Options.Vectorizer).
+	// It is bound to space and immutable once the System is published;
+	// rebuilds fit a fresh instance.
+	vectorizer feature.Vectorizer
+
 	// local / localSet are set only on sharded systems (see Shard): the
 	// sorted domain ids held locally and the same set as a bitmap over the
 	// global id range. Nil on a full system, where every domain is local.
@@ -321,6 +388,10 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 	if err != nil {
 		return nil, err
 	}
+	vec, err := opts.newVectorizer()
+	if err != nil {
+		return nil, err
+	}
 
 	// Each pipeline phase reports its wall-clock cost to the metrics
 	// registry, so an operator can compare full-rebuild phases against the
@@ -331,12 +402,21 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 	var sp *feature.Space
 	var model *core.Model
 	if blocked {
-		sp, _, model, err = buildBlocked(ctx, set, fcfg, method, opts)
+		sp, _, model, err = buildBlocked(ctx, set, fcfg, method, opts, vec)
 	} else {
 		sp, _, model, err = buildExact(ctx, set, fcfg, method, opts)
 	}
 	if err != nil {
 		return nil, err
+	}
+	// The blocked path fits the vectorizer before candidate generation;
+	// the exact path never called it, so fit here.
+	if !blocked {
+		t := time.Now()
+		if err := vec.Fit(sp); err != nil {
+			return nil, err
+		}
+		mBuildPhase.With("vectorizer").Observe(time.Since(t).Seconds())
 	}
 
 	if err := ctx.Err(); err != nil {
@@ -356,7 +436,7 @@ func BuildContext(ctx context.Context, schemas []Schema, opts Options) (*System,
 	}
 	mBuildPhase.With("classifier").Observe(time.Since(t).Seconds())
 
-	sys := &System{opts: opts, schemas: set, space: sp, model: model, classifier: cls}
+	sys := &System{opts: opts, schemas: set, space: sp, model: model, classifier: cls, vectorizer: vec}
 	if !opts.SkipMediation {
 		if err := sys.buildMediationContext(ctx); err != nil {
 			return nil, err
@@ -422,11 +502,12 @@ func buildExact(ctx context.Context, set schema.Set, fcfg feature.Config, method
 }
 
 // buildBlocked is the sub-quadratic pipeline for large corpora: a lite
-// feature space (no O(n²) similarity memo), MinHash-LSH candidate
-// generation, exact similarities over only the candidates, sparse
-// agglomerative clustering, and sparse domain assignment. Every stage
-// honors ctx and fans out across opts.Workers.
-func buildBlocked(ctx context.Context, set schema.Set, fcfg feature.Config, method cluster.Method, opts Options) (*feature.Space, *cluster.Result, *core.Model, error) {
+// feature space (no O(n²) similarity memo), backend candidate generation
+// (MinHash-LSH on the term backend, ANN neighbors on the ngram backend),
+// exact similarities over only the candidates, sparse agglomerative
+// clustering, and sparse domain assignment. Every stage honors ctx and fans
+// out across opts.Workers.
+func buildBlocked(ctx context.Context, set schema.Set, fcfg feature.Config, method cluster.Method, opts Options, vec feature.Vectorizer) (*feature.Space, *cluster.Result, *core.Model, error) {
 	mBuildMode.With("blocked").Inc()
 	n := len(set)
 	t := time.Now()
@@ -435,18 +516,19 @@ func buildBlocked(ctx context.Context, set schema.Set, fcfg feature.Config, meth
 	if err := ctx.Err(); err != nil {
 		return nil, nil, nil, err
 	}
-
-	// Candidate generation runs over the binary feature vectors; in
-	// term-frequency mode candidates come from the binary projection and
-	// the exact generalized-Jaccard similarity decides in the next stage.
-	ccfg := candgen.Config{
-		Bands:     opts.LSHBands,
-		Rows:      opts.LSHRows,
-		Threshold: opts.CandidateThreshold,
-		Workers:   opts.Workers,
-	}
 	t = time.Now()
-	pairs, err := candgen.Pairs(ctx, sp.Vectors, ccfg)
+	if err := vec.Fit(sp); err != nil {
+		return nil, nil, nil, err
+	}
+	mBuildPhase.With("vectorizer").Observe(time.Since(t).Seconds())
+
+	// Candidate generation is the backend's call: the term backend runs
+	// MinHash-LSH over the binary feature vectors (in term-frequency mode
+	// those are the binary projection — the exact generalized-Jaccard
+	// similarity decides in the next stage); the ngram backend proposes
+	// each schema's ANN neighbors.
+	t = time.Now()
+	pairs, err := vec.CandidatePairs(ctx)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("payg: candidate generation: %w", err)
 	}
@@ -556,22 +638,84 @@ func (s *System) Domains() []DomainInfo {
 	return out
 }
 
-// Classify ranks all domains by relevance to a free-text keyword query and
-// returns them best first. The query string is split on whitespace.
+// Classify ranks domains by relevance to a free-text keyword query and
+// returns them best first. The query string is split on whitespace. With a
+// pruning backend (ngram), only the shortlisted domains are scored — each
+// returned score is exactly what the full classifier computes for that
+// domain, so the ranking among returned domains is exact; domains the
+// shortlist missed are simply absent.
 func (s *System) Classify(query string) []Score {
-	return s.classifier.Classify(strings.Fields(query))
+	return s.ClassifyKeywords(strings.Fields(query))
 }
 
-// ClassifyKeywords ranks domains for an already-tokenized query.
+// ClassifyKeywords ranks domains for an already-tokenized query; see
+// Classify for pruning-backend semantics.
 func (s *System) ClassifyKeywords(keywords []string) []Score {
+	if doms := s.shortlistDomains(keywords); doms != nil {
+		return s.classifier.ClassifySubset(keywords, doms)
+	}
 	return s.classifier.Classify(keywords)
+}
+
+// shortlistDomains asks the backend for the query's ANN schema shortlist
+// and maps it to the domains holding those schemas (probabilistic members
+// included). nil means no pruning: score every domain, the exact path.
+func (s *System) shortlistDomains(keywords []string) []int {
+	if s.vectorizer == nil {
+		return nil
+	}
+	sl := s.vectorizer.Shortlist(s.space.QueryTerms(keywords), s.opts.ANNShortlistK)
+	if sl == nil {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var doms []int
+	for _, si := range sl {
+		for _, mem := range s.model.DomainsOf(si) {
+			if !seen[mem.Schema] {
+				seen[mem.Schema] = true
+				doms = append(doms, mem.Schema)
+			}
+		}
+	}
+	return doms
 }
 
 // ClassifyBatch ranks domains for many tokenized queries with bounded
 // CPU-parallel fan-out, returning one ranking per query in input order.
 // Results are identical to calling ClassifyKeywords per query.
 func (s *System) ClassifyBatch(queries [][]string) [][]Score {
-	return s.classifier.ClassifyBatch(queries)
+	if s.vectorizer == nil || s.vectorizer.Shortlist(nil, s.opts.ANNShortlistK) == nil {
+		// Exact backend (or pruning disabled): the classifier's own batch
+		// path shares scratch state and one flat allocation.
+		return s.classifier.ClassifyBatch(queries)
+	}
+	out := make([][]Score, len(queries))
+	n := len(queries)
+	if n == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = s.ClassifyKeywords(queries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Explanation itemizes a classification per matched vocabulary term.

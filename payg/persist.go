@@ -10,7 +10,6 @@ import (
 	"schemaflow/internal/core"
 	"schemaflow/internal/feature"
 	"schemaflow/internal/schema"
-	"schemaflow/internal/terms"
 )
 
 // snapshot is the on-disk form of a System (gob-encoded). It stores the
@@ -115,17 +114,12 @@ func LoadWithPending(r io.Reader) (*System, []Schema, error) {
 		return nil, nil, fmt.Errorf("payg: snapshot version %d, want 1–%d", snap.Version, snapshotVersion)
 	}
 	opts := snap.Opts.withDefaults()
-	ts, err := opts.termSim()
+	// featureConfig applies the same sentinel translation Build used —
+	// notably TauTSim 0 (a requested literal threshold) must become
+	// feature.Config's negative escape, not silently revert to 0.8 on load.
+	fcfg, err := opts.featureConfig()
 	if err != nil {
 		return nil, nil, err
-	}
-	fcfg := feature.Config{
-		TermOpts: terms.DefaultOptions(),
-		Sim:      ts,
-		Tau:      opts.TauTSim,
-	}
-	if opts.TermFrequencyFeatures {
-		fcfg.Mode = feature.TermFrequency
 	}
 	sp := feature.BuildLite(snap.Schemas, fcfg)
 	cl := cluster.FromAssignment(snap.Assign)
@@ -137,7 +131,16 @@ func LoadWithPending(r io.Reader) (*System, []Schema, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sys := &System{opts: opts, schemas: snap.Schemas, space: sp, model: model, classifier: cls}
+	// Fitted vectorizer state (embeddings, ANN graph) is derived, never
+	// persisted: re-fit deterministically against the rebuilt space.
+	vec, err := opts.newVectorizer()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := vec.Fit(sp); err != nil {
+		return nil, nil, err
+	}
+	sys := &System{opts: opts, schemas: snap.Schemas, space: sp, model: model, classifier: cls, vectorizer: vec}
 	if snap.Sharded {
 		// Restore the local-domain view before mediation so only local
 		// domains are re-mediated — the whole point of the pruned form.

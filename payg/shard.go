@@ -54,6 +54,9 @@ func (s *System) Shard(local []int) (*System, error) {
 		space:      s.space,
 		model:      s.model,
 		classifier: cls,
+		// The fitted backend is bound to the shared (immutable) feature
+		// space, so the shard reuses it rather than re-fitting.
+		vectorizer: s.vectorizer,
 		local:      sorted,
 		localSet:   set,
 	}
@@ -111,7 +114,13 @@ func (s *System) IngestLocal(sch Schema) (*Assignment, error) {
 	if s.localSet == nil {
 		return s.Ingest(sch)
 	}
-	a, err := ingest.AssignRestricted(s.model, sch, func(r int) bool { return s.localSet[r] })
+	inc := func(r int) bool { return s.localSet[r] }
+	// A pruning backend narrows the probe further: local AND shortlisted.
+	if sl := s.shortlistInclude(sch); sl != nil {
+		local := inc
+		inc = func(r int) bool { return local(r) && sl(r) }
+	}
+	a, err := ingest.AssignRestricted(s.model, sch, inc)
 	if err != nil {
 		return nil, fmt.Errorf("payg: %w", err)
 	}

@@ -1,0 +1,258 @@
+package payg
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"schemaflow/internal/dataset"
+)
+
+// TestTermBackendDefaultEquivalence guards the refactor's central promise:
+// moving MinHash-LSH candidate generation behind the Vectorizer interface
+// changed nothing about the default backend — a blocked build with an
+// explicit "term" backend is bit-identical to one with the backend left
+// unset.
+func TestTermBackendDefaultEquivalence(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 400, Domains: 8, Seed: 21})
+	base, err := Build(set, Options{CandidateGen: "lsh", SkipMediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := Build(set, Options{CandidateGen: "lsh", SkipMediation: true, Vectorizer: "term"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := base.Model().Clustering.Assign, term.Model().Clustering.Assign
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cluster assignment diverges at schema %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	for qi := 0; qi < 50; qi++ {
+		kw := set[qi*7%len(set)].Attributes
+		sa, sb := base.ClassifyKeywords(kw), term.ClassifyKeywords(kw)
+		if len(sa) != len(sb) {
+			t.Fatalf("query %d: score counts %d vs %d", qi, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j] != sb[j] {
+				t.Fatalf("query %d rank %d: %+v vs %+v", qi, j, sa[j], sb[j])
+			}
+		}
+	}
+}
+
+func TestUnknownVectorizerRejected(t *testing.T) {
+	if _, err := Build(demoSchemas(), Options{Vectorizer: "word2vec"}); err == nil {
+		t.Fatal("unknown vectorizer accepted")
+	}
+}
+
+// TestNGramBlockedBuildClusters exercises the dense backend end to end on
+// the blocked path: ANN candidate pairs must recover essentially the same
+// domain structure as the MinHash path (exact term-space similarity still
+// decides every merge; the backends differ only in which pairs they
+// propose, so domain counts may drift slightly).
+func TestNGramBlockedBuildClusters(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 400, Domains: 8, Seed: 21})
+	term, err := Build(set, Options{CandidateGen: "lsh", SkipMediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Build(set, Options{CandidateGen: "lsh", SkipMediation: true, Vectorizer: "ngram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTerm, nGram := term.NumDomains(), sys.NumDomains()
+	t.Logf("blocked domains: term=%d ngram=%d", nTerm, nGram)
+	if lo, hi := nTerm*8/10, nTerm*12/10+2; nGram < lo || nGram > hi {
+		t.Fatalf("ngram blocked build found %d domains, term backend found %d (want within [%d,%d])", nGram, nTerm, lo, hi)
+	}
+	if got := sys.Classify("anything at all"); len(got) == 0 {
+		t.Fatal("classification returned no scores")
+	}
+}
+
+// TestNGramPrunedTop1Agreement is the ISSUE's acceptance bar: on the same
+// model, ANN-pruned classification must reproduce the exact classifier's
+// top-1 domain on at least 99% of queries.
+func TestNGramPrunedTop1Agreement(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 800, Domains: 16, Seed: 9})
+	exact, err := Build(set, Options{SkipMediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Build(set, Options{SkipMediation: true, Vectorizer: "ngram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both take the exact (dense) build path below CandidateAutoMin, so the
+	// models are identical and the only difference is classification
+	// pruning. Verify the premise before measuring agreement.
+	a, b := exact.Model().Clustering.Assign, pruned.Model().Clustering.Assign
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("models diverge at schema %d — exact-path builds should be backend-independent", i)
+		}
+	}
+
+	queries := 0
+	agree := 0
+	for qi := 0; qi < 400; qi++ {
+		kw := set[(qi*13)%len(set)].Attributes
+		se := exact.ClassifyKeywords(kw)
+		sp := pruned.ClassifyKeywords(kw)
+		if len(se) == 0 || len(sp) == 0 {
+			t.Fatalf("query %d: empty ranking (exact %d, pruned %d)", qi, len(se), len(sp))
+		}
+		queries++
+		if se[0].Domain == sp[0].Domain {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(queries)
+	t.Logf("pruned top-1 agreement: %d/%d = %.4f", agree, queries, frac)
+	if frac < 0.99 {
+		t.Fatalf("top-1 agreement %.4f < 0.99", frac)
+	}
+}
+
+// TestNGramPrunedIngestAgreement checks the assignment half of
+// shortlist-then-verify: restricted Algorithm 3 must find the same best
+// domain as the unrestricted comparison for nearly all arrivals.
+func TestNGramPrunedIngestAgreement(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 800, Domains: 16, Seed: 9})
+	exact, err := Build(set, Options{SkipMediation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Build(set, Options{SkipMediation: true, Vectorizer: "ngram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := dataset.Large(dataset.LargeConfig{N: 200, Domains: 16, Seed: 10})
+	agree, total := 0, 0
+	for i, sch := range arrivals {
+		sch.Name = fmt.Sprintf("arrival-%d", i)
+		ae, err := exact.Ingest(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ap, err := pruned.Ingest(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if ae.BestDomain == ap.BestDomain {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(total)
+	t.Logf("pruned ingest best-domain agreement: %d/%d = %.4f", agree, total, frac)
+	if frac < 0.95 {
+		t.Fatalf("ingest agreement %.4f < 0.95", frac)
+	}
+}
+
+// TestNGramPersistRoundTrip: fitted backend state is derived, so a saved
+// ngram system must come back with pruning active and identical rankings.
+func TestNGramPersistRoundTrip(t *testing.T) {
+	set := dataset.Large(dataset.LargeConfig{N: 300, Domains: 6, Seed: 4})
+	sys, err := Build(set, Options{SkipMediation: true, Vectorizer: "ngram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.vectorizer == nil || got.vectorizer.Name() != "ngram" {
+		t.Fatal("loaded system lost its ngram backend")
+	}
+	for qi := 0; qi < 40; qi++ {
+		kw := set[qi*7%len(set)].Attributes
+		sa, sb := sys.ClassifyKeywords(kw), got.ClassifyKeywords(kw)
+		if len(sa) != len(sb) {
+			t.Fatalf("query %d: score counts %d vs %d after reload", qi, len(sa), len(sb))
+		}
+		for j := range sa {
+			if sa[j].Domain != sb[j].Domain {
+				t.Fatalf("query %d rank %d: domain %d vs %d after reload", qi, j, sa[j].Domain, sb[j].Domain)
+			}
+		}
+	}
+}
+
+// TestNGramConcurrentClassifyDuringReclusterSwap hammers classification and
+// ingestion on an ngram-backed manager while a recluster publishes a new
+// generation — the backend swap must be as atomic as the system swap
+// (run with -race to check the fitted state is never shared mutably).
+func TestNGramConcurrentClassifyDuringReclusterSwap(t *testing.T) {
+	base := demoSchemas()
+	sys, err := Build(base, Options{SkipMediation: true, Vectorizer: "ngram"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(sys, nil, ManagerOptions{DriftThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := mgr.System().Classify("departure airline price"); len(got) == 0 {
+					errc <- fmt.Errorf("classify returned no scores")
+					return
+				}
+				sch := Schema{
+					Name:       fmt.Sprintf("hammer-%d-%d", w, i),
+					Attributes: []string{"departure airport", "airline", "price"},
+				}
+				if _, err := mgr.System().Ingest(sch); err != nil {
+					errc <- fmt.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for _, sch := range newcomerSchemas() {
+		if _, err := mgr.Ingest(sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		if err := mgr.Recluster(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if mgr.System().vectorizer == nil || mgr.System().vectorizer.Name() != "ngram" {
+		t.Fatal("rebuilt generation lost the ngram backend")
+	}
+}

@@ -1,0 +1,158 @@
+package payg
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// benchAssignBackends gates TestAssignBackendBenchArtifact, which merges the
+// per-backend online-path rows into BENCH_assign.json at the repository root
+// (second step of make bench-assign).
+var benchAssignBackends = flag.Bool("bench-assign-backends", false, "merge per-backend Assign/Classify rows into BENCH_assign.json")
+
+var (
+	backendBenchMu   sync.Mutex
+	backendBenchSys  = map[string]*System{}
+	backendBenchErrs = map[string]error{}
+)
+
+// backendBenchSystem builds the shared 1000-schema query-bench corpus once
+// per backend. The online paths (Ingest, Classify) are read-only, so the
+// benchmarks can share one system per backend.
+func backendBenchSystem(tb testing.TB, backend string) *System {
+	tb.Helper()
+	backendBenchMu.Lock()
+	defer backendBenchMu.Unlock()
+	if _, ok := backendBenchSys[backend]; !ok {
+		backendBenchSys[backend], backendBenchErrs[backend] =
+			Build(queryBenchSet(queryBenchN, 1), Options{SkipMediation: true, Vectorizer: backend})
+	}
+	if err := backendBenchErrs[backend]; err != nil {
+		tb.Fatal(err)
+	}
+	return backendBenchSys[backend]
+}
+
+// backendBenchArrival matches the corpus' first template with two novel
+// suffixed terms — the standard arrival profile of the assign benchmarks.
+func backendBenchArrival() Schema {
+	return Schema{
+		Name: "arrival",
+		Attributes: []string{
+			queryBenchStems[0] + "identifier",
+			queryBenchStems[0] + "name",
+			queryBenchStems[0] + "price",
+			queryBenchStems[0] + "statusv99",
+			queryBenchStems[0] + "ownerv98",
+		},
+	}
+}
+
+func benchAssignBackend(b *testing.B, backend string) {
+	sys := backendBenchSystem(b, backend)
+	s := backendBenchArrival()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := sys.Ingest(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Fresh {
+			b.Fatal("arrival unexpectedly fresh")
+		}
+	}
+}
+
+func benchClassifyBackend(b *testing.B, backend string) {
+	sys := backendBenchSystem(b, backend)
+	queries := queryBenchWorkload(64, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scores := sys.Classify(queries[i%len(queries)]); len(scores) == 0 {
+			b.Fatal("empty ranking")
+		}
+	}
+}
+
+// The per-backend online-path pairs: the term backend compares every domain
+// exactly; the ngram backend shortlists via HNSW then verifies the
+// shortlist exactly. Names keep the Assign/Classify stems so the CI bench
+// smoke (-bench='Assign|Classify') exercises both backends.
+func BenchmarkAssignTermBackend(b *testing.B)    { benchAssignBackend(b, "term") }
+func BenchmarkAssignNGramBackend(b *testing.B)   { benchAssignBackend(b, "ngram") }
+func BenchmarkClassifyTermBackend(b *testing.B)  { benchClassifyBackend(b, "term") }
+func BenchmarkClassifyNGramBackend(b *testing.B) { benchClassifyBackend(b, "ngram") }
+
+// TestAssignBackendBenchArtifact runs the per-backend pairs via
+// testing.Benchmark and merges them into BENCH_assign.json under a
+// "backends" key, preserving whatever the internal/ingest artifact step
+// wrote (make bench-assign runs both):
+//
+//	go test ./payg -run TestAssignBackendBenchArtifact -bench-assign-backends=true
+func TestAssignBackendBenchArtifact(t *testing.T) {
+	if !*benchAssignBackends {
+		t.Skip("set -bench-assign-backends to merge backend rows into BENCH_assign.json")
+	}
+	type row struct {
+		Name        string `json:"name"`
+		Backend     string `json:"backend"`
+		Op          string `json:"op"`
+		Iterations  int    `json:"iterations"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+	}
+	var rows []row
+	for _, bk := range []string{"term", "ngram"} {
+		bk := bk
+		runs := []struct {
+			op    string
+			bench func(*testing.B)
+		}{
+			{"ingest", func(b *testing.B) { benchAssignBackend(b, bk) }},
+			{"classify", func(b *testing.B) { benchClassifyBackend(b, bk) }},
+		}
+		for _, run := range runs {
+			r := testing.Benchmark(run.bench)
+			rows = append(rows, row{
+				Name:        fmt.Sprintf("Benchmark%s%sBackend", map[string]string{"ingest": "Assign", "classify": "Classify"}[run.op], map[string]string{"term": "Term", "ngram": "NGram"}[bk]),
+				Backend:     bk,
+				Op:          run.op,
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			})
+		}
+	}
+
+	const path = "../BENCH_assign.json"
+	artifact := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &artifact); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", path, err)
+		}
+	} else {
+		artifact["description"] = "Per-arrival schema assignment benchmarks"
+		artifact["go_version"] = runtime.Version()
+	}
+	artifact["backends_description"] = "Online-path cost per vectorizer backend over the 1000-schema query-bench corpus: term compares every domain exactly; ngram prunes via an HNSW shortlist then verifies exactly"
+	artifact["backends"] = rows
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		t.Logf("%s/%s: %d ns/op (%d allocs)", r.Backend, r.Op, r.NsPerOp, r.AllocsPerOp)
+	}
+}
